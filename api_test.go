@@ -1,0 +1,141 @@
+package sss
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/sss-paper/sss/kv"
+)
+
+func newTestCluster(t *testing.T, eng Engine, nodes, degree int) *Cluster {
+	t.Helper()
+	c, err := New(Options{Nodes: nodes, ReplicationDegree: degree, Engine: eng, DisableLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Nodes: 0}); err == nil {
+		t.Fatal("Nodes=0 must fail")
+	}
+	if _, err := New(Options{Nodes: 2, Engine: "nope"}); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+}
+
+func TestAllEnginesBasicRoundTrip(t *testing.T) {
+	for _, eng := range []Engine{EngineSSS, Engine2PC, EngineWalter, EngineROCOCO} {
+		eng := eng
+		t.Run(string(eng), func(t *testing.T) {
+			degree := 2
+			if eng == EngineROCOCO {
+				degree = 1
+			}
+			c := newTestCluster(t, eng, 3, degree)
+			c.Preload("k", []byte("v0"))
+
+			var committed bool
+			for attempt := 0; attempt < 20 && !committed; attempt++ {
+				tx := c.Node(0).Begin(false)
+				if _, _, err := tx.Read("k"); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Write("k", []byte("v1")); err != nil {
+					t.Fatal(err)
+				}
+				switch err := tx.Commit(); {
+				case err == nil:
+					committed = true
+				case errors.Is(err, kv.ErrAborted):
+				default:
+					t.Fatal(err)
+				}
+			}
+			if !committed {
+				t.Fatal("update never committed")
+			}
+
+			for attempt := 0; attempt < 200; attempt++ {
+				ro := c.Node(2).Begin(true)
+				v, ok, err := ro.Read("k")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ro.Commit(); err != nil {
+					if eng == EngineSSS || eng == EngineWalter {
+						t.Fatalf("%s read-only aborted: %v", eng, err)
+					}
+					continue // 2PC/ROCOCO read-only may retry
+				}
+				if ok && string(v) == "v1" {
+					return
+				}
+				if eng != EngineWalter {
+					t.Fatalf("read %q ok=%v, want v1", v, ok)
+				}
+				// Walter is PSI: remote snapshots converge asynchronously.
+			}
+			t.Fatal("read-only never observed the committed value")
+		})
+	}
+}
+
+func TestClusterStatsAggregation(t *testing.T) {
+	c := newTestCluster(t, EngineSSS, 2, 1)
+	c.Preload("k", []byte("v0"))
+	tx := c.Node(0).Begin(false)
+	_, _, _ = tx.Read("k")
+	_ = tx.Write("k", []byte("v1"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ro := c.Node(1).Begin(true)
+	_, _, _ = ro.Read("k")
+	_ = ro.Commit()
+
+	s := c.Stats()
+	if s.Commits != 1 {
+		t.Fatalf("Commits = %d, want 1", s.Commits)
+	}
+	if s.ReadOnly != 1 {
+		t.Fatalf("ReadOnly = %d, want 1", s.ReadOnly)
+	}
+	if s.UpdateLatency.Count != 1 || s.UpdateLatency.Mean <= 0 {
+		t.Fatalf("UpdateLatency = %+v", s.UpdateLatency)
+	}
+	ns := c.Node(0).Stats()
+	if ns.Commits != 1 {
+		t.Fatalf("node stats Commits = %d", ns.Commits)
+	}
+}
+
+func TestReplicasAccessor(t *testing.T) {
+	c := newTestCluster(t, EngineSSS, 4, 2)
+	rs := c.Replicas("anything")
+	if len(rs) != 2 {
+		t.Fatalf("Replicas = %v, want 2 nodes", rs)
+	}
+	if rs[0] == rs[1] {
+		t.Fatal("replicas must be distinct")
+	}
+}
+
+func TestManyKeysAcrossEngines(t *testing.T) {
+	c := newTestCluster(t, EngineSSS, 3, 2)
+	for i := 0; i < 50; i++ {
+		c.Preload(fmt.Sprintf("k%d", i), []byte("0"))
+	}
+	tx := c.Node(1).Begin(true)
+	for i := 0; i < 50; i++ {
+		if _, ok, err := tx.Read(fmt.Sprintf("k%d", i)); err != nil || !ok {
+			t.Fatalf("read k%d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

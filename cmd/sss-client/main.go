@@ -1,0 +1,132 @@
+// Command sss-client is a tiny interactive/one-shot client for sss-server's
+// line protocol.
+//
+//	sss-client -addr 127.0.0.1:8000 set greeting hello
+//	sss-client -addr 127.0.0.1:8000 get greeting
+//	sss-client -addr 127.0.0.1:8000 snapshot k1 k2 k3   # one read-only txn
+package main
+
+import (
+	"bufio"
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+)
+
+var addr = flag.String("addr", "127.0.0.1:8000", "sss-server client address")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: sss-client [-addr host:port] get <key> | set <key> <value> | snapshot <key>...")
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	c := &client{r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}
+
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: get <key>")
+		}
+		txn := c.begin(true)
+		val, exists := c.read(txn, args[1])
+		c.commitOK(txn)
+		if !exists {
+			fmt.Println("(nil)")
+			return
+		}
+		fmt.Println(string(val))
+	case "set":
+		if len(args) != 3 {
+			log.Fatal("usage: set <key> <value>")
+		}
+		txn := c.begin(false)
+		c.must(c.send("READ %s %s", txn, args[1])) // establish the snapshot
+		c.must(c.send("WRITE %s %s %s", txn, args[1],
+			base64.StdEncoding.EncodeToString([]byte(args[2]))))
+		resp := c.send("COMMIT %s", txn)
+		fmt.Println(resp)
+	case "snapshot":
+		if len(args) < 2 {
+			log.Fatal("usage: snapshot <key>...")
+		}
+		txn := c.begin(true)
+		for _, k := range args[1:] {
+			val, exists := c.read(txn, k)
+			if exists {
+				fmt.Printf("%s = %s\n", k, val)
+			} else {
+				fmt.Printf("%s = (nil)\n", k)
+			}
+		}
+		c.commitOK(txn)
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+type client struct {
+	r *bufio.Scanner
+	w *bufio.Writer
+}
+
+func (c *client) send(format string, args ...any) string {
+	fmt.Fprintf(c.w, format+"\n", args...)
+	if err := c.w.Flush(); err != nil {
+		log.Fatalf("send: %v", err)
+	}
+	if !c.r.Scan() {
+		log.Fatal("server closed connection")
+	}
+	return c.r.Text()
+}
+
+func (c *client) must(resp string) {
+	if strings.HasPrefix(resp, "ERR") {
+		log.Fatalf("server: %s", resp)
+	}
+}
+
+func (c *client) begin(readOnly bool) string {
+	mode := "rw"
+	if readOnly {
+		mode = "ro"
+	}
+	resp := c.send("BEGIN %s", mode)
+	fields := strings.Fields(resp)
+	if len(fields) != 2 || fields[0] != "OK" {
+		log.Fatalf("begin: %s", resp)
+	}
+	return fields[1]
+}
+
+func (c *client) read(txn, key string) ([]byte, bool) {
+	resp := c.send("READ %s %s", txn, key)
+	switch {
+	case resp == "NIL":
+		return nil, false
+	case strings.HasPrefix(resp, "VAL "):
+		val, err := base64.StdEncoding.DecodeString(resp[4:])
+		if err != nil {
+			log.Fatalf("bad value from server: %v", err)
+		}
+		return val, true
+	default:
+		log.Fatalf("read: %s", resp)
+		return nil, false
+	}
+}
+
+func (c *client) commitOK(txn string) {
+	if resp := c.send("COMMIT %s", txn); resp != "OK" {
+		log.Fatalf("commit: %s", resp)
+	}
+}

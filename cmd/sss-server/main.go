@@ -1,0 +1,188 @@
+// Command sss-server runs one SSS node over real TCP, for multi-process
+// deployments. The cluster address book is given as a comma-separated list
+// of host:port pairs (index = node ID); -id selects which entry this
+// process serves. A small line-oriented client protocol is exposed on
+// -client-addr for sss-client:
+//
+//	BEGIN ro|rw          -> OK <txn>
+//	READ <txn> <key>     -> VAL <base64> | NIL
+//	WRITE <txn> <key> <base64>
+//	COMMIT <txn>         -> OK | ABORTED
+//	ABORT <txn>          -> OK
+//
+// Example 3-node cluster on one machine:
+//
+//	sss-server -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client-addr :8000
+//	sss-server -id 1 -peers ...                                          -client-addr :8001
+//	sss-server -id 2 -peers ...                                          -client-addr :8002
+package main
+
+import (
+	"bufio"
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/engine"
+	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+var (
+	id         = flag.Int("id", 0, "this node's ID (index into -peers)")
+	peers      = flag.String("peers", "127.0.0.1:7000", "comma-separated node addresses")
+	clientAddr = flag.String("client-addr", ":8000", "listen address for the client protocol")
+	degree     = flag.Int("replication", 2, "replication degree")
+)
+
+func main() {
+	flag.Parse()
+	addrs := strings.Split(*peers, ",")
+	if *id < 0 || *id >= len(addrs) {
+		log.Fatalf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	book := make(map[wire.NodeID]string, len(addrs))
+	for i, a := range addrs {
+		book[wire.NodeID(i)] = strings.TrimSpace(a)
+	}
+	net_ := transport.NewTCP(book)
+	lookup := cluster.NewLookup(len(addrs), *degree)
+	node, err := engine.New(net_, wire.NodeID(*id), len(addrs), lookup, engine.Config{})
+	if err != nil {
+		log.Fatalf("start node: %v", err)
+	}
+	log.Printf("sss-server node %d up; peers=%v replication=%d", *id, addrs, *degree)
+
+	ln, err := net.Listen("tcp", *clientAddr)
+	if err != nil {
+		log.Fatalf("client listener: %v", err)
+	}
+	log.Printf("client protocol on %s", ln.Addr())
+	srv := &clientServer{node: node, txns: make(map[uint64]*engine.Txn)}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		go srv.serve(conn)
+	}
+}
+
+type clientServer struct {
+	node *engine.Node
+
+	mu     sync.Mutex
+	nextID uint64
+	txns   map[uint64]*engine.Txn
+}
+
+func (s *clientServer) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+		_ = w.Flush()
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "BEGIN":
+			readOnly := len(fields) > 1 && strings.EqualFold(fields[1], "ro")
+			s.mu.Lock()
+			s.nextID++
+			handle := s.nextID
+			s.txns[handle] = s.node.Begin(readOnly)
+			s.mu.Unlock()
+			reply("OK %d", handle)
+		case "READ":
+			tx, ok := s.txn(fields, 3)
+			if !ok {
+				reply("ERR bad txn")
+				continue
+			}
+			val, exists, err := tx.Read(fields[2])
+			switch {
+			case err != nil:
+				reply("ERR %v", err)
+			case !exists:
+				reply("NIL")
+			default:
+				reply("VAL %s", base64.StdEncoding.EncodeToString(val))
+			}
+		case "WRITE":
+			tx, ok := s.txn(fields, 4)
+			if !ok {
+				reply("ERR bad txn")
+				continue
+			}
+			val, err := base64.StdEncoding.DecodeString(fields[3])
+			if err != nil {
+				reply("ERR bad value encoding")
+				continue
+			}
+			if err := tx.Write(fields[2], val); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK")
+		case "COMMIT":
+			tx, ok := s.txn(fields, 2)
+			if !ok {
+				reply("ERR bad txn")
+				continue
+			}
+			s.drop(fields[1])
+			if err := tx.Commit(); err != nil {
+				reply("ABORTED")
+				continue
+			}
+			reply("OK")
+		case "ABORT":
+			tx, ok := s.txn(fields, 2)
+			if !ok {
+				reply("ERR bad txn")
+				continue
+			}
+			s.drop(fields[1])
+			_ = tx.Abort()
+			reply("OK")
+		default:
+			reply("ERR unknown command %q", fields[0])
+		}
+	}
+}
+
+func (s *clientServer) txn(fields []string, minLen int) (*engine.Txn, bool) {
+	if len(fields) < minLen {
+		return nil, false
+	}
+	handle, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, ok := s.txns[handle]
+	return tx, ok
+}
+
+func (s *clientServer) drop(handleStr string) {
+	handle, err := strconv.ParseUint(handleStr, 10, 64)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.txns, handle)
+	s.mu.Unlock()
+}

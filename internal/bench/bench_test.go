@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/ycsb"
+	"github.com/sss-paper/sss/kv"
+)
+
+// fakeNode is an in-memory engine stub: commits everything instantly, with
+// a configurable abort rate for update transactions.
+type fakeNode struct {
+	stats      metrics.Engine
+	abortEvery int64
+	updates    atomic.Int64
+}
+
+func (f *fakeNode) Begin(readOnly bool) kv.Txn { return &fakeTxn{node: f, readOnly: readOnly} }
+func (f *fakeNode) Stats() *metrics.Engine     { return &f.stats }
+
+type fakeTxn struct {
+	node     *fakeNode
+	readOnly bool
+	done     bool
+}
+
+func (t *fakeTxn) Read(string) ([]byte, bool, error) { return []byte("v"), true, nil }
+func (t *fakeTxn) Write(string, []byte) error {
+	if t.readOnly {
+		return kv.ErrReadOnlyWrite
+	}
+	return nil
+}
+func (t *fakeTxn) Abort() error { t.done = true; return nil }
+func (t *fakeTxn) Commit() error {
+	if t.done {
+		return kv.ErrTxnDone
+	}
+	t.done = true
+	if t.readOnly {
+		t.node.stats.ReadOnlyRuns.Add(1)
+		t.node.stats.ReadOnlyLatency.Observe(time.Microsecond)
+		return nil
+	}
+	if n := t.node.updates.Add(1); t.node.abortEvery > 0 && n%t.node.abortEvery == 0 {
+		t.node.stats.Aborts.Add(1)
+		return kv.ErrAborted
+	}
+	t.node.stats.Commits.Add(1)
+	t.node.stats.CommitLatency.Observe(2 * time.Microsecond)
+	t.node.stats.InternalLatency.Observe(time.Microsecond)
+	t.node.stats.PreCommitWait.Observe(time.Microsecond)
+	return nil
+}
+
+func TestRunCountsAndThroughput(t *testing.T) {
+	nodes := []Node{&fakeNode{}, &fakeNode{}}
+	res := Run(nodes, Options{
+		Workload:       ycsb.Config{Keys: 100, ReadOnlyPct: 50},
+		ClientsPerNode: 2,
+		Duration:       100 * time.Millisecond,
+		Seed:           7,
+	})
+	if res.Commits == 0 || res.ReadOnly == 0 {
+		t.Fatalf("no work recorded: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("Throughput = %v", res.Throughput)
+	}
+	if res.AbortRate != 0 {
+		t.Fatalf("AbortRate = %v, want 0", res.AbortRate)
+	}
+	want := float64(res.Commits+res.ReadOnly) / res.Elapsed.Seconds()
+	if diff := res.Throughput - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Throughput %v inconsistent with counts (%v)", res.Throughput, want)
+	}
+	if res.UpdateLatency.Count == 0 || res.ReadOnlyLatency.Count == 0 {
+		t.Fatal("latency histograms not aggregated")
+	}
+}
+
+func TestRunAbortRate(t *testing.T) {
+	nodes := []Node{&fakeNode{abortEvery: 4}} // every 4th update aborts
+	res := Run(nodes, Options{
+		Workload:       ycsb.Config{Keys: 100, ReadOnlyPct: 0},
+		ClientsPerNode: 2,
+		Duration:       100 * time.Millisecond,
+		Seed:           3,
+	})
+	if res.Aborts == 0 {
+		t.Fatal("expected aborts")
+	}
+	if res.AbortRate < 0.15 || res.AbortRate > 0.35 {
+		t.Fatalf("AbortRate = %v, want ~0.25", res.AbortRate)
+	}
+}
+
+func TestRunWarmupNotCounted(t *testing.T) {
+	nd := &fakeNode{}
+	res := Run([]Node{nd}, Options{
+		Workload:       ycsb.Config{Keys: 10, ReadOnlyPct: 100},
+		ClientsPerNode: 1,
+		Warmup:         50 * time.Millisecond,
+		Duration:       50 * time.Millisecond,
+		Seed:           1,
+	})
+	// Engine-side counter includes warmup; harness counts only the window.
+	if res.ReadOnly >= nd.stats.ReadOnlyRuns.Load() {
+		t.Fatalf("measured %d >= total %d: warmup leaked into the window",
+			res.ReadOnly, nd.stats.ReadOnlyRuns.Load())
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res := Run([]Node{&fakeNode{}}, Options{
+		Workload: ycsb.Config{Keys: 10, ReadOnlyPct: 100},
+		Duration: 30 * time.Millisecond,
+	})
+	if res.ReadOnly == 0 {
+		t.Fatal("defaults should still drive work (10 clients/node)")
+	}
+}

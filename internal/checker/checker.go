@@ -1,0 +1,278 @@
+// Package checker verifies external consistency of an executed history, the
+// correctness criterion of §IV: the Direct Serialization Graph (Adya's DSG)
+// over committed transactions — with read-dependency (wr),
+// write-dependency (ww), anti-dependency (rw) *and* real-time completion
+// edges — must be acyclic.
+//
+// Real-time edges encode the external schedule: if Ti's client observed
+// completion before Tj began, then Ti must serialize before Tj. A cycle in
+// the combined graph is exactly a violation of external consistency.
+//
+// Real-time edges are quadratic in the number of transactions, so the
+// checker compresses them with an interval-order chain: transactions are
+// sorted by start time and linked through virtual suffix nodes, giving an
+// O(V+E) graph that preserves reachability.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// ReadObs is one observed read: the key and the transaction whose version
+// was returned (the zero TxnID denotes the preloaded genesis version).
+type ReadObs struct {
+	Key    string
+	Writer wire.TxnID
+}
+
+// TxnObs is one committed transaction's observation record.
+type TxnObs struct {
+	ID       wire.TxnID
+	ReadOnly bool
+	Reads    []ReadObs
+	Writes   []string
+	// Start and End are monotonic instants: End is when the client
+	// observed completion (external commit), Start when it began.
+	Start time.Time
+	End   time.Time
+}
+
+// History accumulates observations from concurrent clients.
+type History struct {
+	mu       sync.Mutex
+	txns     []TxnObs
+	versions map[string][]wire.TxnID // per-key version order, oldest first
+}
+
+// NewHistory creates an empty history.
+func NewHistory() *History {
+	return &History{versions: make(map[string][]wire.TxnID)}
+}
+
+// Add records one committed transaction. Safe for concurrent use.
+func (h *History) Add(obs TxnObs) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.txns = append(h.txns, obs)
+}
+
+// SetVersionOrder records the authoritative version order of key (oldest
+// first, typically starting with the zero genesis writer), as dumped from a
+// replica's version chain after the run.
+func (h *History) SetVersionOrder(key string, writers []wire.TxnID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.versions[key] = append([]wire.TxnID(nil), writers...)
+}
+
+// Len returns the number of recorded transactions.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.txns)
+}
+
+// Check builds the DSG plus real-time edges and returns an error describing
+// the first cycle found, or nil if the history is external consistent.
+func (h *History) Check() error {
+	h.mu.Lock()
+	txns := append([]TxnObs(nil), h.txns...)
+	versions := h.versions
+	h.mu.Unlock()
+
+	g := newGraph()
+	idx := make(map[wire.TxnID]int, len(txns)+1)
+	genesis := g.node("genesis")
+	idx[wire.TxnID{}] = genesis
+	for i := range txns {
+		idx[txns[i].ID] = g.node(txns[i].ID.String())
+	}
+
+	// Version positions per key, for ww and rw edges.
+	type verPos map[wire.TxnID]int
+	pos := make(map[string]verPos, len(versions))
+	for key, order := range pos2(versions) {
+		pos[key] = order
+	}
+
+	// ww edges: consecutive writers in each key's version order.
+	for key, order := range versions {
+		for i := 1; i < len(order); i++ {
+			a, aok := idx[order[i-1]]
+			b, bok := idx[order[i]]
+			if aok && bok && a != b {
+				g.edge(a, b, fmt.Sprintf("ww(%s)", key))
+			}
+		}
+	}
+
+	for i := range txns {
+		t := &txns[i]
+		self := idx[t.ID]
+		for _, r := range t.Reads {
+			// wr edge: the version's writer precedes the reader.
+			if w, ok := idx[r.Writer]; ok && w != self {
+				g.edge(w, self, fmt.Sprintf("wr(%s)", r.Key))
+			}
+			// rw edge: the reader precedes the *next* writer of the key.
+			if order, ok := pos[r.Key]; ok {
+				if p, ok := order[r.Writer]; ok {
+					vs := versions[r.Key]
+					if p+1 < len(vs) {
+						if nw, ok := idx[vs[p+1]]; ok && nw != self {
+							g.edge(self, nw, fmt.Sprintf("rw(%s)", r.Key))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	addRealTimeEdges(g, txns, idx)
+
+	if cyc := g.findCycle(); cyc != nil {
+		return fmt.Errorf("checker: external consistency violated: cycle %v", cyc)
+	}
+	return nil
+}
+
+func pos2(versions map[string][]wire.TxnID) map[string]map[wire.TxnID]int {
+	out := make(map[string]map[wire.TxnID]int, len(versions))
+	for key, order := range versions {
+		m := make(map[wire.TxnID]int, len(order))
+		for i, w := range order {
+			m[w] = i
+		}
+		out[key] = m
+	}
+	return out
+}
+
+// addRealTimeEdges links Ti → Tj whenever Ti.End < Tj.Start, compressed via
+// a start-sorted virtual chain: virtual node V_k reaches every transaction
+// whose start index is >= k.
+func addRealTimeEdges(g *graph, txns []TxnObs, idx map[wire.TxnID]int) {
+	if len(txns) == 0 {
+		return
+	}
+	order := make([]int, len(txns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return txns[order[a]].Start.Before(txns[order[b]].Start)
+	})
+	starts := make([]time.Time, len(order))
+	for k, ti := range order {
+		starts[k] = txns[ti].Start
+	}
+	// Virtual chain: V_k -> txn(order[k]) and V_k -> V_{k+1}.
+	virtual := make([]int, len(order))
+	for k := range order {
+		virtual[k] = g.node(fmt.Sprintf("rt#%d", k))
+	}
+	for k := range order {
+		g.edge(virtual[k], idx[txns[order[k]].ID], "rt")
+		if k+1 < len(order) {
+			g.edge(virtual[k], virtual[k+1], "rt")
+		}
+	}
+	for i := range txns {
+		end := txns[i].End
+		// First start strictly after end.
+		k := sort.Search(len(starts), func(j int) bool { return starts[j].After(end) })
+		if k < len(order) {
+			g.edge(idx[txns[i].ID], virtual[k], "rt")
+		}
+	}
+}
+
+// --- tiny graph with cycle detection ---
+
+type graph struct {
+	names []string
+	adj   [][]int
+	label map[[2]int]string
+}
+
+func newGraph() *graph {
+	return &graph{label: make(map[[2]int]string)}
+}
+
+func (g *graph) node(name string) int {
+	g.names = append(g.names, name)
+	g.adj = append(g.adj, nil)
+	return len(g.names) - 1
+}
+
+func (g *graph) edge(a, b int, label string) {
+	g.adj[a] = append(g.adj[a], b)
+	if _, dup := g.label[[2]int{a, b}]; !dup {
+		g.label[[2]int{a, b}] = label
+	}
+}
+
+// findCycle returns a human-readable description of one cycle, or nil.
+func (g *graph) findCycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.adj))
+	parent := make([]int, len(g.adj))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleAt, cycleTo int = -1, -1
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.adj[u] {
+			if color[v] == gray {
+				cycleAt, cycleTo = u, v
+				return true
+			}
+			if color[v] == white {
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range g.adj {
+		if color[i] == white && dfs(i) {
+			break
+		}
+	}
+	if cycleAt < 0 {
+		return nil
+	}
+	// Reconstruct cycleTo -> ... -> cycleAt -> cycleTo, labelling edges.
+	var path []int
+	for u := cycleAt; u != -1 && u != cycleTo; u = parent[u] {
+		path = append(path, u)
+	}
+	path = append(path, cycleTo)
+	// path is reversed: cycleTo ... cycleAt.
+	ordered := make([]int, 0, len(path))
+	for i := len(path) - 1; i >= 0; i-- {
+		ordered = append(ordered, path[i])
+	}
+	out := make([]string, 0, 2*len(ordered))
+	for i, u := range ordered {
+		out = append(out, g.names[u])
+		next := ordered[(i+1)%len(ordered)]
+		out = append(out, "-"+g.label[[2]int{u, next}]+"->")
+	}
+	out = append(out, g.names[ordered[0]])
+	return out
+}

@@ -1,0 +1,188 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+func id(n, s int) wire.TxnID { return wire.TxnID{Node: wire.NodeID(n), Seq: uint64(s)} }
+
+var t0 = time.Unix(1000, 0)
+
+func at(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+
+func TestEmptyHistoryOK(t *testing.T) {
+	h := NewHistory()
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialHistoryOK(t *testing.T) {
+	h := NewHistory()
+	w1, w2 := id(0, 1), id(0, 2)
+	h.SetVersionOrder("x", []wire.TxnID{{}, w1, w2})
+	h.Add(TxnObs{ID: w1, Writes: []string{"x"}, Start: at(0), End: at(10)})
+	h.Add(TxnObs{ID: w2, Reads: []ReadObs{{Key: "x", Writer: w1}}, Writes: []string{"x"}, Start: at(20), End: at(30)})
+	h.Add(TxnObs{ID: id(1, 1), ReadOnly: true, Reads: []ReadObs{{Key: "x", Writer: w2}}, Start: at(40), End: at(50)})
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestStaleReadAfterCompletionViolates(t *testing.T) {
+	// w2 completes before the read-only transaction starts, but the
+	// read-only transaction observes w1's version: rw edge ro→w2 plus
+	// real-time edge w2→ro forms a cycle.
+	h := NewHistory()
+	w1, w2, ro := id(0, 1), id(0, 2), id(1, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, w1, w2})
+	h.Add(TxnObs{ID: w1, Writes: []string{"x"}, Start: at(0), End: at(10)})
+	h.Add(TxnObs{ID: w2, Writes: []string{"x"}, Start: at(20), End: at(30)})
+	h.Add(TxnObs{ID: ro, ReadOnly: true, Reads: []ReadObs{{Key: "x", Writer: w1}}, Start: at(40), End: at(50)})
+	err := h.Check()
+	if err == nil {
+		t.Fatal("stale read after completion must violate external consistency")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestConcurrentStaleReadOK(t *testing.T) {
+	// Same as above but the read-only transaction overlaps w2: no
+	// real-time edge, so serializing ro before w2 is legal.
+	h := NewHistory()
+	w1, w2, ro := id(0, 1), id(0, 2), id(1, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, w1, w2})
+	h.Add(TxnObs{ID: w1, Writes: []string{"x"}, Start: at(0), End: at(10)})
+	h.Add(TxnObs{ID: w2, Writes: []string{"x"}, Start: at(20), End: at(40)})
+	h.Add(TxnObs{ID: ro, ReadOnly: true, Reads: []ReadObs{{Key: "x", Writer: w1}}, Start: at(30), End: at(50)})
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFracturedSnapshotViolates(t *testing.T) {
+	// One transaction writes x and y; a reader sees the new x but the old
+	// y: wr(x) w→ro and rw(y) ro→w is a cycle regardless of timing.
+	h := NewHistory()
+	w, ro := id(0, 1), id(1, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, w})
+	h.SetVersionOrder("y", []wire.TxnID{{}, w})
+	h.Add(TxnObs{ID: w, Writes: []string{"x", "y"}, Start: at(0), End: at(100)})
+	h.Add(TxnObs{ID: ro, ReadOnly: true, Start: at(10), End: at(90), Reads: []ReadObs{
+		{Key: "x", Writer: w},
+		{Key: "y", Writer: wire.TxnID{}},
+	}})
+	if err := h.Check(); err == nil {
+		t.Fatal("fractured snapshot must be detected")
+	}
+}
+
+func TestNonConflictingOrderDisagreementViolates(t *testing.T) {
+	// Adya's phenomenon the paper targets (§III-C): two read-only
+	// transactions order two non-conflicting writers differently.
+	h := NewHistory()
+	wx, wy, ro1, ro2 := id(0, 1), id(1, 1), id(2, 1), id(3, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, wx})
+	h.SetVersionOrder("y", []wire.TxnID{{}, wy})
+	h.Add(TxnObs{ID: wx, Writes: []string{"x"}, Start: at(0), End: at(100)})
+	h.Add(TxnObs{ID: wy, Writes: []string{"y"}, Start: at(0), End: at(100)})
+	// ro1 sees wx but not wy: wx → ro1 → wy.
+	h.Add(TxnObs{ID: ro1, ReadOnly: true, Start: at(10), End: at(90), Reads: []ReadObs{
+		{Key: "x", Writer: wx}, {Key: "y", Writer: wire.TxnID{}},
+	}})
+	// ro2 sees wy but not wx: wy → ro2 → wx. Combined: a cycle.
+	h.Add(TxnObs{ID: ro2, ReadOnly: true, Start: at(10), End: at(90), Reads: []ReadObs{
+		{Key: "y", Writer: wy}, {Key: "x", Writer: wire.TxnID{}},
+	}})
+	if err := h.Check(); err == nil {
+		t.Fatal("disagreeing serialization of non-conflicting writers must be detected")
+	}
+}
+
+func TestAgreeingOrderOK(t *testing.T) {
+	// Same writers, but both readers agree (both see wx only): fine.
+	h := NewHistory()
+	wx, wy, ro1, ro2 := id(0, 1), id(1, 1), id(2, 1), id(3, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, wx})
+	h.SetVersionOrder("y", []wire.TxnID{{}, wy})
+	h.Add(TxnObs{ID: wx, Writes: []string{"x"}, Start: at(0), End: at(100)})
+	h.Add(TxnObs{ID: wy, Writes: []string{"y"}, Start: at(0), End: at(100)})
+	for i, ro := range []wire.TxnID{ro1, ro2} {
+		h.Add(TxnObs{ID: ro, ReadOnly: true, Start: at(10 + i), End: at(90), Reads: []ReadObs{
+			{Key: "x", Writer: wx}, {Key: "y", Writer: wire.TxnID{}},
+		}})
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLostUpdateViolates(t *testing.T) {
+	// Both writers read genesis and overwrite x: whoever is second in the
+	// version order has an rw edge from the other plus ww — cycle.
+	h := NewHistory()
+	w1, w2 := id(0, 1), id(1, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, w1, w2})
+	h.Add(TxnObs{ID: w1, Start: at(0), End: at(50), Writes: []string{"x"},
+		Reads: []ReadObs{{Key: "x", Writer: wire.TxnID{}}}})
+	h.Add(TxnObs{ID: w2, Start: at(0), End: at(50), Writes: []string{"x"},
+		Reads: []ReadObs{{Key: "x", Writer: wire.TxnID{}}}})
+	if err := h.Check(); err == nil {
+		t.Fatal("lost update must be detected")
+	}
+}
+
+func TestRealTimeChainTransitivity(t *testing.T) {
+	// T1 ends before T2 starts, T2 ends before T3 starts; T3 reading a
+	// version older than T1's write of the same key is a violation even
+	// though T1 and T3 are linked only transitively.
+	h := NewHistory()
+	w1, mid, ro := id(0, 1), id(1, 1), id(2, 1)
+	h.SetVersionOrder("x", []wire.TxnID{{}, w1})
+	h.Add(TxnObs{ID: w1, Writes: []string{"x"}, Start: at(0), End: at(10)})
+	h.Add(TxnObs{ID: mid, Writes: []string{"unrelated"}, Start: at(20), End: at(30)})
+	h.Add(TxnObs{ID: ro, ReadOnly: true, Start: at(40), End: at(50),
+		Reads: []ReadObs{{Key: "x", Writer: wire.TxnID{}}}})
+	h.SetVersionOrder("unrelated", []wire.TxnID{{}, mid})
+	if err := h.Check(); err == nil {
+		t.Fatal("transitive real-time violation must be detected")
+	}
+}
+
+func TestLargeCleanHistoryFast(t *testing.T) {
+	// A few thousand strictly sequential transactions: must check quickly
+	// and cleanly (exercises the compressed real-time chain).
+	h := NewHistory()
+	var order []wire.TxnID
+	order = append(order, wire.TxnID{})
+	prev := wire.TxnID{}
+	for i := 1; i <= 3000; i++ {
+		w := id(0, i)
+		h.Add(TxnObs{
+			ID:     w,
+			Writes: []string{"x"},
+			Reads:  []ReadObs{{Key: "x", Writer: prev}},
+			Start:  at(i * 2),
+			End:    at(i*2 + 1),
+		})
+		order = append(order, w)
+		prev = w
+	}
+	h.SetVersionOrder("x", order)
+	start := time.Now()
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("check took %v, too slow", d)
+	}
+}

@@ -1,0 +1,295 @@
+// Package commitlog implements the per-node commit machinery of SSS: the
+// node vector clock (NodeVC), the ordered commit queue (CommitQ) and the
+// applied-commit log (NLog) of §III-A.
+//
+// The three structures are updated together under one mutex so that a
+// reader observing NLog.mostRecentVC is guaranteed that every transaction
+// it covers has already applied its versions: Drain applies a transaction's
+// writes (via the callback captured at Prepare time) in CommitQ order —
+// ascending commit vector clock entry vc[i] on node i — immediately before
+// appending its entry to the NLog.
+package commitlog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Status of a CommitQ entry.
+type Status uint8
+
+// CommitQ entry states: a transaction is pending between Prepare and
+// Decide, ready after a commit decision until it reaches the queue head and
+// applies.
+const (
+	StatusPending Status = iota + 1
+	StatusReady
+)
+
+// ApplyFunc installs a transaction's writes with its final commit vector
+// clock. It is invoked with the log mutex held; implementations must not
+// call back into the Log.
+type ApplyFunc func(commitVC vclock.VC)
+
+// Entry is one applied commit in the NLog.
+type Entry struct {
+	Txn wire.TxnID
+	VC  vclock.VC
+}
+
+type qEntry struct {
+	txn    wire.TxnID
+	vc     vclock.VC
+	status Status
+	apply  ApplyFunc
+}
+
+// Log is the per-node commit machinery. Create with New.
+type Log struct {
+	self int // own index in vector clocks
+	n    int
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast when the NLog advances
+	nodeVC vclock.VC
+	q      []*qEntry // ordered by vc[self], ties by TxnID
+
+	genesis    Entry   // always-retained zero entry
+	entries    []Entry // ring buffer of applied commits
+	start      int     // ring start index
+	count      int
+	capacity   int
+	mostRecent vclock.VC // entry-wise max over all applied commits
+	applied    uint64    // total applied, for stats
+}
+
+// DefaultCapacity is the default NLog retention (see DESIGN.md §3).
+const DefaultCapacity = 65536
+
+// New builds the commit machinery for node self of an n-node cluster.
+// capacity bounds NLog retention; 0 selects DefaultCapacity.
+func New(self, n, capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	l := &Log{
+		self:       self,
+		n:          n,
+		nodeVC:     vclock.New(n),
+		entries:    make([]Entry, capacity),
+		capacity:   capacity,
+		mostRecent: vclock.New(n),
+		// The genesis entry makes the visible set non-empty for any bound.
+		genesis: Entry{VC: vclock.New(n)},
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// NodeVC returns a copy of the node's current vector clock.
+func (l *Log) NodeVC() vclock.VC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nodeVC.Clone()
+}
+
+// MostRecentVC returns a copy of NLog.mostRecentVC.
+func (l *Log) MostRecentVC() vclock.VC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mostRecent.Clone()
+}
+
+// Applied returns the total number of applied commits (excluding genesis).
+func (l *Log) Applied() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.applied
+}
+
+// Prepare runs the participant side of the 2PC prepare phase (Algorithm 2):
+// if the node replicates one of the transaction's written keys, it
+// increments its own NodeVC entry, enqueues the transaction as pending with
+// the incremented clock, and proposes that clock; otherwise it proposes
+// NLog.mostRecentVC. apply is retained and invoked at internal commit.
+func (l *Log) Prepare(txn wire.TxnID, writeReplica bool, apply ApplyFunc) vclock.VC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !writeReplica {
+		return l.mostRecent.Clone()
+	}
+	l.nodeVC[l.self]++
+	prep := l.nodeVC.Clone()
+	l.insertLocked(&qEntry{txn: txn, vc: prep, status: StatusPending, apply: apply})
+	return prep
+}
+
+// Decide runs the participant side of the 2PC decide phase (Algorithm 2).
+// On commit it folds commitVC into NodeVC and, if the node is a write
+// replica, re-orders the queue entry under its final clock and marks it
+// ready; on abort it drops the entry. It then drains every ready entry at
+// the queue head: each drained transaction's writes are applied and its
+// commit recorded in the NLog ("internal commit"). Decide reports whether
+// txn itself was applied during this call (write replicas only, commit
+// only).
+func (l *Log) Decide(txn wire.TxnID, commitVC vclock.VC, commit, writeReplica bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if commit {
+		l.nodeVC.MaxInto(commitVC)
+		if writeReplica {
+			l.updateLocked(txn, commitVC)
+		}
+	} else if writeReplica {
+		l.removeLocked(txn)
+	}
+	return l.drainLocked(txn)
+}
+
+// insertLocked places e in queue order: ascending vc[self], ties broken by
+// transaction ID for determinism.
+func (l *Log) insertLocked(e *qEntry) {
+	idx := sort.Search(len(l.q), func(i int) bool {
+		return l.qLess(e, l.q[i])
+	})
+	l.q = append(l.q, nil)
+	copy(l.q[idx+1:], l.q[idx:])
+	l.q[idx] = e
+}
+
+// qLess orders queue entries by vc[self], breaking ties by transaction ID
+// so every replica drains identically-clocked entries in the same order.
+func (l *Log) qLess(a, b *qEntry) bool {
+	if a.vc[l.self] != b.vc[l.self] {
+		return a.vc[l.self] < b.vc[l.self]
+	}
+	if a.txn.Node != b.txn.Node {
+		return a.txn.Node < b.txn.Node
+	}
+	return a.txn.Seq < b.txn.Seq
+}
+
+func (l *Log) updateLocked(txn wire.TxnID, commitVC vclock.VC) {
+	for i, e := range l.q {
+		if e.txn == txn {
+			l.q = append(l.q[:i], l.q[i+1:]...)
+			e.vc = commitVC.Clone()
+			e.status = StatusReady
+			l.insertLocked(e)
+			return
+		}
+	}
+}
+
+func (l *Log) removeLocked(txn wire.TxnID) {
+	for i, e := range l.q {
+		if e.txn == txn {
+			l.q = append(l.q[:i], l.q[i+1:]...)
+			return
+		}
+	}
+}
+
+// drainLocked applies every ready transaction at the queue head, in order.
+func (l *Log) drainLocked(self wire.TxnID) bool {
+	appliedSelf := false
+	for len(l.q) > 0 && l.q[0].status == StatusReady {
+		e := l.q[0]
+		l.q = l.q[1:]
+		if e.apply != nil {
+			e.apply(e.vc)
+		}
+		l.appendLocked(Entry{Txn: e.txn, VC: e.vc})
+		if e.txn == self {
+			appliedSelf = true
+		}
+	}
+	return appliedSelf
+}
+
+func (l *Log) appendLocked(e Entry) {
+	if l.count == l.capacity {
+		// Evict the oldest entry; the separately-held genesis entry keeps
+		// the visible set non-empty regardless.
+		l.entries[l.start] = e
+		l.start = (l.start + 1) % l.capacity
+	} else {
+		l.entries[(l.start+l.count)%l.capacity] = e
+		l.count++
+	}
+	l.mostRecent.MaxInto(e.VC)
+	l.applied++
+	l.cond.Broadcast()
+}
+
+// WaitMostRecent blocks until NLog.mostRecentVC[self] >= bound (Algorithm 6
+// line 5) or the timeout elapses, and reports whether the bound was met.
+func (l *Log) WaitMostRecent(bound uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.mostRecent[l.self] < bound {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		timer := time.AfterFunc(remain, l.cond.Broadcast)
+		l.cond.Wait()
+		timer.Stop()
+	}
+	return true
+}
+
+// VisibleMax computes Algorithm 6 lines 6–9: the entry-wise maximum over
+// NLog entries visible under (hasRead, bound), excluding entries written by
+// transactions in excluded. The genesis entry guarantees a result for any
+// bound. hasRead may be nil (no constraint).
+func (l *Log) VisibleMax(hasRead []bool, bound vclock.VC, excluded map[wire.TxnID]struct{}) vclock.VC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	maxVC := vclock.New(l.n)
+	// Genesis is always visible (all-zero clock) and never excluded.
+	for j := 0; j < l.count; j++ {
+		e := &l.entries[(l.start+j)%l.capacity]
+		if !visible(e.VC, hasRead, bound) {
+			continue
+		}
+		if _, ex := excluded[e.Txn]; ex && !e.Txn.IsZero() {
+			continue
+		}
+		maxVC.MaxInto(e.VC)
+	}
+	return maxVC
+}
+
+func visible(vc vclock.VC, hasRead []bool, bound vclock.VC) bool {
+	if hasRead == nil {
+		return true
+	}
+	for w, read := range hasRead {
+		if read && vc[w] > bound[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// QueueLen returns the current CommitQ length (for tests and stats).
+func (l *Log) QueueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.q)
+}
+
+// String summarizes the log state for debugging.
+func (l *Log) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("commitlog{node=%d q=%d applied=%d mostRecent=%v}",
+		l.self, len(l.q), l.applied, l.mostRecent)
+}

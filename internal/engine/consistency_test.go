@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/checker"
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/kv"
+)
+
+// runCheckedWorkload drives a random mixed workload against an SSS cluster
+// while recording every committed transaction, then verifies the history's
+// DSG (wr/ww/rw + real-time edges) is acyclic — the paper's §IV criterion.
+func runCheckedWorkload(t *testing.T, nNodes, degree, nKeys, clients, txnsPerClient int, readPct int, seed int64) {
+	t.Helper()
+	// Large version chains so the checker sees the full ww order.
+	nodes := newCluster(t, nNodes, degree, Config{MaxVersions: 1 << 20})
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%d", i)
+		for _, nd := range nodes {
+			nd.Preload(keys[i], []byte("init"))
+		}
+	}
+
+	hist := checker.NewHistory()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(c)))
+			nd := nodes[c%nNodes]
+			for i := 0; i < txnsPerClient; i++ {
+				readOnly := r.Intn(100) < readPct
+				start := time.Now()
+				tx := nd.Begin(readOnly)
+				var obs checker.TxnObs
+				obs.ID = tx.ID()
+				obs.ReadOnly = readOnly
+				ok := true
+				if readOnly {
+					for j := 0; j < 2+r.Intn(3); j++ {
+						k := keys[r.Intn(nKeys)]
+						if _, _, err := tx.Read(k); err != nil {
+							t.Errorf("read-only read: %v", err)
+							ok = false
+							break
+						}
+					}
+				} else {
+					for j := 0; j < 2; j++ {
+						k := keys[r.Intn(nKeys)]
+						if _, _, err := tx.Read(k); err != nil {
+							ok = false
+							break
+						}
+						if err := tx.Write(k, []byte(fmt.Sprintf("c%d-i%d-j%d", c, i, j))); err != nil {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					_ = tx.Abort()
+					continue
+				}
+				err := tx.Commit()
+				end := time.Now()
+				if err != nil {
+					if readOnly {
+						t.Errorf("read-only abort (must be abort-free): %v", err)
+					} else if !errors.Is(err, kv.ErrAborted) {
+						t.Errorf("unexpected commit error: %v", err)
+					}
+					continue
+				}
+				for k, w := range tx.ReadWriters() {
+					obs.Reads = append(obs.Reads, checker.ReadObs{Key: k, Writer: w})
+				}
+				obs.Writes = tx.WriteKeys()
+				obs.Start, obs.End = start, end
+				hist.Add(obs)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Dump the authoritative version order of every key from one replica
+	// and make sure all replicas agree on it.
+	lookup := cluster.NewLookup(nNodes, degree)
+	for _, k := range keys {
+		replicas := lookup.Replicas(k)
+		ref := nodes[replicas[0]].VersionWriters(k)
+		for _, r := range replicas[1:] {
+			other := nodes[r].VersionWriters(k)
+			if len(other) != len(ref) {
+				t.Fatalf("key %s: replica chains diverge in length: %d vs %d", k, len(ref), len(other))
+			}
+			for i := range ref {
+				if ref[i] != other[i] {
+					t.Fatalf("key %s: replicas ordered versions differently at %d: %v vs %v",
+						k, i, ref[i], other[i])
+				}
+			}
+		}
+		hist.SetVersionOrder(k, ref)
+	}
+
+	if hist.Len() == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if err := hist.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckedWorkloadSmall(t *testing.T) {
+	runCheckedWorkload(t, 3, 1, 4, 6, 40, 50, 1)
+}
+
+func TestCheckedWorkloadReplicated(t *testing.T) {
+	stressEnabled(t)
+	runCheckedWorkload(t, 4, 2, 6, 8, 40, 50, 2)
+}
+
+func TestCheckedWorkloadHighContention(t *testing.T) {
+	stressEnabled(t)
+	// Two keys, many clients: maximal conflict pressure.
+	runCheckedWorkload(t, 3, 2, 2, 9, 30, 40, 3)
+}
+
+func TestCheckedWorkloadReadHeavy(t *testing.T) {
+	stressEnabled(t)
+	runCheckedWorkload(t, 4, 2, 8, 8, 40, 85, 4)
+}
+
+func TestCheckedWorkloadWriteHeavy(t *testing.T) {
+	runCheckedWorkload(t, 3, 2, 4, 6, 40, 10, 5)
+}
+
+func TestCheckedWorkloadSingleNode(t *testing.T) {
+	runCheckedWorkload(t, 1, 1, 3, 4, 50, 50, 6)
+}
+
+func TestCheckedWorkloadManySeeds(t *testing.T) {
+	stressEnabled(t)
+	if testing.Short() {
+		t.Skip("long stress test")
+	}
+	for seed := int64(10); seed < 16; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runCheckedWorkload(t, 3, 2, 3, 6, 30, 50, seed)
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Package engine implements the SSS node: the paper's distributed
+// concurrency control (Algorithms 1–6) providing external consistency for
+// all transactions and abort-freedom for read-only transactions, using
+// vector clocks plus snapshot-queuing and no global synchronization source.
+//
+// One Node is one site. Clients are co-located with nodes (§II): a client
+// obtains a transaction handle from its local node via Begin and drives it
+// with Read/Write/Commit. Inter-node traffic flows through a
+// transport.Network, so the same engine runs over the simulated in-process
+// network (benchmarks) or TCP (cmd/sss-server).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/commitlog"
+	"github.com/sss-paper/sss/internal/lockmgr"
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/mvstore"
+	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Config tunes a node. The zero value selects defaults suitable for the
+// simulated 20µs network.
+type Config struct {
+	// LockTimeout bounds 2PC lock acquisition; expiry aborts the
+	// transaction (the paper's deadlock prevention, §III-E; 1ms on their
+	// testbed).
+	LockTimeout time.Duration
+	// VoteTimeout bounds the coordinator's wait for each 2PC vote
+	// (Algorithm 1 line 13); expiry aborts.
+	VoteTimeout time.Duration
+	// DrainTimeout caps the pre-commit snapshot-queue wait. In a correct
+	// run the wait always terminates (readers eventually send Remove);
+	// the cap turns a protocol bug or lost message into a counted,
+	// non-wedging event.
+	DrainTimeout time.Duration
+	// StarvationAge and BackoffBase/BackoffMax implement §III-E's
+	// admission control: a read-only read touching a key whose queue has
+	// a writer parked longer than StarvationAge is delayed with
+	// exponential backoff so the writer can drain.
+	StarvationAge time.Duration
+	BackoffBase   time.Duration
+	BackoffMax    time.Duration
+	// NLogCapacity bounds the applied-commit log (0 = default).
+	NLogCapacity int
+	// MaxVersions bounds per-key version chains (0 = default).
+	MaxVersions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Millisecond
+	}
+	if c.VoteTimeout <= 0 {
+		c.VoteTimeout = 500 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.StarvationAge <= 0 {
+		c.StarvationAge = 10 * time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Microsecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Node is one SSS site.
+type Node struct {
+	id     wire.NodeID
+	idx    int
+	n      int
+	cfg    Config
+	lookup cluster.Lookup
+	rpc    *transport.RPC
+	log    *commitlog.Log
+	store  *mvstore.Store
+	locks  *lockmgr.Table
+	stats  *metrics.Engine
+
+	txnSeq atomic.Uint64
+
+	mu sync.Mutex
+	// pending tracks transactions prepared at this participant, keyed by
+	// transaction ID, between Prepare and the end of their decide path.
+	pending map[wire.TxnID]*participantTxn
+	// fwd maps a read-only transaction to the coordinators that received
+	// its snapshot-queue entries in a PropagatedSet served by this node;
+	// on Remove the removal is forwarded to them (§III-C).
+	fwd map[wire.TxnID]map[wire.NodeID]struct{}
+	// propTargets maps a read-only transaction to the write-replica nodes
+	// where this node (as update coordinator) propagated its entries.
+	propTargets map[wire.TxnID]map[wire.NodeID]struct{}
+	// removedROs tombstones read-only transactions whose Remove has been
+	// seen, so a racing propagation cannot resurrect their entries.
+	removedROs map[wire.TxnID]time.Time
+	// parked maps an internally-committed transaction to the local written
+	// keys whose snapshot-queues still hold its W entry (plus its local
+	// insertion-snapshot); cleared by the ExtCommit purge.
+	parked map[wire.TxnID]parkedState
+	// inflight maps a locally-coordinated update transaction to a channel
+	// closed at its external commit; WaitExternal subscribers block on it.
+	inflight map[wire.TxnID]chan struct{}
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// parkedState tracks a transaction between internal and external commit at
+// a write replica.
+type parkedState struct {
+	keys []string
+	sid  uint64
+}
+
+// participantTxn is the participant-side state of a prepared transaction.
+type participantTxn struct {
+	writes    []wire.KV
+	readKeys  []string
+	localWKey []string      // written keys replicated here
+	deps      []wire.TxnID  // the transaction's pruned transitive dep set
+	applied   chan struct{} // closed at internal commit
+}
+
+// New creates an SSS node with the given ID on net. lookup defines the
+// replication scheme; n is the cluster size (vector-clock width).
+func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	nd := &Node{
+		id:          id,
+		idx:         int(id),
+		n:           n,
+		cfg:         cfg,
+		lookup:      lookup,
+		log:         commitlog.New(int(id), n, cfg.NLogCapacity),
+		store:       mvstore.New(n, cfg.MaxVersions),
+		locks:       lockmgr.New(),
+		stats:       &metrics.Engine{},
+		pending:     make(map[wire.TxnID]*participantTxn),
+		fwd:         make(map[wire.TxnID]map[wire.NodeID]struct{}),
+		propTargets: make(map[wire.TxnID]map[wire.NodeID]struct{}),
+		removedROs:  make(map[wire.TxnID]time.Time),
+		parked:      make(map[wire.TxnID]parkedState),
+		inflight:    make(map[wire.TxnID]chan struct{}),
+	}
+	rpc, err := transport.NewRPC(net, id, nd.serve)
+	if err != nil {
+		return nil, fmt.Errorf("engine: node %d: %w", id, err)
+	}
+	nd.rpc = rpc
+	return nd, nil
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() wire.NodeID { return nd.id }
+
+// Stats exposes the node's metrics.
+func (nd *Node) Stats() *metrics.Engine { return nd.stats }
+
+// Preload installs an initial value for key if this node replicates it.
+// Call on every node with the full dataset before starting clients.
+func (nd *Node) Preload(key string, val []byte) {
+	if nd.lookup.IsReplica(key, nd.id) {
+		nd.store.Preload(key, val)
+	}
+}
+
+// VersionWriters returns the writers of key's retained versions on this
+// node, oldest first. Used by the external-consistency checker.
+func (nd *Node) VersionWriters(key string) []wire.TxnID {
+	return nd.store.VersionWriters(key)
+}
+
+// Close detaches the node from the network and waits for local work.
+func (nd *Node) Close() error {
+	nd.closed.Store(true)
+	err := nd.rpc.Close()
+	nd.wg.Wait()
+	return err
+}
+
+// serve dispatches inbound protocol messages. It runs on a fresh goroutine
+// per message (transport contract), so blocking handlers are safe.
+func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
+	if nd.closed.Load() {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.ReadRequest:
+		nd.handleRead(from, rid, m)
+	case *wire.Prepare:
+		nd.handlePrepare(from, rid, m)
+	case *wire.Decide:
+		nd.handleDecide(from, rid, m)
+	case *wire.Remove:
+		nd.handleRemove(m)
+	case *wire.FwdRemove:
+		nd.handleFwdRemove(m)
+	case *wire.ExtCommit:
+		nd.handleExtCommit(from, rid, m)
+	case *wire.WaitExternal:
+		nd.handleWaitExternal(from, rid, m)
+	default:
+		// Unknown messages are dropped; the engines never share a network
+		// with a different engine type.
+	}
+}
+
+// gcTombstonesLocked bounds the removedROs map. Called with nd.mu held.
+func (nd *Node) gcTombstonesLocked(now time.Time) {
+	const maxTombstones = 1 << 16
+	if len(nd.removedROs) < maxTombstones {
+		return
+	}
+	cutoff := now.Add(-10 * time.Second)
+	for id, at := range nd.removedROs {
+		if at.Before(cutoff) {
+			delete(nd.removedROs, id)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/sss-paper/sss/internal/mvstore"
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// handleRead implements the server side of a read operation: the version
+// selection logic of Algorithm 6.
+func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
+	if m.IsUpdate {
+		nd.handleUpdateRead(from, rid, m)
+		return
+	}
+	nd.roAdmission(m.Key)
+
+	// Wait until every transaction inside T's current visibility bound has
+	// internally committed here (Algorithm 6 line 5). Unlike the paper's
+	// pseudocode, the wait applies on *every* contact, not just the first:
+	// T.VC[i] keeps growing after the first contact with node i (folded
+	// from other replicas' clocks), so a later read here may demand a
+	// version this node has not applied yet — without the wait it would
+	// silently fall back to an older version and fracture the snapshot.
+	nd.log.WaitMostRecent(m.VC[nd.idx], nd.cfg.DrainTimeout)
+
+	// Exclusion set: versions written by transactions whose W entry is not
+	// yet flagged (internally but not externally committed) are invisible
+	// to read-only transactions — *unless* the reader has already observed
+	// one of the writer's versions elsewhere (Seen: it serialized after
+	// the writer and must keep seeing it). Writers the reader previously
+	// skipped (Before) stay excluded for the rest of its execution, and so
+	// does everything causally dependent on them; this stickiness is what
+	// makes all read-only transactions agree on the order of concurrent
+	// update transactions (§III-C, Figure 2 — see DESIGN.md §6).
+	unflagged := nd.store.SQUnflaggedWriters(m.Key)
+	seen := make(map[wire.TxnID]struct{}, len(m.Seen))
+	for _, s := range m.Seen {
+		seen[s] = struct{}{}
+	}
+	excluded := make(map[wire.TxnID]struct{}, len(unflagged)+len(m.Before))
+	for w := range unflagged {
+		if _, ok := seen[w]; !ok {
+			excluded[w] = struct{}{}
+		}
+	}
+	beforeVCs := make([]vclock.VC, 0, len(m.Before))
+	for _, b := range m.Before {
+		excluded[b.Txn] = struct{}{}
+		beforeVCs = append(beforeVCs, b.VC)
+	}
+
+	var maxVC vclock.VC
+	if len(m.HasRead) > nd.idx && m.HasRead[nd.idx] {
+		// This node answered T before: T.VC[idx] is already a hard
+		// visibility bound here (Algorithm 6 lines 16–21).
+		maxVC = m.VC
+	} else {
+		// First contact (lines 4–14). The bound folds the reader's
+		// observed clock so that versions it has causally observed always
+		// pass the per-version filters.
+		maxVC = nd.log.VisibleMax(m.HasRead, m.VC, excluded)
+		if m.ObsVC != nil {
+			maxVC.MaxInto(m.ObsVC)
+		}
+	}
+
+	// Two-pass read. The first (probe) walk discovers which parked writers
+	// this reader will skip; the R entry is then inserted with an
+	// insertion-snapshot strictly below all of them, so their freeze
+	// phases (and hence client replies) wait for this reader's completion.
+	// The second walk is authoritative: because the entry is already in
+	// place, no writer the second walk skips can slip its freeze through
+	// the insert gap. The insert is atomic with handleRemove (via nd.mu +
+	// tombstone): deliveries are unordered, so T's Remove may overtake a
+	// slow read request, and a late insert would otherwise park writers
+	// forever.
+	sid := maxVC[nd.idx]
+	lower := func(skips []wire.ExWriter) {
+		for _, ex := range skips {
+			if exSid := ex.VC[nd.idx]; exSid > 0 && sid >= exSid {
+				sid = exSid - 1
+			}
+		}
+	}
+	// Every unflagged parked writer this reader does not already see is an
+	// exclusion — even when its version is not applied yet (it may still
+	// be queued behind the CommitQ head). These queue-level exclusions are
+	// reported to the reader so they stay sticky, and they lower the
+	// reader's insertion-snapshot so the writers' freezes wait for it.
+	queueSkips := make([]wire.ExWriter, 0, len(unflagged))
+	for w, wsid := range unflagged {
+		if _, ok := seen[w]; ok {
+			continue
+		}
+		exVC := vclock.New(nd.n)
+		exVC[nd.idx] = wsid
+		queueSkips = append(queueSkips, wire.ExWriter{Txn: w, VC: exVC})
+	}
+	lower(queueSkips)
+	insert := func() {
+		nd.mu.Lock()
+		if _, gone := nd.removedROs[m.Txn]; !gone {
+			nd.store.SQInsert(m.Key, wire.SQEntry{Txn: m.Txn, SID: sid, Kind: wire.EntryRead})
+		}
+		nd.mu.Unlock()
+	}
+	insert()
+
+	res, skipped := nd.store.ReadVisibleEx(m.Key, m.HasRead, maxVC, excluded, beforeVCs, m.ObsVC)
+	before := sid
+	lower(skipped)
+	if sid < before {
+		insert() // SQInsert keeps the smaller insertion-snapshot
+	}
+	skipped = append(skipped, queueSkips...)
+
+	if debugTooNew != nil && res.Exists {
+		for w, r := range m.HasRead {
+			if r && res.VC[w] > m.VC[w] {
+				debugTooNew(m.Key, res.VC, m.VC, m.HasRead)
+				break
+			}
+		}
+	}
+	_ = nd.rpc.Reply(from, rid, &wire.ReadReturn{
+		Val:           res.Val,
+		Exists:        res.Exists,
+		Writer:        res.Writer,
+		VC:            maxVC,
+		VerVC:         res.VC,
+		VerDeps:       res.Deps,
+		PendingWriter: nd.pendingWriterOf(m.Key, res),
+		Excluded:      skipped,
+	})
+}
+
+// pendingWriterOf reports the returned version's writer when it is still
+// parked in the key's snapshot-queue: the reader observed a provisional
+// (internally- but not externally-committed) version and must delay its own
+// completion behind the writer's.
+func (nd *Node) pendingWriterOf(key string, res mvstore.ReadResult) wire.TxnID {
+	if !res.Exists || res.Writer.IsZero() {
+		return wire.TxnID{}
+	}
+	if nd.store.SQHasWriteEntry(key, res.Writer) {
+		return res.Writer
+	}
+	return wire.TxnID{}
+}
+
+// handleUpdateRead implements Algorithm 6 lines 24–27: update transactions
+// read the latest committed version and collect the key's queued read-only
+// transactions (PropagatedSet) — their anti-dependencies must travel with
+// the writer.
+func (nd *Node) handleUpdateRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
+	// The PropagatedSet capture and the fwd-record must be atomic with
+	// respect to handleRemove, so a Remove processed concurrently either
+	// sees the forward record or prevented the propagation.
+	nd.mu.Lock()
+	prop := nd.store.SQReadEntries(m.Key)
+	if len(prop) > 0 {
+		filtered := prop[:0]
+		for _, e := range prop {
+			if _, gone := nd.removedROs[e.Txn]; gone {
+				continue
+			}
+			set := nd.fwd[e.Txn]
+			if set == nil {
+				set = make(map[wire.NodeID]struct{})
+				nd.fwd[e.Txn] = set
+			}
+			set[from] = struct{}{}
+			filtered = append(filtered, e)
+		}
+		prop = filtered
+	}
+	nd.mu.Unlock()
+
+	res := nd.store.Latest(m.Key)
+	_ = nd.rpc.Reply(from, rid, &wire.ReadReturn{
+		Val:           res.Val,
+		Exists:        res.Exists,
+		Writer:        res.Writer,
+		VC:            nd.log.MostRecentVC(),
+		VerVC:         res.VC,
+		VerDeps:       res.Deps,
+		Propagated:    prop,
+		PendingWriter: nd.pendingWriterOf(m.Key, res),
+	})
+}
+
+// roAdmission applies §III-E's starvation control: delay a read-only read
+// with exponential backoff while the key has an update transaction parked
+// in its snapshot-queue for longer than the threshold.
+func (nd *Node) roAdmission(key string) {
+	backoff := nd.cfg.BackoffBase
+	for {
+		age, ok := nd.store.SQOldestWriteAge(key)
+		if !ok || age < nd.cfg.StarvationAge {
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > nd.cfg.BackoffMax {
+			return
+		}
+	}
+}
+
+// handlePrepare implements the participant side of 2PC prepare
+// (Algorithm 2 lines 1–15): lock, validate, propose a commit vector clock,
+// and enqueue the transaction as pending in the CommitQ.
+func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
+	var localReads []string
+	var localFrom []wire.TxnID
+	for i, k := range m.ReadKeys {
+		if nd.lookup.IsReplica(k, nd.id) {
+			localReads = append(localReads, k)
+			localFrom = append(localFrom, m.ReadFrom[i])
+		}
+	}
+	var localWrites []string
+	for _, kv := range m.Writes {
+		if nd.lookup.IsReplica(kv.Key, nd.id) {
+			localWrites = append(localWrites, kv.Key)
+		}
+	}
+
+	ok := nd.locks.AcquireAll(m.Txn, localWrites, localReads, nd.cfg.LockTimeout)
+	if ok && !nd.validate(localReads, localFrom) {
+		nd.locks.ReleaseAll(m.Txn, localWrites, localReads)
+		ok = false
+	}
+	if !ok {
+		_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, VC: m.VC, OK: false})
+		return
+	}
+
+	pt := &participantTxn{
+		writes:    m.Writes,
+		readKeys:  localReads,
+		localWKey: localWrites,
+		deps:      m.Deps,
+		applied:   make(chan struct{}),
+	}
+	nd.mu.Lock()
+	nd.pending[m.Txn] = pt
+	nd.mu.Unlock()
+
+	writeReplica := len(localWrites) > 0
+	prepVC := nd.log.Prepare(m.Txn, writeReplica, func(commitVC vclock.VC) {
+		// Internal commit (Algorithm 2 lines 29–36): runs when the
+		// transaction reaches the head of the CommitQ as ready.
+		for _, kv := range pt.writes {
+			if nd.lookup.IsReplica(kv.Key, nd.id) {
+				nd.store.Apply(kv.Key, kv.Val, commitVC, m.Txn, pt.deps)
+			}
+		}
+		nd.locks.ReleaseAll(m.Txn, pt.localWKey, pt.readKeys)
+		close(pt.applied)
+	})
+	_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, VC: prepVC, OK: true})
+}
+
+// validate implements Algorithm 1 lines 27–33, by version identity: a read
+// key fails validation when its latest version is no longer the one the
+// transaction read. (The paper's vid[i] > T.VC[i] comparison under-aborts
+// when clock levelling assigns two conflicting writers the same vid[i];
+// writer identity is exact. See DESIGN.md §6.)
+func (nd *Node) validate(readKeys []string, readFrom []wire.TxnID) bool {
+	for i, k := range readKeys {
+		if nd.store.Latest(k).Writer != readFrom[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (nd *Node) localKeys(keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		if nd.lookup.IsReplica(k, nd.id) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// handleDecide implements the participant side of the decide phase
+// (Algorithm 2 lines 16–28) followed by the pre-commit protocol
+// (Algorithms 3 and 4). The DecideAck reply is sent only after the
+// snapshot-queue drain — its receipt at the coordinator is the
+// external-commit point.
+func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
+	nd.mu.Lock()
+	pt := nd.pending[m.Txn]
+	delete(nd.pending, m.Txn)
+	nd.mu.Unlock()
+
+	if pt == nil {
+		// Either a duplicate decide or a prepare that failed locally (the
+		// coordinator aborts on any failed vote, so only aborts land here).
+		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		return
+	}
+
+	writeReplica := len(pt.localWKey) > 0
+	if !m.Commit {
+		nd.log.Decide(m.Txn, nil, false, writeReplica)
+		nd.locks.ReleaseAll(m.Txn, pt.localWKey, pt.readKeys)
+		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		return
+	}
+
+	if writeReplica {
+		// Enqueue the W entry (and the coordinator-collected propagated
+		// R-entries) *before* the internal commit makes the versions
+		// visible: a reader must never observe a provisional version
+		// without finding its writer parked in the snapshot-queue.
+		nd.enqueuePreCommit(m, pt)
+	}
+	nd.log.Decide(m.Txn, m.VC, true, writeReplica)
+	if !writeReplica {
+		// Algorithm 2 line 22: a read-only participant just releases its
+		// shared locks (the apply closure never runs here).
+		nd.locks.ReleaseShared(m.Txn, pt.readKeys)
+		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		return
+	}
+
+	// Wait for this transaction's own internal commit: it may be applied
+	// during another transaction's decide (CommitQ ordering).
+	select {
+	case <-pt.applied:
+	case <-time.After(nd.cfg.DrainTimeout):
+		// A wedged CommitQ would surface here; ack anyway so the
+		// coordinator is not stuck, and count the anomaly.
+		nd.stats.DrainTimeouts.Add(1)
+	}
+
+	nd.preCommit(m, pt)
+	// The W entries stay parked until the coordinator's ExtCommit; record
+	// which keys to freeze and purge then.
+	nd.mu.Lock()
+	nd.parked[m.Txn] = parkedState{keys: pt.localWKey, sid: m.VC[nd.idx]}
+	nd.mu.Unlock()
+	_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+}
+
+// enqueuePreCommit implements Algorithm 3 on this node's written keys:
+// enqueue the writer's W entry and its propagated anti-dependencies. It
+// runs at decide time, strictly before the versions become visible.
+func (nd *Node) enqueuePreCommit(m *wire.Decide, pt *participantTxn) {
+	sid := m.VC[nd.idx]
+	nd.mu.Lock()
+	prop := make([]wire.SQEntry, 0, len(m.Propagated))
+	for _, e := range m.Propagated {
+		if _, gone := nd.removedROs[e.Txn]; gone {
+			continue
+		}
+		prop = append(prop, e)
+	}
+	nd.mu.Unlock()
+	for _, k := range pt.localWKey {
+		nd.store.SQInsert(k, wire.SQEntry{Txn: m.Txn, SID: sid, Kind: wire.EntryWrite})
+		for _, e := range prop {
+			nd.store.SQInsert(k, wire.SQEntry{Txn: e.Txn, SID: e.SID, Kind: wire.EntryRead})
+		}
+	}
+}
+
+// preCommit implements Algorithm 4's wait on this node's written keys: no
+// entry with a smaller insertion-snapshot may remain.
+func (nd *Node) preCommit(m *wire.Decide, pt *participantTxn) {
+	sid := m.VC[nd.idx]
+	// The W entry itself is *not* removed here: it persists until the
+	// ExtCommit purge so readers can tell provisional versions from
+	// externally-committed ones.
+	for _, k := range pt.localWKey {
+		if !nd.store.SQWaitDrain(k, m.Txn, sid, nd.cfg.DrainTimeout) {
+			nd.stats.DrainTimeouts.Add(1)
+		}
+	}
+}
+
+// handleExtCommit runs one phase of the two-phase W-entry cleanup. Freeze
+// (acked, pre-client-reply) flags the entries as externally committed so no
+// later reader can exclude — and thereby serialize before — the
+// transaction; purge (one-way, post-reply) deletes them.
+func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit) {
+	if !m.Purge {
+		nd.mu.Lock()
+		ps := nd.parked[m.Txn]
+		nd.mu.Unlock()
+		// Freeze re-drains: a reader that excluded this writer inserted an
+		// entry with a strictly smaller insertion-snapshot, so the flag —
+		// and hence the writer's client reply — waits until that reader
+		// completes. This closes the late-insert window after the
+		// pre-commit drain.
+		for _, k := range ps.keys {
+			if !nd.store.SQWaitDrain(k, m.Txn, ps.sid, nd.cfg.DrainTimeout) {
+				nd.stats.DrainTimeouts.Add(1)
+			}
+			nd.store.SQFlagWrite(k, m.Txn)
+		}
+		if rid != 0 {
+			_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		}
+		return
+	}
+	nd.mu.Lock()
+	ps := nd.parked[m.Txn]
+	delete(nd.parked, m.Txn)
+	nd.mu.Unlock()
+	for _, k := range ps.keys {
+		nd.store.SQRemoveWrite(k, m.Txn)
+	}
+}
+
+// handleWaitExternal blocks until the named locally-coordinated transaction
+// externally commits, then acks. Unknown transactions have already
+// finished (registration precedes any observable parked entry).
+func (nd *Node) handleWaitExternal(from wire.NodeID, rid uint64, m *wire.WaitExternal) {
+	nd.mu.Lock()
+	ch := nd.inflight[m.Txn]
+	nd.mu.Unlock()
+	if ch != nil {
+		select {
+		case <-ch:
+		case <-time.After(nd.cfg.DrainTimeout):
+			nd.stats.DrainTimeouts.Add(1)
+		}
+	}
+	_ = nd.rpc.Reply(from, rid, &wire.WaitExternalAck{Txn: m.Txn})
+}
+
+// handleRemove implements the Remove message (§III-C): delete the read-only
+// transaction's snapshot-queue entries here and forward the removal to any
+// update coordinator that propagated them elsewhere.
+func (nd *Node) handleRemove(m *wire.Remove) {
+	nd.mu.Lock()
+	nd.store.SQRemoveRead(m.Txn)
+	targets := nd.fwd[m.Txn]
+	delete(nd.fwd, m.Txn)
+	now := time.Now()
+	nd.removedROs[m.Txn] = now
+	nd.gcTombstonesLocked(now)
+	nd.mu.Unlock()
+
+	for to := range targets {
+		nd.stats.FwdRemoves.Add(1)
+		if to == nd.id {
+			nd.handleFwdRemove(&wire.FwdRemove{RO: m.Txn})
+			continue
+		}
+		_ = nd.rpc.Notify(to, &wire.FwdRemove{RO: m.Txn})
+	}
+}
+
+// handleFwdRemove runs at an update coordinator: relay the read-only
+// transaction's removal to the write replicas where its entries were
+// propagated during pre-commit.
+func (nd *Node) handleFwdRemove(m *wire.FwdRemove) {
+	nd.mu.Lock()
+	targets := nd.propTargets[m.RO]
+	delete(nd.propTargets, m.RO)
+	now := time.Now()
+	nd.removedROs[m.RO] = now
+	nd.gcTombstonesLocked(now)
+	nd.mu.Unlock()
+
+	for to := range targets {
+		if to == nd.id {
+			nd.handleRemove(&wire.Remove{Txn: m.RO})
+			continue
+		}
+		_ = nd.rpc.Notify(to, &wire.Remove{Txn: m.RO})
+	}
+}
+
+// debugTooNew is set by tests to trap visibility-filter violations.
+var debugTooNew func(key string, resVC, reqVC []uint64, hasRead []bool)

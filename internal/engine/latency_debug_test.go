@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+	"github.com/sss-paper/sss/kv"
+)
+
+// TestBankFractureDiagnosis is TestBankInvariantUnderLatency with forensic
+// output: on an unbalanced audit it reports which transfer was observed
+// half-applied (debit without credit or vice versa).
+func TestBankFractureDiagnosis(t *testing.T) {
+	stressEnabled(t)
+	const (
+		nAccounts = 16
+		initial   = 1000
+		workers   = 6
+		transfers = 120
+		nAudits   = 150
+	)
+	nodes := newLatencyCluster(t, 3, 2, 20*time.Microsecond)
+	for i := 0; i < nAccounts; i++ {
+		for _, nd := range nodes {
+			nd.Preload(acctKey(i), []byte(strconv.Itoa(initial)))
+		}
+	}
+	want := nAccounts * initial
+
+	type xfer struct {
+		id       wire.TxnID
+		from, to string
+	}
+	var logMu sync.Mutex
+	committed := map[wire.TxnID]xfer{}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nd := nodes[w%3]
+			for i := 0; i < transfers; i++ {
+				from, to := (w*7+i)%nAccounts, (w*3+i*5+1)%nAccounts
+				if from == to {
+					continue
+				}
+				tx := nd.Begin(false)
+				fv, _, err := tx.Read(acctKey(from))
+				if err != nil {
+					_ = tx.Abort()
+					continue
+				}
+				tv, _, err := tx.Read(acctKey(to))
+				if err != nil {
+					_ = tx.Abort()
+					continue
+				}
+				fb, _ := strconv.Atoi(string(fv))
+				tb, _ := strconv.Atoi(string(tv))
+				amt := 1 + (w+i)%40
+				if fb < amt {
+					_ = tx.Abort()
+					continue
+				}
+				_ = tx.Write(acctKey(from), []byte(strconv.Itoa(fb-amt)))
+				_ = tx.Write(acctKey(to), []byte(strconv.Itoa(tb+amt)))
+				if err := tx.Commit(); err == nil {
+					logMu.Lock()
+					committed[tx.ID()] = xfer{id: tx.ID(), from: acctKey(from), to: acctKey(to)}
+					logMu.Unlock()
+				} else if !errors.Is(err, kv.ErrAborted) {
+					t.Errorf("transfer: %v", err)
+				}
+			}
+		}(w)
+	}
+
+	fail := make(chan string, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for a := 0; a < nAudits; a++ {
+			nd := nodes[a%3]
+			tx := nd.Begin(true)
+			total := 0
+			for i := 0; i < nAccounts; i++ {
+				v, _, err := tx.Read(acctKey(i))
+				if err != nil {
+					_ = tx.Abort()
+					return
+				}
+				b, _ := strconv.Atoi(string(v))
+				total += b
+			}
+			writers := tx.ReadWriters()
+			_ = tx.Commit()
+			if total == want {
+				continue
+			}
+			// Which committed transfers were half-seen? For each
+			// transfer, check whether the audit's observed writer chain
+			// "includes" the transfer on one account but not the other.
+			// The audit saw transfer X on account k iff writers[k] == X
+			// or X precedes writers[k] in k's version chain.
+			msg := fmt.Sprintf("audit %d: total=%d want=%d\n", a, total, want)
+			logMu.Lock()
+			for id, xf := range committed {
+				sawFrom := sawTxn(nodes, xf.from, writers[xf.from], id)
+				sawTo := sawTxn(nodes, xf.to, writers[xf.to], id)
+				if sawFrom != sawTo {
+					msg += fmt.Sprintf("  HALF-SEEN %v: from=%s(seen=%v) to=%s(seen=%v)\n",
+						id, xf.from, sawFrom, xf.to, sawTo)
+					msg += fmt.Sprintf("    from chain: %v\n", chainOf(nodes, xf.from))
+					msg += fmt.Sprintf("    to   chain: %v\n", chainOf(nodes, xf.to))
+					msg += fmt.Sprintf("    audit read from-writer=%v to-writer=%v\n",
+						writers[xf.from], writers[xf.to])
+				}
+			}
+			logMu.Unlock()
+			select {
+			case fail <- msg:
+			default:
+			}
+			return
+		}
+	}()
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// sawTxn reports whether observing `observed` as the writer of key implies
+// having observed txn id (id at or before observed in the chain).
+func sawTxn(nodes []*Node, key string, observed, id wire.TxnID) bool {
+	chain := chainOf(nodes, key)
+	obsIdx, idIdx := -1, -1
+	for i, w := range chain {
+		if w == observed {
+			obsIdx = i
+		}
+		if w == id {
+			idIdx = i
+		}
+	}
+	return idIdx >= 0 && obsIdx >= idIdx
+}
+
+func chainOf(nodes []*Node, key string) []wire.TxnID {
+	for _, nd := range nodes {
+		if ws := nd.VersionWriters(key); len(ws) > 0 {
+			return ws
+		}
+	}
+	return nil
+}

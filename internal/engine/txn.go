@@ -1,0 +1,560 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+	"github.com/sss-paper/sss/kv"
+)
+
+// Txn is a transaction coordinated by its local node (the client is
+// co-located, §II). It implements kv.Txn.
+type Txn struct {
+	nd       *Node
+	id       wire.TxnID
+	readOnly bool
+
+	vc        vclock.VC
+	hasRead   []bool
+	firstRead bool
+
+	rs      map[string]readVal
+	rsOrder []string
+	// touched lists every key a read was *attempted* on: replicas may hold
+	// snapshot-queue entries even for reads that errored out, so Remove
+	// must cover them all.
+	touched []string
+	ws      map[string][]byte
+	wsOrder []string
+
+	// propagated accumulates the snapshot-queue entries returned by update
+	// reads (transitive anti-dependencies), deduplicated by transaction
+	// with the smallest insertion-snapshot retained.
+	propagated map[wire.TxnID]wire.SQEntry
+	// pendingWriters lists the parked (internally- but not externally-
+	// committed) transactions whose versions this transaction read; its
+	// own completion must wait for theirs.
+	pendingWriters map[wire.TxnID]struct{}
+	// deps is the update transaction's pruned transitive dependency set:
+	// parked writers it read from, plus the stored dep sets of the
+	// versions it read. Installed on the versions it writes.
+	deps map[wire.TxnID]struct{}
+	// seen lists writers whose versions this read-only transaction has
+	// observed; before lists writers it serialized before (and must keep
+	// excluding, with their version clocks for dependency closure); obs is
+	// the entry-wise max over observed versions' commit clocks.
+	seen   map[wire.TxnID]struct{}
+	before map[wire.TxnID]vclock.VC
+	obs    vclock.VC
+
+	begin time.Time
+	done  bool
+}
+
+type readVal struct {
+	val    []byte
+	exists bool
+	writer wire.TxnID
+}
+
+var _ kv.Txn = (*Txn)(nil)
+
+// Begin starts a transaction on this node. Read-only transactions must be
+// declared; they are never aborted by the concurrency control.
+func (nd *Node) Begin(readOnly bool) *Txn {
+	return &Txn{
+		nd:        nd,
+		id:        wire.TxnID{Node: nd.id, Seq: nd.txnSeq.Add(1)},
+		readOnly:  readOnly,
+		hasRead:   make([]bool, nd.n),
+		firstRead: true,
+		rs:        make(map[string]readVal),
+		ws:        make(map[string][]byte),
+		begin:     time.Now(),
+	}
+}
+
+// ID returns the transaction's identifier.
+func (t *Txn) ID() wire.TxnID { return t.id }
+
+// ReadWriters reports, per read key, the transaction that wrote the version
+// this transaction observed. Used by the external-consistency checker.
+func (t *Txn) ReadWriters() map[string]wire.TxnID {
+	out := make(map[string]wire.TxnID, len(t.rs))
+	for k, v := range t.rs {
+		out[k] = v.writer
+	}
+	return out
+}
+
+// WriteKeys returns the keys this transaction wrote.
+func (t *Txn) WriteKeys() []string {
+	out := make([]string, len(t.wsOrder))
+	copy(out, t.wsOrder)
+	return out
+}
+
+// Read implements kv.Txn (Algorithm 5).
+func (t *Txn) Read(key string) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, kv.ErrTxnDone
+	}
+	if v, ok := t.ws[key]; ok {
+		return v, true, nil
+	}
+	if v, ok := t.rs[key]; ok {
+		return v.val, v.exists, nil
+	}
+	if t.firstRead {
+		// Algorithm 5 lines 5–7: adopt the latest locally-committed
+		// snapshot as the initial visibility bound.
+		t.vc = t.nd.log.MostRecentVC()
+		t.firstRead = false
+	}
+
+	if t.readOnly {
+		t.touched = append(t.touched, key)
+	}
+	resp, from, err := t.readRemote(key)
+	if err != nil {
+		return nil, false, err
+	}
+
+	if t.readOnly {
+		// Fold the returned bound into entries of nodes not read yet; the
+		// entries of already-read nodes stay *frozen* at their
+		// first-contact value. Raising a read node's entry afterwards
+		// would retroactively loosen the visibility filter and admit
+		// versions inconsistent with earlier reads (see DESIGN.md §6).
+		for w, x := range resp.VC {
+			if !t.hasRead[w] && wire.NodeID(w) != from && x > t.vc[w] {
+				t.vc[w] = x
+			}
+		}
+		if !t.hasRead[from] {
+			// First contact with the serving node: its entry freezes at
+			// the *server's* visible bound, even when gossiped clocks had
+			// pushed our knowledge higher — the read only covered
+			// versions up to what the server actually exposed, and a
+			// higher frozen bound would let a later read admit versions
+			// this one never saw.
+			t.vc[from] = resp.VC[from]
+		}
+	} else {
+		t.vc.MaxInto(resp.VC)
+	}
+	t.hasRead[from] = true
+	t.rs[key] = readVal{val: resp.Val, exists: resp.Exists, writer: resp.Writer}
+	t.rsOrder = append(t.rsOrder, key)
+	for _, e := range resp.Propagated {
+		if t.propagated == nil {
+			t.propagated = make(map[wire.TxnID]wire.SQEntry)
+		}
+		if prev, ok := t.propagated[e.Txn]; !ok || e.SID < prev.SID {
+			t.propagated[e.Txn] = e
+		}
+	}
+	if !resp.PendingWriter.IsZero() {
+		// Completion-delay obligation: we observed a provisional version,
+		// so our completion must follow its writer's (handled at commit,
+		// after the Removes, which keeps the wait graph acyclic).
+		if t.pendingWriters == nil {
+			t.pendingWriters = make(map[wire.TxnID]struct{})
+		}
+		t.pendingWriters[resp.PendingWriter] = struct{}{}
+	}
+	if !t.readOnly {
+		// Accumulate the pruned transitive dependency set: writers that
+		// are still parked (their versions are provisional) plus the
+		// stored deps of whatever we read.
+		if !resp.PendingWriter.IsZero() || len(resp.VerDeps) > 0 {
+			if t.deps == nil {
+				t.deps = make(map[wire.TxnID]struct{})
+			}
+			if !resp.PendingWriter.IsZero() {
+				t.deps[resp.PendingWriter] = struct{}{}
+			}
+			for _, d := range resp.VerDeps {
+				t.deps[d] = struct{}{}
+			}
+		}
+	}
+	if t.readOnly {
+		if !resp.Writer.IsZero() {
+			if t.seen == nil {
+				t.seen = make(map[wire.TxnID]struct{})
+			}
+			t.seen[resp.Writer] = struct{}{}
+		}
+		if resp.VerVC != nil {
+			if t.obs == nil {
+				t.obs = vclock.New(t.nd.n)
+			}
+			t.obs.MaxInto(resp.VerVC)
+		}
+		for _, ex := range resp.Excluded {
+			if _, already := t.seen[ex.Txn]; already {
+				continue // a Seen writer is never re-excluded by replicas
+			}
+			if t.before == nil {
+				t.before = make(map[wire.TxnID]vclock.VC)
+			}
+			if _, dup := t.before[ex.Txn]; !dup {
+				t.before[ex.Txn] = ex.VC
+			}
+		}
+	}
+	return resp.Val, resp.Exists, nil
+}
+
+// waitPendingWriters delays this transaction's completion until every
+// parked writer whose version it observed has externally committed,
+// preserving the external schedule.
+func (t *Txn) waitPendingWriters() {
+	for w := range t.pendingWriters {
+		if w == t.id {
+			continue
+		}
+		t.nd.waitExternal(w)
+	}
+}
+
+// waitExternal blocks until transaction w (coordinated at w.Node)
+// externally commits.
+func (nd *Node) waitExternal(w wire.TxnID) {
+	nd.stats.ExternalWaits.Add(1)
+	if w.Node == nd.id {
+		nd.mu.Lock()
+		ch := nd.inflight[w]
+		nd.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		select {
+		case <-ch:
+		case <-time.After(nd.cfg.DrainTimeout):
+			nd.stats.DrainTimeouts.Add(1)
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout)
+	defer cancel()
+	if _, err := nd.rpc.Call(ctx, w.Node, &wire.WaitExternal{Txn: w}); err != nil {
+		nd.stats.DrainTimeouts.Add(1)
+	}
+}
+
+// readRemote contacts every replica of key and returns the fastest answer
+// (§V: "SSS's read operations are handled by the fastest replying server").
+func (t *Txn) readRemote(key string) (*wire.ReadReturn, wire.NodeID, error) {
+	targets := t.nd.lookup.Replicas(key)
+	// Clone the mutable transaction state: over the in-process transport
+	// the message is shared by reference with handler goroutines, and the
+	// client mutates vc/hasRead as replies arrive.
+	hasRead := make([]bool, len(t.hasRead))
+	copy(hasRead, t.hasRead)
+	req := &wire.ReadRequest{
+		Txn:      t.id,
+		Key:      key,
+		VC:       t.vc.Clone(),
+		HasRead:  hasRead,
+		IsUpdate: !t.readOnly,
+	}
+	if t.readOnly {
+		for s := range t.seen {
+			req.Seen = append(req.Seen, s)
+		}
+		for id, vc := range t.before {
+			req.Before = append(req.Before, wire.ExWriter{Txn: id, VC: vc})
+		}
+		req.ObsVC = t.obs.Clone()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.nd.cfg.DrainTimeout)
+	defer cancel()
+
+	type answer struct {
+		resp *wire.ReadReturn
+		from wire.NodeID
+		err  error
+	}
+	ch := make(chan answer, len(targets))
+	for _, to := range targets {
+		to := to
+		t.nd.wg.Add(1)
+		go func() {
+			defer t.nd.wg.Done()
+			resp, err := t.nd.rpc.Call(ctx, to, req)
+			if err != nil {
+				ch <- answer{err: err, from: to}
+				return
+			}
+			rr, ok := resp.(*wire.ReadReturn)
+			if !ok {
+				ch <- answer{err: fmt.Errorf("engine: unexpected read response %T", resp), from: to}
+				return
+			}
+			ch <- answer{resp: rr, from: to}
+		}()
+	}
+	var lastErr error
+	for range targets {
+		a := <-ch
+		if a.err == nil {
+			return a.resp, a.from, nil
+		}
+		lastErr = a.err
+	}
+	return nil, 0, fmt.Errorf("%w: read %q: %v", kv.ErrUnavailable, key, lastErr)
+}
+
+// Write implements kv.Txn: writes are buffered (lazy update, §III-B) and
+// become visible at internal commit.
+func (t *Txn) Write(key string, val []byte) error {
+	if t.done {
+		return kv.ErrTxnDone
+	}
+	if t.readOnly {
+		return kv.ErrReadOnlyWrite
+	}
+	if _, dup := t.ws[key]; !dup {
+		t.wsOrder = append(t.wsOrder, key)
+	}
+	t.ws[key] = val
+	return nil
+}
+
+// Abort implements kv.Txn. Read-only transactions still send Remove: their
+// snapshot-queue entries were installed at read time and must be cleaned
+// regardless of outcome.
+func (t *Txn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	if len(t.touched) > 0 && t.readOnly {
+		t.sendRemoves()
+	}
+	return nil
+}
+
+// Commit implements kv.Txn (Algorithm 1).
+func (t *Txn) Commit() error {
+	if t.done {
+		return kv.ErrTxnDone
+	}
+	t.done = true
+
+	if len(t.ws) == 0 {
+		// Read-only (declared or effectively): reply to the client
+		// immediately, then notify the read replicas (Algorithm 1 lines
+		// 2–8). The Remove notifications are posted before returning —
+		// they are asynchronous one-way sends, so the client-visible
+		// completion is not delayed.
+		if len(t.touched) > 0 {
+			t.sendRemoves()
+		}
+		// Removes go out first (our queue entries must never gate the
+		// writers we are about to wait on), then the completion delay for
+		// provisional versions we observed.
+		t.waitPendingWriters()
+		t.nd.stats.ReadOnlyRuns.Add(1)
+		t.nd.stats.ReadOnlyLatency.Observe(time.Since(t.begin))
+		return nil
+	}
+	return t.commitUpdate()
+}
+
+// sendRemoves notifies every node replicating a read key that this
+// read-only transaction completed.
+func (t *Txn) sendRemoves() {
+	for _, node := range t.nd.lookup.ReplicaSet(t.touched) {
+		if node == t.nd.id {
+			t.nd.handleRemove(&wire.Remove{Txn: t.id})
+			continue
+		}
+		_ = t.nd.rpc.Notify(node, &wire.Remove{Txn: t.id})
+	}
+	t.nd.stats.RemovesSent.Add(1)
+}
+
+// commitUpdate runs the coordinator side of 2PC (Algorithm 1) followed by
+// the external-commit wait.
+func (t *Txn) commitUpdate() error {
+	nd := t.nd
+	if t.vc == nil {
+		// Blind writer that never read: bound is the local snapshot.
+		t.vc = nd.log.MostRecentVC()
+	}
+
+	writes := make([]wire.KV, 0, len(t.wsOrder))
+	for _, k := range t.wsOrder {
+		writes = append(writes, wire.KV{Key: k, Val: t.ws[k]})
+	}
+	participants := nd.lookup.ReplicaSet(t.rsOrder, t.wsOrder)
+	if !containsNode(participants, nd.id) {
+		participants = append(participants, nd.id)
+	}
+	readFrom := make([]wire.TxnID, len(t.rsOrder))
+	for i, k := range t.rsOrder {
+		readFrom[i] = t.rs[k].writer
+	}
+	deps := make([]wire.TxnID, 0, len(t.deps))
+	for d := range t.deps {
+		deps = append(deps, d)
+	}
+	prep := &wire.Prepare{
+		Txn: t.id, VC: t.vc, ReadKeys: t.rsOrder, Writes: writes,
+		ReadFrom: readFrom, Deps: deps,
+	}
+
+	// --- prepare phase ---
+	ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+	votes := t.broadcast(ctx, participants, prep)
+	cancel()
+
+	commitVC := t.vc.Clone()
+	outcome := true
+	for _, v := range votes {
+		vote, ok := v.(*wire.Vote)
+		if !ok || !vote.OK {
+			outcome = false
+			break
+		}
+		commitVC.MaxInto(vote.VC)
+	}
+
+	if !outcome {
+		t.finishAbort(participants)
+		return kv.ErrAborted
+	}
+
+	// Algorithm 1 lines 21–24: level the written replicas' entries.
+	writeNodes := nd.lookup.ReplicaSet(t.wsOrder)
+	var xactVN uint64
+	for _, w := range writeNodes {
+		if commitVC[w] > xactVN {
+			xactVN = commitVC[w]
+		}
+	}
+	for _, w := range writeNodes {
+		commitVC[w] = xactVN
+	}
+	decided := time.Now()
+
+	// Record where each propagated read-only transaction's entries will
+	// land, so a forwarded Remove can chase them (§III-C), skipping
+	// already-removed transactions.
+	var prop []wire.SQEntry
+	if len(t.propagated) > 0 {
+		nd.mu.Lock()
+		for ro, e := range t.propagated {
+			if _, gone := nd.removedROs[ro]; gone {
+				continue
+			}
+			set := nd.propTargets[ro]
+			if set == nil {
+				set = make(map[wire.NodeID]struct{})
+				nd.propTargets[ro] = set
+			}
+			for _, w := range writeNodes {
+				set[w] = struct{}{}
+			}
+			prop = append(prop, e)
+		}
+		nd.mu.Unlock()
+	}
+
+	// Register for WaitExternal subscribers before any replica can expose
+	// our parked W entries.
+	extDone := make(chan struct{})
+	nd.mu.Lock()
+	nd.inflight[t.id] = extDone
+	nd.mu.Unlock()
+
+	// --- decide phase; acks arrive after each participant's drain ---
+	dctx, dcancel := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
+	defer dcancel()
+	decide := &wire.Decide{Txn: t.id, VC: commitVC, Commit: true, Propagated: prop}
+	acks := t.broadcast(dctx, participants, decide)
+	for _, a := range acks {
+		if a == nil {
+			nd.stats.DrainTimeouts.Add(1)
+		}
+	}
+
+	// Our completion must follow that of any parked writer we read from.
+	t.waitPendingWriters()
+
+	// External commit, two-phase cleanup: freeze the parked W entries
+	// everywhere (acked) so no transaction starting after our client reply
+	// can exclude us; then release subscribers and reply; the purge is
+	// asynchronous.
+	ectx, ecancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+	defer ecancel()
+	t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id})
+	nd.mu.Lock()
+	delete(nd.inflight, t.id)
+	nd.mu.Unlock()
+	close(extDone)
+	for _, w := range writeNodes {
+		if w == nd.id {
+			nd.handleExtCommit(nd.id, 0, &wire.ExtCommit{Txn: t.id, Purge: true})
+			continue
+		}
+		_ = nd.rpc.Notify(w, &wire.ExtCommit{Txn: t.id, Purge: true})
+	}
+
+	now := time.Now()
+	nd.stats.Commits.Add(1)
+	nd.stats.CommitLatency.Observe(now.Sub(t.begin))
+	nd.stats.InternalLatency.Observe(decided.Sub(t.begin))
+	wait := now.Sub(decided)
+	nd.stats.PreCommitWait.Observe(wait)
+	if wait > 2*nd.cfg.LockTimeout {
+		nd.stats.PreCommitHold.Add(1)
+	}
+	return nil
+}
+
+func (t *Txn) finishAbort(participants []wire.NodeID) {
+	nd := t.nd
+	ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+	defer cancel()
+	t.broadcast(ctx, participants, &wire.Decide{Txn: t.id, Commit: false})
+	nd.stats.Aborts.Add(1)
+}
+
+// broadcast sends msg to every participant concurrently and returns the
+// responses in participant order (nil for failures).
+func (t *Txn) broadcast(ctx context.Context, participants []wire.NodeID, msg wire.Msg) []wire.Msg {
+	out := make([]wire.Msg, len(participants))
+	done := make(chan int, len(participants))
+	for i, to := range participants {
+		i, to := i, to
+		t.nd.wg.Add(1)
+		go func() {
+			defer t.nd.wg.Done()
+			resp, err := t.nd.rpc.Call(ctx, to, msg)
+			if err == nil {
+				out[i] = resp
+			}
+			done <- i
+		}()
+	}
+	for range participants {
+		<-done
+	}
+	return out
+}
+
+func containsNode(nodes []wire.NodeID, id wire.NodeID) bool {
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

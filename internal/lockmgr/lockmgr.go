@@ -1,0 +1,239 @@
+// Package lockmgr implements the per-key shared/exclusive lock table used by
+// the 2PC prepare phase of SSS and of the 2PC-baseline competitor.
+//
+// Acquisition is try-with-timeout: the paper prevents distributed deadlock
+// with a lock-acquisition timeout (§III-E, set to 1ms on a 20µs-latency
+// network), so the table never blocks indefinitely. A transaction that
+// already holds an exclusive lock on a key is granted the shared lock on the
+// same key for free (a transaction that both reads and writes a key locks it
+// once, exclusively).
+package lockmgr
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Table is a sharded lock table. The zero value is not usable; call New.
+type Table struct {
+	shards []shard
+}
+
+const numShards = 64
+
+type shard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[string]*lockState
+}
+
+type lockState struct {
+	// owner is the exclusive holder, zero if none.
+	owner wire.TxnID
+	// sharers holds the shared owners (absent when owner is set, except
+	// transiently never: exclusive excludes shared).
+	sharers map[wire.TxnID]struct{}
+}
+
+// New builds an empty lock table.
+func New() *Table {
+	t := &Table{shards: make([]shard, numShards)}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.locks = make(map[string]*lockState)
+		s.cond = sync.NewCond(&s.mu)
+	}
+	return t
+}
+
+func (t *Table) shard(key string) *shard {
+	return &t.shards[fnv32(key)%numShards]
+}
+
+func fnv32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// AcquireAll takes exclusive locks on writeKeys and shared locks on
+// readKeys on behalf of txn, waiting up to timeout overall. Keys are
+// acquired in sorted order (exclusive first, matching Algorithm 2) to keep
+// local lock ordering deterministic; the timeout resolves any remaining
+// distributed deadlock. On failure every lock taken by this call is
+// released and AcquireAll returns false.
+func (t *Table) AcquireAll(txn wire.TxnID, writeKeys, readKeys []string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+
+	wk := sortedUnique(writeKeys)
+	var taken []string // exclusive keys acquired so far
+	for _, k := range wk {
+		if !t.acquire(txn, k, true, deadline) {
+			for _, u := range taken {
+				t.release(txn, u, true)
+			}
+			return false
+		}
+		taken = append(taken, k)
+	}
+
+	isWrite := make(map[string]struct{}, len(wk))
+	for _, k := range wk {
+		isWrite[k] = struct{}{}
+	}
+	var sharedTaken []string
+	for _, k := range sortedUnique(readKeys) {
+		if _, alsoWritten := isWrite[k]; alsoWritten {
+			continue // exclusive subsumes shared for the same txn
+		}
+		if !t.acquire(txn, k, false, deadline) {
+			for _, u := range sharedTaken {
+				t.release(txn, u, false)
+			}
+			for _, u := range taken {
+				t.release(txn, u, true)
+			}
+			return false
+		}
+		sharedTaken = append(sharedTaken, k)
+	}
+	return true
+}
+
+// ReleaseAll releases txn's exclusive locks on writeKeys and shared locks
+// on readKeys. Releasing a lock not held is a no-op, so callers may release
+// unconditionally on abort paths.
+func (t *Table) ReleaseAll(txn wire.TxnID, writeKeys, readKeys []string) {
+	seen := make(map[string]struct{}, len(writeKeys))
+	for _, k := range writeKeys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		t.release(txn, k, true)
+	}
+	for _, k := range readKeys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		t.release(txn, k, false)
+	}
+}
+
+// ReleaseShared releases only txn's shared locks on readKeys (Algorithm 2,
+// Decide at a read-only participant).
+func (t *Table) ReleaseShared(txn wire.TxnID, readKeys []string) {
+	for _, k := range readKeys {
+		t.release(txn, k, false)
+	}
+}
+
+func (t *Table) acquire(txn wire.TxnID, key string, exclusive bool, deadline time.Time) bool {
+	s := t.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		ls := s.locks[key]
+		if ls == nil {
+			ls = &lockState{}
+			s.locks[key] = ls
+		}
+		if exclusive {
+			free := ls.owner.IsZero() && len(ls.sharers) == 0
+			if ls.owner == txn {
+				return true // re-entrant
+			}
+			if free {
+				ls.owner = txn
+				return true
+			}
+		} else {
+			if ls.owner == txn {
+				return true // exclusive subsumes shared
+			}
+			if ls.owner.IsZero() {
+				if ls.sharers == nil {
+					ls.sharers = make(map[wire.TxnID]struct{})
+				}
+				ls.sharers[txn] = struct{}{}
+				return true
+			}
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		waitCond(s.cond, wait)
+	}
+}
+
+func (t *Table) release(txn wire.TxnID, key string, exclusive bool) {
+	s := t.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.locks[key]
+	if ls == nil {
+		return
+	}
+	changed := false
+	if exclusive {
+		if ls.owner == txn {
+			ls.owner = wire.TxnID{}
+			changed = true
+		}
+	} else if _, held := ls.sharers[txn]; held {
+		delete(ls.sharers, txn)
+		changed = true
+	}
+	if ls.owner.IsZero() && len(ls.sharers) == 0 {
+		delete(s.locks, key)
+	}
+	if changed {
+		s.cond.Broadcast()
+	}
+}
+
+// Held reports whether any lock is held on key (for tests and debugging).
+func (t *Table) Held(key string) bool {
+	s := t.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.locks[key]
+	return ls != nil && (!ls.owner.IsZero() || len(ls.sharers) > 0)
+}
+
+// waitCond waits on cond with a timeout, using a helper goroutine-free
+// timer broadcast. The caller must hold cond.L.
+func waitCond(cond *sync.Cond, d time.Duration) {
+	timer := time.AfterFunc(d, cond.Broadcast)
+	cond.Wait()
+	timer.Stop()
+}
+
+func sortedUnique(keys []string) []string {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]string, len(keys))
+	copy(out, keys)
+	sort.Strings(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}

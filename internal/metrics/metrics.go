@@ -1,0 +1,181 @@
+// Package metrics provides the lightweight counters and latency histograms
+// used by the benchmark harness: throughput, abort rate, commit-latency
+// percentiles, and the internal-commit vs pre-commit breakdown of the
+// paper's Figure 5.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers 1ns..~18s in half-decade-ish log2 buckets.
+const numBuckets = 64
+
+// Histogram is a lock-free log2-bucketed latency histogram. The zero value
+// is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	b := bucketOf(ns)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+func bucketOf(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	b := 64 - leadingZeros(ns)
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Merge folds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from bucket boundaries;
+// the estimate is the upper bound of the containing bucket, capped at Max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			upper := time.Duration(uint64(1) << uint(i))
+			if m := h.Max(); upper > m {
+				return m
+			}
+			return upper
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot copies the histogram into a plain struct for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// HistogramSnapshot is a point-in-time histogram summary.
+type HistogramSnapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the snapshot compactly.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// Engine aggregates the per-engine counters the evaluation reports.
+type Engine struct {
+	Commits       atomic.Uint64 // externally committed transactions
+	Aborts        atomic.Uint64 // update-transaction validation/lock aborts
+	ReadOnlyRuns  atomic.Uint64 // read-only transactions completed
+	RemovesSent   atomic.Uint64
+	FwdRemoves    atomic.Uint64
+	PreCommitHold atomic.Uint64 // update txns that actually waited in a queue
+	DrainTimeouts atomic.Uint64 // pre-commit waits that hit the safety cap
+	ExternalWaits atomic.Uint64 // completions delayed behind a parked writer
+
+	// Latency (begin → external commit), the paper's Figure 4(b).
+	CommitLatency Histogram
+	// Begin → internal commit (Figure 5's lower bar).
+	InternalLatency Histogram
+	// Internal commit → external commit: the snapshot-queuing wait
+	// (Figure 5's red bar; §V reports it at ≤ ~30% of total latency).
+	PreCommitWait Histogram
+	// Read-only transaction latency.
+	ReadOnlyLatency Histogram
+}
+
+// AbortRate returns aborts / (commits + aborts) for update transactions.
+func (e *Engine) AbortRate() float64 {
+	c, a := float64(e.Commits.Load()), float64(e.Aborts.Load())
+	if c+a == 0 {
+		return 0
+	}
+	return a / (c + a)
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram should report zeros")
+	}
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(200 * time.Nanosecond)
+	h.Observe(300 * time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200*time.Nanosecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 300*time.Nanosecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if h.Sum() != 600*time.Nanosecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Max() != 0 {
+		t.Fatalf("negative observation should clamp to 0, max=%v", h.Max())
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	if p99 > h.Max() {
+		t.Fatalf("p99 %v > max %v", p99, h.Max())
+	}
+	// log2 buckets: p50 of 1..1000µs is in [512µs, 1024µs]; loose check.
+	if p50 < 256*time.Microsecond || p50 > 1100*time.Microsecond {
+		t.Fatalf("p50 = %v, implausible", p50)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if bucketOf(0) != 0 {
+		t.Fatal("bucketOf(0)")
+	}
+	if bucketOf(1) != 1 {
+		t.Fatalf("bucketOf(1) = %d", bucketOf(1))
+	}
+	if b := bucketOf(1 << 63); b != numBuckets-1 {
+		t.Fatalf("bucketOf(huge) = %d", b)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.String() == "" {
+		t.Fatalf("Snapshot = %+v", s)
+	}
+}
+
+func TestEngineAbortRate(t *testing.T) {
+	var e Engine
+	if e.AbortRate() != 0 {
+		t.Fatal("empty engine abort rate should be 0")
+	}
+	e.Commits.Store(90)
+	e.Aborts.Store(10)
+	if got := e.AbortRate(); got != 0.1 {
+		t.Fatalf("AbortRate = %v, want 0.1", got)
+	}
+}

@@ -1,0 +1,587 @@
+// Package mvstore implements SSS's per-node multi-versioned key repository
+// together with the snapshot-queues of §III-A — the paper's novel
+// mechanism.
+//
+// Every key holds a version chain (value + commit vector clock + writer) and
+// a snapshot-queue of <txn, insertion-snapshot, kind> entries. Following the
+// implementation note in §V, each snapshot-queue is physically split into a
+// read-only list and an update list so read-dominated workloads scan few
+// entries; semantically it is one queue ordered by insertion-snapshot.
+//
+// The store is sharded; every shard has one mutex and one condition variable
+// broadcast on snapshot-queue removals, which is what parked update
+// transactions (Algorithm 4) wait on.
+package mvstore
+
+import (
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Version is one committed version of a key. Versions form a singly-linked
+// chain from newest to oldest.
+type Version struct {
+	Val    []byte
+	VC     vclock.VC
+	Writer wire.TxnID
+	// Deps lists the writers of the versions the producing transaction
+	// read (its read-from set): the true data dependencies used for
+	// sticky-exclusion closure.
+	Deps []wire.TxnID
+	Prev *Version
+}
+
+// sqItem is a snapshot-queue entry plus its enqueue time (for the
+// starvation-control backoff of §III-E).
+type sqItem struct {
+	wire.SQEntry
+	at time.Time
+	// committed marks a W entry whose transaction has externally
+	// committed (freeze phase): readers include its version (and wait on
+	// its coordinator) instead of excluding it, and it no longer blocks
+	// later writers' drains. The entry is purged asynchronously after the
+	// writer's client reply.
+	committed bool
+}
+
+type keyState struct {
+	last  *Version
+	depth int // versions retained
+	sqR   []sqItem
+	sqW   []sqItem
+}
+
+const numShards = 128
+
+type shard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	keys map[string]*keyState
+	// roIndex maps a read-only transaction to the keys of this shard whose
+	// snapshot-queues contain its entries, making Remove O(entries).
+	roIndex map[wire.TxnID]map[string]struct{}
+}
+
+// Store is a sharded multi-version repository. Create with New.
+type Store struct {
+	shards     []shard
+	maxDepth   int
+	nowFn      func() time.Time
+	genesisVCn int
+}
+
+// DefaultMaxDepth bounds the per-key version chain; older versions are
+// pruned (see DESIGN.md §3).
+const DefaultMaxDepth = 64
+
+// New builds an empty store for vector clocks of width n. maxDepth bounds
+// version chains; 0 selects DefaultMaxDepth.
+func New(n, maxDepth int) *Store {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	s := &Store{
+		shards:     make([]shard, numShards),
+		maxDepth:   maxDepth,
+		nowFn:      time.Now,
+		genesisVCn: n,
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.keys = make(map[string]*keyState)
+		sh.roIndex = make(map[wire.TxnID]map[string]struct{})
+		sh.cond = sync.NewCond(&sh.mu)
+	}
+	return s
+}
+
+func (s *Store) shard(key string) *shard {
+	return &s.shards[fnv32(key)%numShards]
+}
+
+func fnv32(str string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(str); i++ {
+		h ^= uint32(str[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (sh *shard) state(key string) *keyState {
+	ks := sh.keys[key]
+	if ks == nil {
+		ks = &keyState{}
+		sh.keys[key] = ks
+	}
+	return ks
+}
+
+// Preload installs an initial version of key with the all-zero commit clock
+// (a "genesis" version visible to every transaction). Used to load the
+// dataset before the benchmark starts, like the paper's YCSB load phase.
+func (s *Store) Preload(key string, val []byte) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.state(key)
+	ks.last = &Version{Val: val, VC: vclock.New(s.genesisVCn)}
+	ks.depth = 1
+}
+
+// Apply installs a new committed version of key (Algorithm 2 line 31). The
+// chain is pruned to the configured depth. deps is the producing
+// transaction's read-from set.
+func (s *Store) Apply(key string, val []byte, commitVC vclock.VC, writer wire.TxnID, deps []wire.TxnID) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.state(key)
+	ks.last = &Version{Val: val, VC: commitVC.Clone(), Writer: writer, Deps: deps, Prev: ks.last}
+	ks.depth++
+	if ks.depth > s.maxDepth {
+		// Walk to the cut point and drop the tail.
+		v := ks.last
+		for i := 1; i < s.maxDepth; i++ {
+			v = v.Prev
+		}
+		v.Prev = nil
+		ks.depth = s.maxDepth
+	}
+}
+
+// ReadResult is the outcome of a version selection.
+type ReadResult struct {
+	Val    []byte
+	Exists bool
+	VC     vclock.VC
+	Writer wire.TxnID
+	Deps   []wire.TxnID
+}
+
+// Latest returns the most recent version of key (the update-transaction
+// read path, Algorithm 6 lines 24–27).
+func (s *Store) Latest(key string) ReadResult {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil || ks.last == nil {
+		return ReadResult{}
+	}
+	v := ks.last
+	return ReadResult{Val: v.Val, Exists: true, VC: v.VC.Clone(), Writer: v.Writer, Deps: v.Deps}
+}
+
+// LatestVID returns the i-th entry of the latest version's commit clock, or
+// 0 if the key has no versions. Used by 2PC validation (Algorithm 1 line
+// 29: abort if k.last.vid[i] > T.VC[i]).
+func (s *Store) LatestVID(key string, i int) uint64 {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil || ks.last == nil {
+		return 0
+	}
+	return ks.last.VC[i]
+}
+
+// ReadVisible walks key's version chain from newest to oldest and returns
+// the first version v such that (a) for every node w with hasRead[w], v's
+// clock does not exceed maxVC[w], and (b) v was not written by an excluded
+// transaction (Algorithm 6 lines 11–14 / 18–21). excluded may be nil.
+func (s *Store) ReadVisible(key string, hasRead []bool, maxVC vclock.VC, excluded map[wire.TxnID]struct{}) ReadResult {
+	res, _ := s.ReadVisibleEx(key, hasRead, maxVC, excluded, nil, nil)
+	return res
+}
+
+// dominatesAny reports whether vc >= some entry of bounds (entry-wise).
+func dominatesAny(vc vclock.VC, bounds []vclock.VC) bool {
+	for _, b := range bounds {
+		if b.LessEq(vc) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadVisibleEx extends ReadVisible with sticky-exclusion support for
+// read-only transactions: a version is also skipped when one of its
+// read-from dependencies is excluded (a snapshot that is before writer W is
+// before everything that read from W, transitively), versions at or beneath
+// obsVC are never excluded (the reader already observed something causally
+// after them), and the writers actually skipped due to exclusion are
+// reported so the reader can keep excluding them.
+func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, excluded map[wire.TxnID]struct{}, beforeVCs []vclock.VC, obsVC vclock.VC) (ReadResult, []wire.ExWriter) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return ReadResult{}, nil
+	}
+	var skipped []wire.ExWriter
+	var skippedIDs map[wire.TxnID]struct{}
+	skip := func(v *Version) {
+		skipped = append(skipped, wire.ExWriter{Txn: v.Writer, VC: v.VC.Clone()})
+		if skippedIDs == nil {
+			skippedIDs = make(map[wire.TxnID]struct{})
+		}
+		skippedIDs[v.Writer] = struct{}{}
+	}
+	isOut := func(id wire.TxnID) bool {
+		if _, ex := excluded[id]; ex {
+			return true
+		}
+		_, ex := skippedIDs[id]
+		return ex
+	}
+	for v := ks.last; v != nil; v = v.Prev {
+		if !v.Writer.IsZero() && !(obsVC != nil && v.VC.LessEq(obsVC)) {
+			if isOut(v.Writer) {
+				skip(v)
+				continue
+			}
+			dep := false
+			for _, d := range v.Deps {
+				if isOut(d) {
+					dep = true
+					break
+				}
+			}
+			if dep {
+				skip(v)
+				continue
+			}
+		}
+		if tooNew(v.VC, hasRead, maxVC) {
+			continue
+		}
+		return ReadResult{Val: v.Val, Exists: true, VC: v.VC.Clone(), Writer: v.Writer, Deps: v.Deps}, skipped
+	}
+	return ReadResult{}, skipped
+}
+
+func tooNew(vc vclock.VC, hasRead []bool, maxVC vclock.VC) bool {
+	for w, read := range hasRead {
+		if read && vc[w] > maxVC[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// --- snapshot-queue operations ---
+
+// SQInsert enqueues entry on key's snapshot-queue. A transaction has at
+// most one entry of each kind per key: re-insertion keeps the smaller
+// insertion-snapshot (the binding constraint for Algorithm 4's wait).
+func (s *Store) SQInsert(key string, entry wire.SQEntry) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.state(key)
+	list := &ks.sqR
+	if entry.Kind == wire.EntryWrite {
+		list = &ks.sqW
+	}
+	for i := range *list {
+		if (*list)[i].Txn == entry.Txn {
+			if entry.SID < (*list)[i].SID {
+				(*list)[i].SID = entry.SID
+			}
+			return
+		}
+	}
+	*list = append(*list, sqItem{SQEntry: entry, at: s.nowFn()})
+	if entry.Kind == wire.EntryRead {
+		keys := sh.roIndex[entry.Txn]
+		if keys == nil {
+			keys = make(map[string]struct{})
+			sh.roIndex[entry.Txn] = keys
+		}
+		keys[key] = struct{}{}
+	}
+}
+
+// SQRemoveRead deletes every read entry owned by txn across the store (the
+// effect of the Remove message, §III-C) and wakes parked writers. It
+// returns the number of entries removed.
+func (s *Store) SQRemoveRead(txn wire.TxnID) int {
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		keys := sh.roIndex[txn]
+		if len(keys) > 0 {
+			for key := range keys {
+				ks := sh.keys[key]
+				if ks == nil {
+					continue
+				}
+				for j := range ks.sqR {
+					if ks.sqR[j].Txn == txn {
+						ks.sqR = append(ks.sqR[:j], ks.sqR[j+1:]...)
+						removed++
+						break
+					}
+				}
+			}
+			delete(sh.roIndex, txn)
+			sh.cond.Broadcast()
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// SQRemoveWrite deletes txn's write entry from key's queue (Algorithm 4
+// line 4) and wakes waiters.
+func (s *Store) SQRemoveWrite(key string, txn wire.TxnID) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return
+	}
+	for j := range ks.sqW {
+		if ks.sqW[j].Txn == txn {
+			ks.sqW = append(ks.sqW[:j], ks.sqW[j+1:]...)
+			sh.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// SQWaitDrain blocks until key's snapshot-queue holds no entry (of either
+// kind) with insertion-snapshot strictly below sid, other than txn's own
+// entries (Algorithm 4 line 3), or until the timeout elapses. It reports
+// whether the drain completed.
+func (s *Store) SQWaitDrain(key string, txn wire.TxnID, sid uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if !s.blockedLocked(sh, key, txn, sid) {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		timer := time.AfterFunc(remain, sh.cond.Broadcast)
+		sh.cond.Wait()
+		timer.Stop()
+	}
+}
+
+func (s *Store) blockedLocked(sh *shard, key string, txn wire.TxnID, sid uint64) bool {
+	ks := sh.keys[key]
+	if ks == nil {
+		return false
+	}
+	for _, e := range ks.sqR {
+		if e.Txn != txn && e.SID < sid {
+			return true
+		}
+	}
+	for _, e := range ks.sqW {
+		if e.Txn != txn && e.SID < sid && !e.committed {
+			return true
+		}
+	}
+	return false
+}
+
+// SQFlagWrite marks txn's W entry on key as externally committed (the
+// freeze phase of the two-phase cleanup).
+func (s *Store) SQFlagWrite(key string, txn wire.TxnID) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return
+	}
+	for i := range ks.sqW {
+		if ks.sqW[i].Txn == txn {
+			ks.sqW[i].committed = true
+			sh.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// SQBlocked reports whether a drain for (txn, sid) on key would currently
+// block (used by tests and metrics; the breakdown of Figure 5).
+func (s *Store) SQBlocked(key string, txn wire.TxnID, sid uint64) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.blockedLocked(sh, key, txn, sid)
+}
+
+// SQUnflaggedWriters returns the writers parked in key's queue whose W
+// entries are not yet flagged as externally committed, together with the
+// smallest such insertion-snapshot. Read-only transactions never observe
+// these writers' versions: they serialize before them (blanket exclusion),
+// which is what lets all read-only transactions agree on the order of
+// concurrent update transactions (§III-C, Figure 2).
+func (s *Store) SQUnflaggedWriters(key string) map[wire.TxnID]uint64 {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil || len(ks.sqW) == 0 {
+		return nil
+	}
+	var out map[wire.TxnID]uint64
+	for _, e := range ks.sqW {
+		if e.committed {
+			continue
+		}
+		if out == nil {
+			out = make(map[wire.TxnID]uint64)
+		}
+		out[e.Txn] = e.SID
+	}
+	return out
+}
+
+// SQHasWriteEntry reports whether txn currently has a W entry in key's
+// queue — i.e. whether its version is still provisional (internally but not
+// externally committed).
+func (s *Store) SQHasWriteEntry(key string, txn wire.TxnID) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return false
+	}
+	for _, e := range ks.sqW {
+		if e.Txn == txn {
+			return true
+		}
+	}
+	return false
+}
+
+// SQExcludedWriters returns the update transactions in key's queue whose
+// insertion-snapshot exceeds bound — the ExcludedSet of Algorithm 6 line 7:
+// writers still in pre-commit that the reader must serialize before.
+func (s *Store) SQExcludedWriters(key string, bound uint64) map[wire.TxnID]struct{} {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil || len(ks.sqW) == 0 {
+		return nil
+	}
+	var out map[wire.TxnID]struct{}
+	for _, e := range ks.sqW {
+		if e.committed {
+			continue // externally committed: must be visible, never excluded
+		}
+		if e.SID > bound {
+			if out == nil {
+				out = make(map[wire.TxnID]struct{})
+			}
+			out[e.Txn] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SQReadEntries returns a snapshot of key's read entries — the
+// PropagatedSet handed to update-transaction reads (Algorithm 6 line 25).
+func (s *Store) SQReadEntries(key string) []wire.SQEntry {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil || len(ks.sqR) == 0 {
+		return nil
+	}
+	out := make([]wire.SQEntry, len(ks.sqR))
+	for i, e := range ks.sqR {
+		out[i] = e.SQEntry
+	}
+	return out
+}
+
+// SQOldestWriteAge returns how long the oldest update entry has been parked
+// in key's queue, and false if there is none. Drives the admission-control
+// backoff of §III-E.
+func (s *Store) SQOldestWriteAge(key string) (time.Duration, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil || len(ks.sqW) == 0 {
+		return 0, false
+	}
+	oldest := ks.sqW[0].at
+	for _, e := range ks.sqW[1:] {
+		if e.at.Before(oldest) {
+			oldest = e.at
+		}
+	}
+	return s.nowFn().Sub(oldest), true
+}
+
+// SQLen returns the number of (read, write) entries in key's queue.
+func (s *Store) SQLen(key string) (int, int) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return 0, 0
+	}
+	return len(ks.sqR), len(ks.sqW)
+}
+
+// VersionWriters returns the writers of key's retained versions, oldest
+// first (the per-key version order used by the consistency checker's ww/rw
+// edges).
+func (s *Store) VersionWriters(key string) []wire.TxnID {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return nil
+	}
+	var rev []wire.TxnID
+	for v := ks.last; v != nil; v = v.Prev {
+		rev = append(rev, v.Writer)
+	}
+	out := make([]wire.TxnID, len(rev))
+	for i, w := range rev {
+		out[len(rev)-1-i] = w
+	}
+	return out
+}
+
+// Depth returns the number of retained versions of key.
+func (s *Store) Depth(key string) int {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return 0
+	}
+	return ks.depth
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// ServerFunc handles an inbound request or notification. rid is 0 for
+// one-way notifications; otherwise the handler (or code it triggers, however
+// much later) must eventually answer via Reply — SSS's DecideAck, for
+// example, is sent only after the pre-commit drain. ServerFunc runs on its
+// own goroutine and may block.
+type ServerFunc func(from wire.NodeID, rid uint64, msg wire.Msg)
+
+// RPC correlates request/response pairs over an Endpoint and dispatches
+// inbound requests to a ServerFunc.
+type RPC struct {
+	ep  Endpoint
+	srv ServerFunc
+
+	nextRID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Msg
+	closed  bool
+}
+
+// NewRPC joins network net as node id, dispatching inbound requests to srv.
+func NewRPC(net Network, id wire.NodeID, srv ServerFunc) (*RPC, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("transport: nil server func for node %d", id)
+	}
+	r := &RPC{srv: srv, pending: make(map[uint64]chan wire.Msg)}
+	ep, err := net.Join(id, r.handle)
+	if err != nil {
+		return nil, err
+	}
+	r.ep = ep
+	return r, nil
+}
+
+// ID returns the local node ID.
+func (r *RPC) ID() wire.NodeID { return r.ep.ID() }
+
+func (r *RPC) handle(env wire.Envelope) {
+	if env.Resp {
+		r.mu.Lock()
+		ch := r.pending[env.RID]
+		delete(r.pending, env.RID)
+		r.mu.Unlock()
+		if ch != nil {
+			ch <- env.Msg // buffered; never blocks
+		}
+		return
+	}
+	r.srv(env.From, env.RID, env.Msg)
+}
+
+// Call sends msg to node to and waits for the correlated response or ctx
+// expiry. A response arriving after expiry is dropped.
+func (r *RPC) Call(ctx context.Context, to wire.NodeID, msg wire.Msg) (wire.Msg, error) {
+	rid := r.nextRID.Add(1)
+	ch := make(chan wire.Msg, 1)
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.pending[rid] = ch
+	r.mu.Unlock()
+
+	if err := r.ep.Send(to, wire.Envelope{RID: rid, Msg: msg}); err != nil {
+		r.mu.Lock()
+		delete(r.pending, rid)
+		r.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		r.mu.Lock()
+		delete(r.pending, rid)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Type(), to, ctx.Err())
+	}
+}
+
+// Notify sends a one-way message to node to.
+func (r *RPC) Notify(to wire.NodeID, msg wire.Msg) error {
+	return r.ep.Send(to, wire.Envelope{Msg: msg})
+}
+
+// Reply answers the request identified by rid at node to.
+func (r *RPC) Reply(to wire.NodeID, rid uint64, msg wire.Msg) error {
+	return r.ep.Send(to, wire.Envelope{RID: rid, Resp: true, Msg: msg})
+}
+
+// Close detaches from the network. Outstanding Calls fail when their
+// contexts expire.
+func (r *RPC) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.ep.Close()
+}

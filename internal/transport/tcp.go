@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// maxFrame bounds a single wire frame; larger frames indicate corruption.
+const maxFrame = 64 << 20
+
+// TCP is a Network over real TCP connections, for multi-process
+// deployments (cmd/sss-server). Each endpoint maintains one outbound
+// connection per priority class per peer, so Remove traffic is never queued
+// behind bulk reads (paper §V). Frames are uvarint-length-prefixed encoded
+// envelopes.
+type TCP struct {
+	addrs map[wire.NodeID]string
+
+	mu     sync.Mutex
+	eps    map[wire.NodeID]*tcpEndpoint
+	closed bool
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP builds a TCP network over the given node address book.
+func NewTCP(addrs map[wire.NodeID]string) *TCP {
+	book := make(map[wire.NodeID]string, len(addrs))
+	for id, a := range addrs {
+		book[id] = a
+	}
+	return &TCP{addrs: book, eps: make(map[wire.NodeID]*tcpEndpoint)}
+}
+
+// Join implements Network: it starts listening on the node's address.
+func (t *TCP) Join(id wire.NodeID, h Handler) (Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for node %d", id)
+	}
+	addr, ok := t.addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := t.eps[id]; dup {
+		return nil, fmt.Errorf("transport: node %d already joined", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen node %d: %w", id, err)
+	}
+	ep := &tcpEndpoint{
+		net:     t,
+		id:      id,
+		handler: h,
+		ln:      ln,
+		conns:   make(map[wire.NodeID]*[wire.NumPriorities]*tcpConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.eps[id] = ep
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	eps := make([]*tcpEndpoint, 0, len(t.eps))
+	for _, ep := range t.eps {
+		eps = append(eps, ep)
+	}
+	t.mu.Unlock()
+	var firstErr error
+	for _, ep := range eps {
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Addr returns the bound listen address of node id, once joined. Useful
+// when the address book used port 0.
+func (t *TCP) Addr(id wire.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ep, ok := t.eps[id]
+	if !ok {
+		return "", false
+	}
+	return ep.ln.Addr().String(), true
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes frame writes
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+type tcpEndpoint struct {
+	net     *TCP
+	id      wire.NodeID
+	handler Handler
+	ln      net.Listener
+
+	mu      sync.Mutex
+	conns   map[wire.NodeID]*[wire.NumPriorities]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) ID() wire.NodeID { return e.id }
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		e.inbound[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		_ = c.Close()
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return
+		}
+		if size > maxFrame {
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		env, err := wire.DecodeEnvelope(frame)
+		if err != nil {
+			return
+		}
+		if e.isClosed() {
+			return
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.handler(env)
+		}()
+	}
+}
+
+func (e *tcpEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+func (e *tcpEndpoint) Send(to wire.NodeID, env wire.Envelope) error {
+	env.From = e.id
+	if to == e.id {
+		// Loopback: skip the socket, preserve the "own goroutine" contract.
+		if e.isClosed() {
+			return ErrClosed
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.handler(env)
+		}()
+		return nil
+	}
+	conn, err := e.conn(to, wire.PriorityOf(env.Msg.Type()))
+	if err != nil {
+		return err
+	}
+	frame, err := wire.EncodeEnvelope(nil, env)
+	if err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if _, err := conn.w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	if _, err := conn.w.Write(frame); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	if err := conn.w.Flush(); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) conn(to wire.NodeID, prio wire.Priority) (*tcpConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	set := e.conns[to]
+	if set == nil {
+		set = new([wire.NumPriorities]*tcpConn)
+		e.conns[to] = set
+	}
+	if set[prio] != nil {
+		return set[prio], nil
+	}
+	addr, ok := e.net.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	tc := &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+	set[prio] = tc
+	return tc, nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = make(map[wire.NodeID]*[wire.NumPriorities]*tcpConn)
+	in := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		in = append(in, c)
+	}
+	e.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, set := range conns {
+		for _, tc := range set {
+			if tc != nil {
+				_ = tc.c.Close()
+			}
+		}
+	}
+	for _, c := range in {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package transport provides the messaging substrate shared by the SSS
+// engine and its competitor engines.
+//
+// Two Network implementations exist:
+//
+//   - InProc: an in-process simulated network with configurable one-way
+//     delivery latency (default 20µs, matching the paper's InfiniBand
+//     testbed) and per-priority-class delivery accounting. This is the
+//     substrate used by tests and by the benchmark harness; it substitutes
+//     for the paper's physical cluster while exercising exactly the same
+//     message-passing code paths.
+//   - TCP: a real transport for multi-process deployments, with one TCP
+//     stream per priority class per peer so that high-priority messages
+//     (Remove above all) never queue behind bulk read traffic — the
+//     paper's "optimized network component".
+//
+// On top of either, RPC provides request/response correlation with
+// context-based timeouts; one-way notifications share the same path.
+package transport
+
+import (
+	"errors"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed endpoint or network.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownNode is returned when sending to a node that never joined.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+// Handler consumes an inbound envelope. The transport invokes each handler
+// on its own goroutine, so handlers are allowed to block (the SSS Decide
+// handler, for instance, blocks until the pre-commit drain completes).
+type Handler func(env wire.Envelope)
+
+// Endpoint is one node's attachment to a Network.
+type Endpoint interface {
+	// ID returns the node ID this endpoint joined as.
+	ID() wire.NodeID
+	// Send delivers env to node to. Self-sends are permitted and bypass
+	// simulated latency. Send never blocks on the receiver's handler.
+	Send(to wire.NodeID, env wire.Envelope) error
+	// Close detaches the endpoint; subsequent Sends fail with ErrClosed.
+	Close() error
+}
+
+// Network connects a set of node endpoints.
+type Network interface {
+	// Join attaches handler h as node id and returns its endpoint.
+	Join(id wire.NodeID, h Handler) (Endpoint, error)
+	// Close tears down the network and waits for in-flight deliveries.
+	Close() error
+}

@@ -1,0 +1,361 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+func TestInProcDelivery(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+
+	got := make(chan wire.Envelope, 1)
+	_, err := nw.Join(1, func(env wire.Envelope) { got <- env })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Join(0, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msg := &wire.Remove{Txn: wire.TxnID{Node: 0, Seq: 1}}
+	if err := ep0.Send(1, wire.Envelope{Msg: msg}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-got:
+		if env.From != 0 {
+			t.Fatalf("From = %d, want 0", env.From)
+		}
+		if env.Msg.(*wire.Remove).Txn.Seq != 1 {
+			t.Fatal("message corrupted")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestInProcDuplicateJoin(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+	if _, err := nw.Join(1, func(wire.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Join(1, func(wire.Envelope) {}); err == nil {
+		t.Fatal("duplicate Join should fail")
+	}
+	if _, err := nw.Join(2, nil); err == nil {
+		t.Fatal("nil handler should fail")
+	}
+}
+
+func TestInProcUnknownDestination(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+	ep, err := nw.Join(0, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ep.Send(9, wire.Envelope{Msg: &wire.Remove{}})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestInProcLatency(t *testing.T) {
+	const lat = 2 * time.Millisecond
+	nw := NewInProc(InProcConfig{Latency: lat})
+	defer func() { _ = nw.Close() }()
+
+	done := make(chan time.Time, 1)
+	if _, err := nw.Join(1, func(wire.Envelope) { done <- time.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Join(0, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := ep0.Send(1, wire.Envelope{Msg: &wire.Remove{}}); err != nil {
+		t.Fatal(err)
+	}
+	arrived := <-done
+	if d := arrived.Sub(start); d < lat {
+		t.Fatalf("delivered after %v, want >= %v", d, lat)
+	}
+}
+
+func TestInProcSelfSendSkipsLatency(t *testing.T) {
+	nw := NewInProc(InProcConfig{Latency: 50 * time.Millisecond})
+	defer func() { _ = nw.Close() }()
+	done := make(chan struct{}, 1)
+	ep, err := nw.Join(0, func(wire.Envelope) { done <- struct{}{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := ep.Send(0, wire.Envelope{Msg: &wire.Remove{}}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("self-send took %v, should skip latency", d)
+	}
+}
+
+func TestInProcCloseStopsDelivery(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	var count atomic.Int32
+	if _, err := nw.Join(1, func(wire.Envelope) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Join(0, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(1, wire.Envelope{Msg: &wire.Remove{}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestInProcPriorityCounters(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	if _, err := nw.Join(1, func(wire.Envelope) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Join(0, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(1, wire.Envelope{Msg: &wire.Remove{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(1, wire.Envelope{Msg: &wire.ReadRequest{Key: "k"}}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	d := nw.Delivered()
+	if d[wire.PrioRemove] != 1 || d[wire.PrioRead] != 1 {
+		t.Fatalf("Delivered = %v", d)
+	}
+}
+
+// echoServer replies to every request with the same message.
+func echoServer(r **RPC) ServerFunc {
+	return func(from wire.NodeID, rid uint64, msg wire.Msg) {
+		if rid != 0 {
+			_ = (*r).Reply(from, rid, msg)
+		}
+	}
+}
+
+func TestRPCCallRoundTrip(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+
+	var srv *RPC
+	srvRPC, err := NewRPC(nw, 1, echoServer(&srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = srvRPC
+	cli, err := NewRPC(nw, 0, func(wire.NodeID, uint64, wire.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := cli.Call(context.Background(), 1, &wire.DecideAck{Txn: wire.TxnID{Node: 7, Seq: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*wire.DecideAck).Txn.Seq != 9 {
+		t.Fatal("response corrupted")
+	}
+}
+
+func TestRPCCallTimeout(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+
+	// Server never replies.
+	if _, err := NewRPC(nw, 1, func(wire.NodeID, uint64, wire.Msg) {}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewRPC(nw, 0, func(wire.NodeID, uint64, wire.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Call(ctx, 1, &wire.Remove{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRPCNotifyOneWay(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+
+	got := make(chan wire.Msg, 1)
+	if _, err := NewRPC(nw, 1, func(_ wire.NodeID, rid uint64, msg wire.Msg) {
+		if rid != 0 {
+			t.Errorf("notification carried rid %d", rid)
+		}
+		got <- msg
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewRPC(nw, 0, func(wire.NodeID, uint64, wire.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Notify(1, &wire.Remove{Txn: wire.TxnID{Node: 0, Seq: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.(*wire.Remove).Txn.Seq != 3 {
+			t.Fatal("notification corrupted")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("notification not delivered")
+	}
+}
+
+func TestRPCConcurrentCalls(t *testing.T) {
+	nw := NewInProc(InProcConfig{DisableLatency: true})
+	defer func() { _ = nw.Close() }()
+
+	var srv *RPC
+	srvRPC, err := NewRPC(nw, 1, echoServer(&srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = srvRPC
+	cli, err := NewRPC(nw, 0, func(wire.NodeID, uint64, wire.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cli.Call(context.Background(), 1, &wire.DecideAck{Txn: wire.TxnID{Seq: uint64(i)}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resp.(*wire.DecideAck).Txn.Seq; got != uint64(i) {
+				errs <- fmt.Errorf("call %d got response %d", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func newTCPPair(t *testing.T) (*TCP, *RPC, *RPC) {
+	t.Helper()
+	nw := NewTCP(map[wire.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
+	// Join with port 0 requires re-resolution: join node 0 first, then
+	// rewrite the book with the bound address so node 1 can dial it.
+	var srv *RPC
+	s, err := NewRPC(nw, 0, func(from wire.NodeID, rid uint64, msg wire.Msg) {
+		if rid != 0 {
+			_ = srv.Reply(from, rid, msg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = s
+	addr0, _ := nw.Addr(0)
+	nw.addrs[0] = addr0
+	cli, err := NewRPC(nw, 1, func(wire.NodeID, uint64, wire.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1, _ := nw.Addr(1)
+	nw.addrs[1] = addr1
+	t.Cleanup(func() { _ = nw.Close() })
+	return nw, s, cli
+}
+
+func TestTCPCallRoundTrip(t *testing.T) {
+	_, _, cli := newTCPPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Call(ctx, 0, &wire.Vote{Txn: wire.TxnID{Node: 1, Seq: 4}, VC: nil, OK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := resp.(*wire.Vote)
+	if v.Txn.Seq != 4 || !v.OK {
+		t.Fatalf("response corrupted: %+v", v)
+	}
+}
+
+func TestTCPManyConcurrentCalls(t *testing.T) {
+	_, _, cli := newTCPPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const n = 100
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cli.Call(ctx, 0, &wire.DecideAck{Txn: wire.TxnID{Seq: uint64(i)}})
+			if err != nil || resp.(*wire.DecideAck).Txn.Seq != uint64(i) {
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d/%d calls failed", failures.Load(), n)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	nw := NewTCP(map[wire.NodeID]string{0: "127.0.0.1:0"})
+	defer func() { _ = nw.Close() }()
+	got := make(chan wire.Msg, 1)
+	ep, err := nw.Join(0, func(env wire.Envelope) { got <- env.Msg })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(0, wire.Envelope{Msg: &wire.Remove{Txn: wire.TxnID{Seq: 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.(*wire.Remove).Txn.Seq != 8 {
+			t.Fatal("loopback corrupted")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("loopback not delivered")
+	}
+}

@@ -1,0 +1,259 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(4)
+	if !v.IsZero() {
+		t.Fatalf("New(4) = %v, want zero", v)
+	}
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := VC{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases original: %v", v)
+	}
+	if nilClone := VC(nil).Clone(); nilClone != nil {
+		t.Fatalf("Clone(nil) = %v, want nil", nilClone)
+	}
+}
+
+func TestMaxInto(t *testing.T) {
+	a := VC{1, 5, 3}
+	b := VC{2, 4, 3}
+	a.MaxInto(b)
+	want := VC{2, 5, 3}
+	if !a.Equal(want) {
+		t.Fatalf("MaxInto = %v, want %v", a, want)
+	}
+	if !b.Equal(VC{2, 4, 3}) {
+		t.Fatalf("MaxInto mutated argument: %v", b)
+	}
+}
+
+func TestMaxFresh(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{2, 1}
+	m := Max(a, b)
+	if !m.Equal(VC{2, 2}) {
+		t.Fatalf("Max = %v, want [2 2]", m)
+	}
+	if !a.Equal(VC{1, 2}) || !b.Equal(VC{2, 1}) {
+		t.Fatal("Max mutated an input")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want Ordering
+	}{
+		{"equal", VC{1, 2}, VC{1, 2}, OrderingEqual},
+		{"before", VC{1, 2}, VC{1, 3}, OrderingBefore},
+		{"after", VC{4, 2}, VC{1, 2}, OrderingAfter},
+		{"concurrent", VC{1, 2}, VC{2, 1}, OrderingConcurrent},
+		{"zero before", VC{0, 0}, VC{0, 1}, OrderingBefore},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Fatalf("Compare(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLessEdgeCases(t *testing.T) {
+	if (VC{1, 2}).Less(VC{1, 2}) {
+		t.Fatal("v.Less(v) must be false")
+	}
+	if !(VC{1, 2}).Less(VC{1, 3}) {
+		t.Fatal("[1 2] < [1 3] must hold")
+	}
+	if (VC{1, 2}).Less(VC{2, 1}) {
+		t.Fatal("concurrent clocks must not be Less")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	_ = (VC{1}).LessEq(VC{1, 2})
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		OrderingEqual:      "equal",
+		OrderingBefore:     "before",
+		OrderingAfter:      "after",
+		OrderingConcurrent: "concurrent",
+		Ordering(0):        "invalid",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 42}).String(); got != "[1 0 42]" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (VC{}).String(); got != "[]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []VC{{}, {0}, {1, 2, 3}, {1 << 60, 0, 7, 123456789}}
+	for _, v := range cases {
+		buf := v.AppendBinary(nil)
+		got, n, err := DecodeFrom(buf)
+		if err != nil {
+			t.Fatalf("DecodeFrom(%v): %v", v, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeFrom(nil); err == nil {
+		t.Fatal("DecodeFrom(nil) should fail")
+	}
+	// Truncated entry: width says 2 but only one entry present.
+	buf := (VC{5, 6}).AppendBinary(nil)
+	if _, _, err := DecodeFrom(buf[:len(buf)-1]); err == nil {
+		t.Fatal("DecodeFrom(truncated) should fail")
+	}
+	// Implausible width.
+	huge := make([]byte, 0, 8)
+	huge = appendUvarint(huge, 1<<30)
+	if _, _, err := DecodeFrom(huge); err == nil {
+		t.Fatal("DecodeFrom(huge width) should fail")
+	}
+}
+
+func appendUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// --- property-based tests on the vector-clock lattice ---
+
+func randVC(r *rand.Rand, width int) VC {
+	v := New(width)
+	for i := range v {
+		v[i] = uint64(r.Intn(8))
+	}
+	return v
+}
+
+func TestPropMaxIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 5), randVC(r, 5)
+		m := Max(a, b)
+		return a.LessEq(m) && b.LessEq(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMaxIsLeastUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r, 4), randVC(r, 4), randVC(r, 4)
+		if !a.LessEq(c) || !b.LessEq(c) {
+			return true // vacuous: c is not an upper bound
+		}
+		return Max(a, b).LessEq(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 5), randVC(r, 5)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case OrderingEqual:
+			return ba == OrderingEqual
+		case OrderingBefore:
+			return ba == OrderingAfter
+		case OrderingAfter:
+			return ba == OrderingBefore
+		case OrderingConcurrent:
+			return ba == OrderingConcurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropLessEqTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r, 4), randVC(r, 4), randVC(r, 4)
+		if a.LessEq(b) && b.LessEq(c) {
+			return a.LessEq(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randVC(r, 1+r.Intn(16))
+		got, n, err := DecodeFrom(v.AppendBinary(nil))
+		return err == nil && n > 0 && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMaxCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r, 6), randVC(r, 6), randVC(r, 6)
+		comm := Max(a, b).Equal(Max(b, a))
+		assoc := Max(Max(a, b), c).Equal(Max(a, Max(b, c)))
+		idem := Max(a, a).Equal(a)
+		return comm && assoc && idem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

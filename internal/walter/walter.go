@@ -1,0 +1,311 @@
+// Package walter implements the Walter competitor (Sovran et al., SOSP'11)
+// at the fidelity the paper evaluates it (§V): Parallel Snapshot Isolation
+// with per-site vector timestamps and preferred sites.
+//
+//   - Every transaction reads from a site-local snapshot (a vector of
+//     per-site sequence numbers); read-only transactions never validate,
+//     never lock and never abort.
+//   - Update transactions detect write-write conflicts only (PSI admits
+//     write skew and long state forks — the weaker isolation the paper
+//     contrasts with external consistency).
+//   - A transaction whose written keys all prefer the local site takes the
+//     fast-commit path (no remote round trips before the client reply);
+//     otherwise a slow commit runs 2PC against the written keys' preferred
+//     sites.
+//   - Committed write-sets propagate asynchronously to the other replicas,
+//     stamped (site, seq); visibility is seq <= snapshot[site].
+//
+// Disaster-tolerant geo-replication machinery from the original system is
+// out of scope (see DESIGN.md §3).
+package walter
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/lockmgr"
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Config tunes a Walter node.
+type Config struct {
+	LockTimeout time.Duration
+	VoteTimeout time.Duration
+	// MaxVersions bounds per-key version chains.
+	MaxVersions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Millisecond
+	}
+	if c.VoteTimeout <= 0 {
+		c.VoteTimeout = 500 * time.Millisecond
+	}
+	if c.MaxVersions <= 0 {
+		c.MaxVersions = 64
+	}
+	return c
+}
+
+// version is one committed version stamped by its coordinator site.
+type version struct {
+	val  []byte
+	site wire.NodeID
+	seq  uint64
+	prev *version
+}
+
+const numShards = 128
+
+type shard struct {
+	mu   sync.Mutex
+	keys map[string]*version // newest first
+}
+
+// Node is one Walter site.
+type Node struct {
+	id     wire.NodeID
+	n      int
+	cfg    Config
+	lookup cluster.Lookup
+	rpc    *transport.RPC
+	locks  *lockmgr.Table
+	stats  *metrics.Engine
+
+	shards []shard
+
+	clockMu sync.Mutex
+	nodeVC  vclock.VC // per-site applied sequence numbers
+	ownSeq  uint64    // sequence numbers this site has handed out
+
+	txnSeq atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[wire.TxnID]*pendingTxn
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New creates a Walter node with the given ID on net.
+func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cfg Config) (*Node, error) {
+	nd := &Node{
+		id:      id,
+		n:       n,
+		cfg:     cfg.withDefaults(),
+		lookup:  lookup,
+		locks:   lockmgr.New(),
+		stats:   &metrics.Engine{},
+		shards:  make([]shard, numShards),
+		nodeVC:  vclock.New(n),
+		pending: make(map[wire.TxnID]*pendingTxn),
+	}
+	for i := range nd.shards {
+		nd.shards[i].keys = make(map[string]*version)
+	}
+	rpc, err := transport.NewRPC(net, id, nd.serve)
+	if err != nil {
+		return nil, fmt.Errorf("walter: node %d: %w", id, err)
+	}
+	nd.rpc = rpc
+	return nd, nil
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() wire.NodeID { return nd.id }
+
+// Stats exposes the node's metrics.
+func (nd *Node) Stats() *metrics.Engine { return nd.stats }
+
+// Preload installs an initial value for key if this node replicates it.
+func (nd *Node) Preload(key string, val []byte) {
+	if nd.lookup.IsReplica(key, nd.id) {
+		sh := nd.shard(key)
+		sh.mu.Lock()
+		sh.keys[key] = &version{val: val}
+		sh.mu.Unlock()
+	}
+}
+
+// Close detaches the node from the network.
+func (nd *Node) Close() error {
+	nd.closed.Store(true)
+	err := nd.rpc.Close()
+	nd.wg.Wait()
+	return err
+}
+
+func (nd *Node) shard(key string) *shard {
+	return &nd.shards[fnv32(key)%numShards]
+}
+
+func fnv32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (nd *Node) snapshot() vclock.VC {
+	nd.clockMu.Lock()
+	defer nd.clockMu.Unlock()
+	return nd.nodeVC.Clone()
+}
+
+func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
+	if nd.closed.Load() {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.ReadRequest:
+		nd.handleRead(from, rid, m)
+	case *wire.Prepare:
+		nd.handlePrepare(from, rid, m)
+	case *wire.Decide:
+		nd.handleDecide(from, rid, m)
+	case *wire.WalterPropagate:
+		nd.applyWrites(m.Txn.Node, m.VC[m.Txn.Node], m.Writes)
+	default:
+	}
+}
+
+// handleRead returns the newest version visible in the requester's
+// snapshot: version (site, seq) is visible iff seq <= snapshot[site]. A
+// remote requester's snapshot is folded with the serving site's own (a
+// non-replica site never learns other sites' sequence numbers; reads at a
+// site observe that site's snapshot — PSI's site-local semantics).
+func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
+	snap := m.VC
+	if from != nd.id {
+		snap = vclock.Max(m.VC, nd.snapshot())
+	}
+	sh := nd.shard(m.Key)
+	sh.mu.Lock()
+	var resp wire.ReadReturn
+	for v := sh.keys[m.Key]; v != nil; v = v.prev {
+		if v.seq <= snap[v.site] {
+			resp = wire.ReadReturn{Val: v.val, Exists: true}
+			break
+		}
+	}
+	sh.mu.Unlock()
+	_ = nd.rpc.Reply(from, rid, &resp)
+}
+
+// handlePrepare runs the slow-commit prepare at a preferred site: lock the
+// written keys this site prefers and check write-write conflicts against
+// the transaction's snapshot.
+func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
+	var localWrites []string
+	for _, kvp := range m.Writes {
+		if nd.lookup.Primary(kvp.Key) == nd.id {
+			localWrites = append(localWrites, kvp.Key)
+		}
+	}
+	ok := nd.locks.AcquireAll(m.Txn, localWrites, nil, nd.cfg.LockTimeout)
+	if ok && !nd.noWriteConflict(localWrites, m.VC) {
+		nd.locks.ReleaseAll(m.Txn, localWrites, nil)
+		ok = false
+	}
+	if ok {
+		nd.mu.Lock()
+		nd.pending[m.Txn] = &pendingTxn{writes: m.Writes, locked: localWrites}
+		nd.mu.Unlock()
+	}
+	_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, OK: ok})
+}
+
+// pendingTxn is the participant-side state of a slow commit.
+type pendingTxn struct {
+	writes []wire.KV
+	locked []string
+}
+
+// noWriteConflict reports whether every key's newest version is inside the
+// snapshot (first-committer-wins on write-write conflicts; reads are never
+// checked — that is PSI).
+func (nd *Node) noWriteConflict(keys []string, snap vclock.VC) bool {
+	for _, k := range keys {
+		sh := nd.shard(k)
+		sh.mu.Lock()
+		v := sh.keys[k]
+		conflict := v != nil && v.seq > snap[v.site]
+		sh.mu.Unlock()
+		if conflict {
+			return false
+		}
+	}
+	return true
+}
+
+// handleDecide finishes a slow commit at a preferred site: the writes are
+// applied *before* the write locks are released, so the next conflict check
+// on these keys is guaranteed to observe them (first-committer-wins).
+func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
+	nd.mu.Lock()
+	pt := nd.pending[m.Txn]
+	delete(nd.pending, m.Txn)
+	nd.mu.Unlock()
+	if pt != nil {
+		if m.Commit {
+			nd.applyWrites(m.Txn.Node, m.VC[m.Txn.Node], pt.writes)
+		}
+		nd.locks.ReleaseAll(m.Txn, pt.locked, nil)
+	}
+	_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+}
+
+// applyWrites installs a committed transaction's writes stamped
+// (site, seq), keeping per-site descending order in each chain, then
+// advances the local view of the stamping site's clock.
+func (nd *Node) applyWrites(site wire.NodeID, seq uint64, writes []wire.KV) {
+	for _, kvp := range writes {
+		if !nd.lookup.IsReplica(kvp.Key, nd.id) {
+			continue
+		}
+		sh := nd.shard(kvp.Key)
+		sh.mu.Lock()
+		nv := &version{val: kvp.Val, site: site, seq: seq}
+		head := sh.keys[kvp.Key]
+		if head == nil || head.site != site || head.seq <= seq {
+			nv.prev = head
+			sh.keys[kvp.Key] = nv
+		} else {
+			// Late delivery from the same site: keep per-site order.
+			cur := head
+			for cur.prev != nil && cur.prev.site == site && cur.prev.seq > seq {
+				cur = cur.prev
+			}
+			nv.prev = cur.prev
+			cur.prev = nv
+		}
+		// Prune.
+		depth := 1
+		for v := sh.keys[kvp.Key]; v.prev != nil; v = v.prev {
+			depth++
+			if depth >= nd.cfg.MaxVersions {
+				v.prev = nil
+				break
+			}
+		}
+		sh.mu.Unlock()
+	}
+	nd.clockMu.Lock()
+	if seq > nd.nodeVC[site] {
+		nd.nodeVC[site] = seq
+	}
+	nd.clockMu.Unlock()
+}

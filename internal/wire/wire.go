@@ -1,0 +1,406 @@
+// Package wire defines the inter-node message vocabulary of the SSS protocol
+// and its competitors, together with a compact binary codec used by the TCP
+// transport (the paper's "metadata compression").
+//
+// Messages are deliberately plain data: all protocol logic lives in the
+// engine packages. Every message type is assigned a priority class; the
+// transport maintains one queue (and, over TCP, one stream) per class so
+// that latency-critical messages — above all Remove, which unblocks external
+// commits — are never stuck behind bulk traffic (paper §V).
+package wire
+
+import (
+	"fmt"
+
+	"github.com/sss-paper/sss/internal/vclock"
+)
+
+// NodeID identifies a node (site) in the cluster. IDs are dense, starting
+// at 0, and double as vector-clock indices.
+type NodeID int32
+
+// TxnID globally identifies a transaction: the node that coordinates it plus
+// a per-node sequence number. The zero TxnID is reserved for "no
+// transaction" (e.g. the writer of the genesis version).
+type TxnID struct {
+	Node NodeID
+	Seq  uint64
+}
+
+// IsZero reports whether t is the reserved empty transaction ID.
+func (t TxnID) IsZero() bool { return t.Node == 0 && t.Seq == 0 }
+
+// String renders t as "N<node>.<seq>".
+func (t TxnID) String() string { return fmt.Sprintf("N%d.%d", t.Node, t.Seq) }
+
+// EntryKind distinguishes read-only from update entries in a snapshot-queue.
+type EntryKind uint8
+
+// Snapshot-queue entry kinds ("R" and "W" in the paper).
+const (
+	EntryRead EntryKind = iota + 1
+	EntryWrite
+)
+
+// String returns the paper's one-letter name for the kind.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryRead:
+		return "R"
+	case EntryWrite:
+		return "W"
+	default:
+		return "?"
+	}
+}
+
+// SQEntry is one snapshot-queue tuple <T.id, insertion-snapshot, kind>.
+type SQEntry struct {
+	Txn  TxnID
+	SID  uint64 // insertion-snapshot: T.VC[i] at enqueue time on node i
+	Kind EntryKind
+}
+
+// MsgType tags every wire message for the codec and the priority classifier.
+type MsgType uint8
+
+// Message types. The set covers SSS (read, 2PC, pre-commit acks, remove
+// propagation) plus the extra verbs needed by the Walter and ROCOCO
+// competitor engines, which share the transport.
+const (
+	MsgReadRequest MsgType = iota + 1
+	MsgReadReturn
+	MsgPrepare
+	MsgVote
+	MsgDecide
+	MsgDecideAck
+	MsgRemove
+	MsgFwdRemove
+	MsgExtCommit
+	MsgWaitExternal
+	MsgWaitExternalAck
+	MsgWalterPropagate
+	MsgRococoDispatch
+	MsgRococoDispatchReply
+	MsgRococoCommit
+	MsgRococoCommitReply
+)
+
+// Priority is the transport service class of a message, lower is served
+// first.
+type Priority uint8
+
+// Priority classes, per the paper's optimized network component: Remove
+// messages get the highest priority because they enable external commits;
+// 2PC control traffic comes next; bulk read traffic last.
+const (
+	PrioRemove Priority = iota
+	PrioCommit
+	PrioRead
+	numPriorities
+)
+
+// NumPriorities is the number of transport service classes.
+const NumPriorities = int(numPriorities)
+
+// Msg is implemented by every wire message.
+type Msg interface {
+	Type() MsgType
+}
+
+// PriorityOf classifies a message type into its transport service class.
+func PriorityOf(t MsgType) Priority {
+	switch t {
+	case MsgRemove, MsgFwdRemove, MsgExtCommit:
+		return PrioRemove
+	case MsgPrepare, MsgVote, MsgDecide, MsgDecideAck,
+		MsgWaitExternal, MsgWaitExternalAck,
+		MsgRococoCommit, MsgRococoCommitReply, MsgWalterPropagate:
+		return PrioCommit
+	default:
+		return PrioRead
+	}
+}
+
+// Envelope frames a message for transport: the sender, an RPC correlation ID
+// (0 for one-way notifications), and whether this is a response.
+type Envelope struct {
+	From NodeID
+	RID  uint64
+	Resp bool
+	Msg  Msg
+}
+
+// ReadRequest asks a replica of Key for a version visible to transaction
+// Txn. VC and HasRead carry the transaction's current visibility bound;
+// IsUpdate selects the update-transaction fast path of Algorithm 6.
+type ReadRequest struct {
+	Txn      TxnID
+	Key      string
+	VC       vclock.VC
+	HasRead  []bool
+	IsUpdate bool
+	// Seen lists writers whose versions this read-only transaction has
+	// already observed: their versions must never be excluded again even
+	// if their snapshot-queue entries are still unflagged here.
+	Seen []TxnID
+	// Before lists writers this read-only transaction has serialized
+	// *before* (it read past their versions while they were parked):
+	// their versions — and any version causally dependent on them — must
+	// stay invisible for the rest of the transaction (sticky exclusion).
+	Before []ExWriter
+	// ObsVC is the entry-wise maximum over the commit clocks of the
+	// versions this read-only transaction has actually observed. Any
+	// version at or beneath it is causally part of the snapshot already:
+	// it must never be excluded, parked or not.
+	ObsVC vclock.VC
+}
+
+// ExWriter names a writer a reader serialized before, with the commit
+// vector clock of the version that was skipped (used for causal-dependency
+// closure: any version whose clock dominates it is skipped too).
+type ExWriter struct {
+	Txn TxnID
+	VC  vclock.VC
+}
+
+// ReadReturn answers a ReadRequest. VC is the maxVC of Algorithm 6 (the
+// bound the reader folds into T.VC); Propagated carries the snapshot-queue
+// R-entries an update transaction must propagate (its transitive
+// anti-dependencies); Writer identifies the transaction that produced the
+// returned version; Exists distinguishes a genuine version from "no such
+// key".
+type ReadReturn struct {
+	Val        []byte
+	Exists     bool
+	Writer     TxnID
+	VC         vclock.VC
+	Propagated []SQEntry
+	// Ver is the replica-local version counter of the key; used by the
+	// single-version 2PC-baseline competitor instead of VC.
+	Ver uint64
+	// PendingWriter, when non-zero, names the returned version's writer,
+	// which was still parked in the key's snapshot-queue (internally but
+	// not yet externally committed). The reader must delay its own
+	// completion until that writer externally commits (WaitExternal).
+	PendingWriter TxnID
+	// Excluded lists the writers whose versions this read skipped because
+	// they were parked and unflagged: the reader serialized before them
+	// and must keep excluding them (and their causal dependents).
+	Excluded []ExWriter
+	// VerVC is the returned version's commit vector clock (zero for the
+	// genesis version); readers fold it into their observed clock.
+	VerVC vclock.VC
+	// VerDeps is the returned version's (pruned, transitive) read-from
+	// dependency set: the writers that were still parked when the
+	// producing transaction read their versions, plus their own stored
+	// deps. Only these can appear in any reader's Before set.
+	VerDeps []TxnID
+}
+
+// KV is one buffered write shipped in a Prepare.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// Prepare opens 2PC for transaction Txn at a participant. ReadKeys lists
+// the keys the participant must shared-lock and validate against VC;
+// Writes lists the keys it must exclusive-lock and, on commit, apply.
+type Prepare struct {
+	Txn      TxnID
+	VC       vclock.VC
+	ReadKeys []string
+	Writes   []KV
+	// ReadVers carries, per entry of ReadKeys, the version the transaction
+	// read (2PC-baseline validation; empty for SSS).
+	ReadVers []uint64
+	// ReadFrom carries, per entry of ReadKeys, the writer of the version
+	// the transaction read. SSS validates by version identity: the paper's
+	// vid[i] comparison (Algorithm 1 line 29) is ambiguous when commit
+	// vector clocks are levelled to a shared xactVN (line 21–24 can give
+	// two conflicting writers an identical vid[i]), so we check that the
+	// read version is still the latest by comparing writers instead.
+	ReadFrom []TxnID
+	// Deps is the transaction's pruned transitive dependency set (see
+	// ReadReturn.VerDeps); stored on the versions it installs.
+	Deps []TxnID
+}
+
+// Vote is the participant's 2PC answer, carrying the proposed commit vector
+// clock of Algorithm 2 (NodeVC with the local entry incremented, when the
+// participant replicates a written key).
+type Vote struct {
+	Txn TxnID
+	VC  vclock.VC
+	OK  bool
+}
+
+// Decide closes 2PC. On commit, participants internally commit Txn
+// (CommitQ → NLog → versions visible), then run the pre-commit protocol:
+// enqueue a W-entry plus the coordinator-collected Propagated R-entries on
+// each written key's snapshot-queue and wait for older entries to drain.
+// The participant answers with DecideAck only after that drain — receipt of
+// all acks is the coordinator's external-commit point.
+type Decide struct {
+	Txn        TxnID
+	VC         vclock.VC
+	Commit     bool
+	Propagated []SQEntry
+}
+
+// DecideAck signals that the participant finished the pre-commit wait for
+// Txn (Algorithm 4's Ack).
+type DecideAck struct {
+	Txn TxnID
+}
+
+// Remove tells a node that read-only transaction Txn completed: every
+// snapshot-queue entry it owns on that node must be deleted, unblocking
+// parked update transactions. It is the highest-priority message.
+type Remove struct {
+	Txn TxnID
+}
+
+// ExtCommit drives the two-phase cleanup of Txn's snapshot-queue W entries.
+// W entries persist from internal commit until *external* commit so that
+// every reader can tell whether the version it selected is still
+// provisional. The freeze phase (Purge=false, acked, completed before the
+// coordinator replies to its client) flags the entries as externally
+// committed; the purge phase (Purge=true, one-way, after the reply) deletes
+// them. The split closes the race where one replica's entry is already
+// gone while another's still looks provisional.
+type ExtCommit struct {
+	Txn   TxnID
+	Purge bool
+}
+
+// WaitExternal subscribes to Txn's external commit at its coordinator. The
+// coordinator answers with WaitExternalAck once Txn's client response is
+// (about to be) released. Transactions that read a version whose writer was
+// still parked in a snapshot-queue use this to delay their own completion
+// until that writer's completion, preserving the external schedule.
+type WaitExternal struct {
+	Txn TxnID
+}
+
+// WaitExternalAck answers WaitExternal.
+type WaitExternalAck struct {
+	Txn TxnID
+}
+
+// FwdRemove is sent to the coordinator of an update transaction that
+// propagated RO's snapshot-queue entries into its written keys' queues; the
+// coordinator relays a Remove to those replicas (transitive
+// anti-dependency cleanup, §III-C).
+type FwdRemove struct {
+	RO TxnID
+}
+
+// WalterPropagate asynchronously ships a committed Walter transaction's
+// write-set to secondary replicas.
+type WalterPropagate struct {
+	Txn    TxnID
+	VC     vclock.VC
+	Writes []KV
+}
+
+// RococoDispatch delivers the pieces of a ROCOCO transaction touching this
+// server during the dispatch round.
+type RococoDispatch struct {
+	Txn      TxnID
+	ReadKeys []string
+	Writes   []KV
+}
+
+// RococoDispatchReply returns the server's dependency information: the
+// highest sequence number proposed for Txn plus the set of concurrent
+// conflicting transactions observed.
+type RococoDispatchReply struct {
+	Txn      TxnID
+	Seq      uint64
+	Deps     []TxnID
+	Versions []uint64 // versions of ReadKeys at dispatch, for RO rounds
+	Vals     [][]byte
+	Exists   []bool
+}
+
+// RococoCommit starts the commit round with the agreed sequence number.
+type RococoCommit struct {
+	Txn TxnID
+	Seq uint64
+}
+
+// RococoCommitReply confirms the server executed Txn's pieces.
+type RococoCommitReply struct {
+	Txn  TxnID
+	Vals [][]byte
+}
+
+// Compile-time interface checks.
+var (
+	_ Msg = (*ReadRequest)(nil)
+	_ Msg = (*ReadReturn)(nil)
+	_ Msg = (*Prepare)(nil)
+	_ Msg = (*Vote)(nil)
+	_ Msg = (*Decide)(nil)
+	_ Msg = (*DecideAck)(nil)
+	_ Msg = (*Remove)(nil)
+	_ Msg = (*FwdRemove)(nil)
+	_ Msg = (*ExtCommit)(nil)
+	_ Msg = (*WaitExternal)(nil)
+	_ Msg = (*WaitExternalAck)(nil)
+	_ Msg = (*WalterPropagate)(nil)
+	_ Msg = (*RococoDispatch)(nil)
+	_ Msg = (*RococoDispatchReply)(nil)
+	_ Msg = (*RococoCommit)(nil)
+	_ Msg = (*RococoCommitReply)(nil)
+)
+
+// Type implements Msg.
+func (*ReadRequest) Type() MsgType { return MsgReadRequest }
+
+// Type implements Msg.
+func (*ReadReturn) Type() MsgType { return MsgReadReturn }
+
+// Type implements Msg.
+func (*Prepare) Type() MsgType { return MsgPrepare }
+
+// Type implements Msg.
+func (*Vote) Type() MsgType { return MsgVote }
+
+// Type implements Msg.
+func (*Decide) Type() MsgType { return MsgDecide }
+
+// Type implements Msg.
+func (*DecideAck) Type() MsgType { return MsgDecideAck }
+
+// Type implements Msg.
+func (*Remove) Type() MsgType { return MsgRemove }
+
+// Type implements Msg.
+func (*FwdRemove) Type() MsgType { return MsgFwdRemove }
+
+// Type implements Msg.
+func (*ExtCommit) Type() MsgType { return MsgExtCommit }
+
+// Type implements Msg.
+func (*WaitExternal) Type() MsgType { return MsgWaitExternal }
+
+// Type implements Msg.
+func (*WaitExternalAck) Type() MsgType { return MsgWaitExternalAck }
+
+// Type implements Msg.
+func (*WalterPropagate) Type() MsgType { return MsgWalterPropagate }
+
+// Type implements Msg.
+func (*RococoDispatch) Type() MsgType { return MsgRococoDispatch }
+
+// Type implements Msg.
+func (*RococoDispatchReply) Type() MsgType { return MsgRococoDispatchReply }
+
+// Type implements Msg.
+func (*RococoCommit) Type() MsgType { return MsgRococoCommit }
+
+// Type implements Msg.
+func (*RococoCommitReply) Type() MsgType { return MsgRococoCommitReply }

@@ -1,0 +1,55 @@
+// Package kv defines the public transactional key-value vocabulary shared
+// by the SSS engine and the competitor engines (2PC-baseline, Walter,
+// ROCOCO): the Store/Txn interfaces and the error values every engine
+// reports.
+//
+// All four engines in this repository implement Store, which is what lets
+// the benchmark harness drive them identically — mirroring the paper's
+// methodology of re-implementing every competitor on the same
+// infrastructure (§V).
+package kv
+
+import "errors"
+
+// Store is a transactional key-value store embedded in one node of a
+// cluster. Clients are co-located with nodes (§II): a Store handle is bound
+// to its node, and transactions begun on it are coordinated there.
+type Store interface {
+	// Begin starts a transaction. Read-only transactions must be declared
+	// (§II: "SSS requires programmer to identify whether a transaction is
+	// update or read-only"); in exchange SSS never aborts them.
+	Begin(readOnly bool) Txn
+}
+
+// Txn is a transaction handle. Handles are not safe for concurrent use by
+// multiple goroutines; a transaction is one client's sequential program.
+type Txn interface {
+	// Read returns the value of key visible to this transaction, and
+	// whether the key exists.
+	Read(key string) ([]byte, bool, error)
+	// Write buffers an update of key. It fails on read-only transactions.
+	Write(key string, val []byte) error
+	// Commit finishes the transaction. For update transactions the call
+	// returns only at external commit — after every concurrency-control
+	// obligation to concurrent readers is discharged — so the moment
+	// Commit returns is the paper's client-observable completion point.
+	// It returns ErrAborted if validation or locking failed.
+	Commit() error
+	// Abort abandons the transaction. Safe to call after a failed Commit.
+	Abort() error
+}
+
+// Errors shared by all engines.
+var (
+	// ErrAborted reports that the transaction lost a conflict (failed
+	// validation, lock timeout, or competitor-specific interference) and
+	// its effects were discarded. Callers typically retry.
+	ErrAborted = errors.New("kv: transaction aborted")
+	// ErrReadOnlyWrite reports a Write on a read-only transaction.
+	ErrReadOnlyWrite = errors.New("kv: write in read-only transaction")
+	// ErrTxnDone reports use of a finished transaction handle.
+	ErrTxnDone = errors.New("kv: transaction already finished")
+	// ErrUnavailable reports that the node could not reach the replicas
+	// it needed within its timeouts.
+	ErrUnavailable = errors.New("kv: replicas unavailable")
+)

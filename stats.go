@@ -1,0 +1,110 @@
+package sss
+
+import (
+	"time"
+
+	"github.com/sss-paper/sss/internal/bench"
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/kv"
+)
+
+// LatencySummary is a point-in-time latency distribution summary.
+type LatencySummary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// NodeStats is a snapshot of one node's counters.
+type NodeStats struct {
+	// Commits counts externally committed update transactions this node
+	// coordinated; ReadOnly counts completed read-only transactions;
+	// Aborts counts update transactions that failed validation or
+	// locking (always zero for read-only transactions on the SSS engine).
+	Commits  uint64
+	ReadOnly uint64
+	Aborts   uint64
+	// AbortRate is Aborts / (Commits + Aborts).
+	AbortRate float64
+
+	// UpdateLatency covers begin → external commit (the client-observable
+	// completion). InternalLatency covers begin → commit decision, and
+	// PreCommitWait the decision → external-commit interval — the
+	// snapshot-queuing delay the paper bounds at ~30% of total latency.
+	UpdateLatency   LatencySummary
+	InternalLatency LatencySummary
+	PreCommitWait   LatencySummary
+	ReadOnlyLatency LatencySummary
+
+	// ExternalWaits counts completions delayed behind a parked writer;
+	// DrainTimeouts counts safety-cap expirations (0 in healthy runs).
+	ExternalWaits uint64
+	DrainTimeouts uint64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	s := n.stats
+	return NodeStats{
+		Commits:         s.Commits.Load(),
+		ReadOnly:        s.ReadOnlyRuns.Load(),
+		Aborts:          s.Aborts.Load(),
+		AbortRate:       s.AbortRate(),
+		UpdateLatency:   summary(&s.CommitLatency),
+		InternalLatency: summary(&s.InternalLatency),
+		PreCommitWait:   summary(&s.PreCommitWait),
+		ReadOnlyLatency: summary(&s.ReadOnlyLatency),
+		ExternalWaits:   s.ExternalWaits.Load(),
+		DrainTimeouts:   s.DrainTimeouts.Load(),
+	}
+}
+
+// Stats aggregates all nodes' snapshots.
+func (c *Cluster) Stats() NodeStats {
+	agg := &metrics.Engine{}
+	var out NodeStats
+	for _, n := range c.nodes {
+		s := n.stats
+		out.Commits += s.Commits.Load()
+		out.ReadOnly += s.ReadOnlyRuns.Load()
+		out.Aborts += s.Aborts.Load()
+		out.ExternalWaits += s.ExternalWaits.Load()
+		out.DrainTimeouts += s.DrainTimeouts.Load()
+		agg.CommitLatency.Merge(&s.CommitLatency)
+		agg.InternalLatency.Merge(&s.InternalLatency)
+		agg.PreCommitWait.Merge(&s.PreCommitWait)
+		agg.ReadOnlyLatency.Merge(&s.ReadOnlyLatency)
+	}
+	if out.Commits+out.Aborts > 0 {
+		out.AbortRate = float64(out.Aborts) / float64(out.Commits+out.Aborts)
+	}
+	out.UpdateLatency = summary(&agg.CommitLatency)
+	out.InternalLatency = summary(&agg.InternalLatency)
+	out.PreCommitWait = summary(&agg.PreCommitWait)
+	out.ReadOnlyLatency = summary(&agg.ReadOnlyLatency)
+	return out
+}
+
+func summary(h *metrics.Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{Count: s.Count, Mean: s.Mean, P50: s.P50, P99: s.P99, Max: s.Max}
+}
+
+// engineMetrics exposes the raw metrics to in-module harness code (the
+// benchmark runner); not part of the public API surface.
+func (n *Node) engineMetrics() *metrics.Engine { return n.stats }
+
+// HarnessNode adapts a Node for the internal benchmark harness
+// (cmd/sss-bench and bench_test.go). The returned value's type lives in an
+// internal package; external modules should use Begin/Stats directly.
+func HarnessNode(n *Node) bench.Node { return harnessAdapter{n} }
+
+type harnessAdapter struct{ n *Node }
+
+// Begin implements bench.Node.
+func (h harnessAdapter) Begin(readOnly bool) kv.Txn { return h.n.Begin(readOnly) }
+
+// Stats implements bench.Node.
+func (h harnessAdapter) Stats() *metrics.Engine { return h.n.stats }
