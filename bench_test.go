@@ -24,9 +24,9 @@ import (
 // benchNode adapts the public Node to the harness interface.
 type benchNode struct{ n *Node }
 
-func (b benchNode) Begin(readOnly bool) kv.Txn    { return b.n.Begin(readOnly) }
-func (b benchNode) Stats() *metrics.Engine        { return b.n.engineMetrics() }
-func harnessNodes(c *Cluster) []bench.Node        { return mapNodes(c) }
+func (b benchNode) Begin(readOnly bool) kv.Txn { return b.n.Begin(readOnly) }
+func (b benchNode) Stats() *metrics.Engine     { return b.n.engineMetrics() }
+func harnessNodes(c *Cluster) []bench.Node     { return mapNodes(c) }
 func mapNodes(c *Cluster) (out []bench.Node) {
 	for i := 0; i < c.NumNodes(); i++ {
 		out = append(out, benchNode{c.Node(i)})

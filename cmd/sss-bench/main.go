@@ -29,6 +29,10 @@ var (
 	nodesCSV = flag.String("nodes", "2,4,6", "node counts to sweep (paper: 5,10,15,20)")
 	clients  = flag.Int("clients", 10, "closed-loop clients per node (paper: 10)")
 	seed     = flag.Int64("seed", 1, "workload seed")
+	batchMax = flag.Int("batch-max", 0, "max envelopes per transport batch (0 = default 64)")
+	batchWin = flag.Duration("batch-window", 0, "sender flush window (0 = flush immediately)")
+	workers  = flag.Int("inbound-workers", 0, "inbound dispatch pool size per node (0 = default)")
+	netStats = flag.Bool("net-stats", false, "print per-point transport batching stats")
 )
 
 func main() {
@@ -72,7 +76,12 @@ func parseInts(csv string) ([]int, error) {
 
 // point runs one measurement and returns the result.
 func point(eng sss.Engine, nodes, degree int, w ycsb.Config, clientsPerNode int) bench.Result {
-	c, err := sss.New(sss.Options{Nodes: nodes, ReplicationDegree: degree, Engine: eng})
+	c, err := sss.New(sss.Options{
+		Nodes: nodes, ReplicationDegree: degree, Engine: eng,
+		BatchMaxEnvelopes: *batchMax,
+		BatchFlushWindow:  *batchWin,
+		TransportWorkers:  *workers,
+	})
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
 	}
@@ -84,7 +93,7 @@ func point(eng sss.Engine, nodes, degree int, w ycsb.Config, clientsPerNode int)
 	for i := 0; i < c.NumNodes(); i++ {
 		hn = append(hn, sss.HarnessNode(c.Node(i)))
 	}
-	return bench.Run(hn, bench.Options{
+	res := bench.Run(hn, bench.Options{
 		Workload:       w,
 		ClientsPerNode: clientsPerNode,
 		Duration:       *duration,
@@ -92,6 +101,10 @@ func point(eng sss.Engine, nodes, degree int, w ycsb.Config, clientsPerNode int)
 		Seed:           *seed,
 		Lookup:         cluster.NewLookup(nodes, degree),
 	})
+	if *netStats {
+		fmt.Printf("    [net %s n=%d] %s\n", eng, nodes, c.TransportMetrics().Snapshot())
+	}
+	return res
 }
 
 func header(title string) {

@@ -39,6 +39,9 @@ var (
 	peers      = flag.String("peers", "127.0.0.1:7000", "comma-separated node addresses")
 	clientAddr = flag.String("client-addr", ":8000", "listen address for the client protocol")
 	degree     = flag.Int("replication", 2, "replication degree")
+	batchMax   = flag.Int("batch-max", 0, "max envelopes per transport batch frame (0 = default 64)")
+	batchWin   = flag.Duration("batch-window", 0, "flush window per-peer senders wait to accumulate batches (0 = flush immediately)")
+	workers    = flag.Int("inbound-workers", 0, "inbound dispatch pool size (0 = 8×GOMAXPROCS, clamped to [32, 256])")
 )
 
 func main() {
@@ -51,7 +54,11 @@ func main() {
 	for i, a := range addrs {
 		book[wire.NodeID(i)] = strings.TrimSpace(a)
 	}
-	net_ := transport.NewTCP(book)
+	net_ := transport.NewTCPTuned(book, transport.Tuning{
+		MaxBatch:    *batchMax,
+		FlushWindow: *batchWin,
+		Workers:     *workers,
+	})
 	lookup := cluster.NewLookup(len(addrs), *degree)
 	node, err := engine.New(net_, wire.NodeID(*id), len(addrs), lookup, engine.Config{})
 	if err != nil {

@@ -1,0 +1,3 @@
+module github.com/sss-paper/sss
+
+go 1.24

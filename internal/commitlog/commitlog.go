@@ -65,7 +65,13 @@ type Log struct {
 	count      int
 	capacity   int
 	mostRecent vclock.VC // entry-wise max over all applied commits
-	applied    uint64    // total applied, for stats
+	// external is the entry-wise max over the commit clocks of transactions
+	// this node *coordinated* to external commit. A pure coordinator (not a
+	// write replica) records no NLog entry, so without this clock a later
+	// transaction on the same node could begin beneath a commit whose client
+	// reply it causally follows — an external-consistency violation.
+	external vclock.VC
+	applied  uint64 // total applied, for stats
 }
 
 // DefaultCapacity is the default NLog retention (see DESIGN.md §3).
@@ -84,6 +90,7 @@ func New(self, n, capacity int) *Log {
 		entries:    make([]Entry, capacity),
 		capacity:   capacity,
 		mostRecent: vclock.New(n),
+		external:   vclock.New(n),
 		// The genesis entry makes the visible set non-empty for any bound.
 		genesis: Entry{VC: vclock.New(n)},
 	}
@@ -103,6 +110,58 @@ func (l *Log) MostRecentVC() vclock.VC {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.mostRecent.Clone()
+}
+
+// RecordExternal folds the commit clock of an externally-committed
+// transaction this node coordinated or froze. It deliberately does not
+// touch mostRecent: mostRecent[self] tracks the in-order apply frontier,
+// and the folded clock may reference slots still draining elsewhere.
+func (l *Log) RecordExternal(vc vclock.VC) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.external.MaxInto(vc)
+}
+
+// ExternalVC returns the node's externally-committed knowledge clock: the
+// join of the commit clocks recorded via RecordExternal. Unlike mostRecent
+// it never covers applied-but-parked transactions, so it is safe to fold
+// into other transactions' clocks without fabricating dependencies.
+func (l *Log) ExternalVC() vclock.VC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.external.Clone()
+}
+
+// FoldExternalInto folds the externally-committed knowledge clock into vc
+// in place — the allocation-free form of ExternalVC for hot read paths.
+func (l *Log) FoldExternalInto(vc vclock.VC) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	vc.MaxInto(l.external)
+}
+
+// AppliedSelf returns mostRecent[self]: the node's in-order apply frontier,
+// without cloning the whole clock.
+func (l *Log) AppliedSelf() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mostRecent[l.self]
+}
+
+// SnapshotVC returns the clock a fresh transaction on this node must adopt:
+// the applied frontier joined with every commit this node coordinated to
+// external commit (client replies preceding the transaction's begin,
+// including the write replicas' external-commit stamps). Covering the
+// applied frontier orders the transaction after every version its node has
+// already exposed, which keeps concurrent readers' cuts aligned; covering
+// the external clock is what makes real-time order binding for pure
+// coordinators.
+func (l *Log) SnapshotVC() vclock.VC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.mostRecent.Clone()
+	out.MaxInto(l.external)
+	return out
 }
 
 // Applied returns the total number of applied commits (excluding genesis).

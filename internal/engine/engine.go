@@ -22,6 +22,7 @@ import (
 	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/internal/mvstore"
 	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/vclock"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -89,6 +90,11 @@ type Node struct {
 	stats  *metrics.Engine
 
 	txnSeq atomic.Uint64
+	// extFrontier is the largest external-commit stamp flagged at this
+	// node. First-contact read bounds are raised to it so that a fresh
+	// reader always covers every transaction already externally committed
+	// here, even when the reader's coordinator has not heard of them.
+	extFrontier atomic.Uint64
 
 	mu sync.Mutex
 	// pending tracks transactions prepared at this participant, keyed by
@@ -121,6 +127,9 @@ type Node struct {
 type parkedState struct {
 	keys []string
 	sid  uint64
+	// vc is the transaction's commit clock, folded into the node's
+	// externally-committed knowledge clock at the freeze.
+	vc vclock.VC
 }
 
 // participantTxn is the participant-side state of a prepared transaction.
@@ -189,8 +198,10 @@ func (nd *Node) Close() error {
 	return err
 }
 
-// serve dispatches inbound protocol messages. It runs on a fresh goroutine
-// per message (transport contract), so blocking handlers are safe.
+// serve dispatches inbound protocol messages. It runs on a transport pool
+// worker — or a spill goroutine when the pool is saturated — so blocking
+// handlers (handleDecide's drain wait above all) are safe and can never
+// stall dispatch of the messages that would unblock them.
 func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 	if nd.closed.Load() {
 		return

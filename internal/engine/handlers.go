@@ -24,7 +24,14 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// from other replicas' clocks), so a later read here may demand a
 	// version this node has not applied yet — without the wait it would
 	// silently fall back to an older version and fracture the snapshot.
-	nd.log.WaitMostRecent(m.VC[nd.idx], nd.cfg.DrainTimeout)
+	// The observed clock is part of the bound: versions at or beneath it
+	// belong to the reader's snapshot, so they must be applied before the
+	// walk, or the reader would silently miss them.
+	waitBound := m.VC[nd.idx]
+	if len(m.ObsVC) > nd.idx && m.ObsVC[nd.idx] > waitBound {
+		waitBound = m.ObsVC[nd.idx]
+	}
+	nd.log.WaitMostRecent(waitBound, nd.cfg.DrainTimeout)
 
 	// Exclusion set: versions written by transactions whose W entry is not
 	// yet flagged (internally but not externally committed) are invisible
@@ -35,21 +42,13 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// does everything causally dependent on them; this stickiness is what
 	// makes all read-only transactions agree on the order of concurrent
 	// update transactions (§III-C, Figure 2 — see DESIGN.md §6).
-	unflagged := nd.store.SQUnflaggedWriters(m.Key)
 	seen := make(map[wire.TxnID]struct{}, len(m.Seen))
 	for _, s := range m.Seen {
 		seen[s] = struct{}{}
 	}
-	excluded := make(map[wire.TxnID]struct{}, len(unflagged)+len(m.Before))
-	for w := range unflagged {
-		if _, ok := seen[w]; !ok {
-			excluded[w] = struct{}{}
-		}
-	}
-	beforeVCs := make([]vclock.VC, 0, len(m.Before))
+	beforeIDs := make(map[wire.TxnID]struct{}, len(m.Before))
 	for _, b := range m.Before {
-		excluded[b.Txn] = struct{}{}
-		beforeVCs = append(beforeVCs, b.VC)
+		beforeIDs[b.Txn] = struct{}{}
 	}
 
 	var maxVC vclock.VC
@@ -58,25 +57,53 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 		// visibility bound here (Algorithm 6 lines 16–21).
 		maxVC = m.VC
 	} else {
-		// First contact (lines 4–14). The bound folds the reader's
-		// observed clock so that versions it has causally observed always
-		// pass the per-version filters.
+		// First contact (lines 4–14): the bound folds every applied commit
+		// visible under the reader's incoming clock — except those of
+		// excluded (parked, unflagged) writers, whose slots must stay
+		// outside the bound — then joins the reader's observed clock so
+		// that versions it causally observed always pass the per-version
+		// filters. The probe exclusion set here may race a concurrent
+		// internal commit; the authoritative set is recomputed atomically
+		// with the walk inside ReadRO below.
+		probe := nd.store.SQUnflaggedWriters(m.Key)
+		excluded := make(map[wire.TxnID]struct{}, len(probe)+len(beforeIDs))
+		for w := range probe {
+			if _, ok := seen[w]; !ok {
+				excluded[w] = struct{}{}
+			}
+		}
+		for id := range beforeIDs {
+			excluded[id] = struct{}{}
+		}
 		maxVC = nd.log.VisibleMax(m.HasRead, m.VC, excluded)
 		if m.ObsVC != nil {
 			maxVC.MaxInto(m.ObsVC)
 		}
+		// The bound never starts beneath the node's externally-committed
+		// knowledge: everything externally committed here by now is inside
+		// any fresh reader's snapshot (stamps dominate slots, so the
+		// frontier covers both the stamp and the slot filters; the
+		// knowledge clock extends the same guarantee to the commits this
+		// node has merely witnessed).
+		nd.log.FoldExternalInto(maxVC)
+		if ef := nd.extFrontier.Load(); ef > maxVC[nd.idx] {
+			maxVC[nd.idx] = ef
+		}
 	}
 
-	// Two-pass read. The first (probe) walk discovers which parked writers
-	// this reader will skip; the R entry is then inserted with an
-	// insertion-snapshot strictly below all of them, so their freeze
-	// phases (and hence client replies) wait for this reader's completion.
-	// The second walk is authoritative: because the entry is already in
-	// place, no writer the second walk skips can slip its freeze through
-	// the insert gap. The insert is atomic with handleRemove (via nd.mu +
-	// tombstone): deliveries are unordered, so T's Remove may overtake a
-	// slow read request, and a late insert would otherwise park writers
-	// forever.
+	// Two-pass read. The R entry is inserted at the reader's bound first;
+	// the walk (ReadRO) then runs with the entry already in place, so no
+	// writer the walk skips can slip its freeze through the insert gap,
+	// and because ReadRO recomputes the parked set atomically with the
+	// version walk, a writer that internally commits between the passes is
+	// either excluded or legitimately observed — never observed while
+	// missing its exclusion. If the walk skips a version beneath the
+	// entry's insertion-snapshot, the entry is re-inserted lower, so the
+	// skipped writers' freeze phases (and hence client replies) wait for
+	// this reader's completion. The insert is atomic with handleRemove
+	// (via nd.mu + tombstone): deliveries are unordered, so T's Remove may
+	// overtake a slow read request, and a late insert would otherwise park
+	// writers forever.
 	sid := maxVC[nd.idx]
 	lower := func(skips []wire.ExWriter) {
 		for _, ex := range skips {
@@ -85,21 +112,6 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 			}
 		}
 	}
-	// Every unflagged parked writer this reader does not already see is an
-	// exclusion — even when its version is not applied yet (it may still
-	// be queued behind the CommitQ head). These queue-level exclusions are
-	// reported to the reader so they stay sticky, and they lower the
-	// reader's insertion-snapshot so the writers' freezes wait for it.
-	queueSkips := make([]wire.ExWriter, 0, len(unflagged))
-	for w, wsid := range unflagged {
-		if _, ok := seen[w]; ok {
-			continue
-		}
-		exVC := vclock.New(nd.n)
-		exVC[nd.idx] = wsid
-		queueSkips = append(queueSkips, wire.ExWriter{Txn: w, VC: exVC})
-	}
-	lower(queueSkips)
 	insert := func() {
 		nd.mu.Lock()
 		if _, gone := nd.removedROs[m.Txn]; !gone {
@@ -109,13 +121,34 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	}
 	insert()
 
-	res, skipped := nd.store.ReadVisibleEx(m.Key, m.HasRead, maxVC, excluded, beforeVCs, m.ObsVC)
+	// The stamp cut: the reader is entitled to every external commit at or
+	// beneath its incoming clock (it began after their replies), its
+	// observed clock, and the computed fold.
+	stampBound := maxVC[nd.idx]
+	if m.VC[nd.idx] > stampBound {
+		stampBound = m.VC[nd.idx]
+	}
+	ro := nd.store.ReadRO(m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC)
+	res := ro.Res
 	before := sid
-	lower(skipped)
+	lower(ro.Skipped)
+	lower(ro.QueueSkips)
 	if sid < before {
 		insert() // SQInsert keeps the smaller insertion-snapshot
 	}
-	skipped = append(skipped, queueSkips...)
+	skipped := append(ro.Skipped, ro.QueueSkips...)
+
+	// The reply bound must cover the version actually exposed: on first
+	// contact the walk is unconstrained on this node's entry, so it can
+	// return a version newer than the probe bound (e.g. one applied after
+	// the bound was computed). Freezing the reader's clock beneath an
+	// observed version would make later reads here reject the same
+	// writer's other versions and fracture the snapshot.
+	replyVC := maxVC
+	if res.Exists && res.VC != nil && !res.VC.LessEq(replyVC) {
+		replyVC = replyVC.Clone()
+		replyVC.MaxInto(res.VC)
+	}
 
 	if debugTooNew != nil && res.Exists {
 		for w, r := range m.HasRead {
@@ -129,10 +162,10 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 		Val:           res.Val,
 		Exists:        res.Exists,
 		Writer:        res.Writer,
-		VC:            maxVC,
+		VC:            replyVC,
 		VerVC:         res.VC,
 		VerDeps:       res.Deps,
-		PendingWriter: nd.pendingWriterOf(m.Key, res),
+		PendingWriter: ro.PendingWriter,
 		Excluded:      skipped,
 	})
 }
@@ -180,11 +213,23 @@ func (nd *Node) handleUpdateRead(from wire.NodeID, rid uint64, m *wire.ReadReque
 	nd.mu.Unlock()
 
 	res := nd.store.Latest(m.Key)
+	// The bound folded into the updater's clock is the returned version's
+	// own commit clock — its true read-from dependency — joined with this
+	// node's externally-committed knowledge. NOT the whole applied
+	// frontier: folding it (the paper's literal maxVC) would stamp the
+	// updater's commit clock with slots of parked strangers that merely
+	// applied here concurrently, and readers would later reject the
+	// updater's versions through those phantom columns, potentially
+	// inverting the external order.
+	replyVC := nd.log.ExternalVC()
+	if res.VC != nil {
+		replyVC.MaxInto(res.VC)
+	}
 	_ = nd.rpc.Reply(from, rid, &wire.ReadReturn{
 		Val:           res.Val,
 		Exists:        res.Exists,
 		Writer:        res.Writer,
-		VC:            nd.log.MostRecentVC(),
+		VC:            replyVC,
 		VerVC:         res.VC,
 		VerDeps:       res.Deps,
 		Propagated:    prop,
@@ -262,7 +307,21 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 		nd.locks.ReleaseAll(m.Txn, pt.localWKey, pt.readKeys)
 		close(pt.applied)
 	})
-	_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, VC: prepVC, OK: true})
+	// The vote echoes the transaction's own clock joined with this node's
+	// externally-committed knowledge, raised by the newly assigned write
+	// slot. Folding the participant's whole NodeVC (the paper's literal
+	// proposal) would stamp the commit clock with slots of concurrent
+	// transactions the committer never observed — and readers would then
+	// reject its versions through columns that carry no true dependency,
+	// which can even invert the external order (a post-reply reader
+	// refusing a committed version because of a phantom dependency on a
+	// still-parked writer).
+	voteVC := nd.log.ExternalVC()
+	voteVC.MaxInto(m.VC)
+	if writeReplica && prepVC[nd.idx] > voteVC[nd.idx] {
+		voteVC[nd.idx] = prepVC[nd.idx]
+	}
+	_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, VC: voteVC, OK: true})
 }
 
 // validate implements Algorithm 1 lines 27–33, by version identity: a read
@@ -345,7 +404,7 @@ func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 	// The W entries stay parked until the coordinator's ExtCommit; record
 	// which keys to freeze and purge then.
 	nd.mu.Lock()
-	nd.parked[m.Txn] = parkedState{keys: pt.localWKey, sid: m.VC[nd.idx]}
+	nd.parked[m.Txn] = parkedState{keys: pt.localWKey, sid: m.VC[nd.idx], vc: m.VC.Clone()}
 	nd.mu.Unlock()
 	_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
 }
@@ -404,10 +463,38 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 			if !nd.store.SQWaitDrain(k, m.Txn, ps.sid, nd.cfg.DrainTimeout) {
 				nd.stats.DrainTimeouts.Add(1)
 			}
-			nd.store.SQFlagWrite(k, m.Txn)
+		}
+		// The external-commit stamp: this node's applied frontier at the
+		// flag moment. Readers beneath it will exclude the versions, so
+		// external commits at this node stay totally ordered for readers
+		// regardless of how long the writer was parked. The stamp rides
+		// back on the ack so the coordinator can fold it into its external
+		// clock: transactions beginning after the client reply adopt a
+		// snapshot at or above every stamp.
+		stamp := nd.log.AppliedSelf()
+		for _, k := range ps.keys {
+			nd.store.SQFlagWrite(k, m.Txn, stamp)
+		}
+		for {
+			cur := nd.extFrontier.Load()
+			if stamp <= cur || nd.extFrontier.CompareAndSwap(cur, stamp) {
+				break
+			}
+		}
+		// Fold the frozen transaction's clock (raised to its stamp here)
+		// into the node's externally-committed knowledge clock: it is now
+		// safe to propagate into other transactions' clocks and read
+		// bounds — unlike the applied frontier, it names no parked
+		// stranger.
+		if ps.vc != nil {
+			ext := ps.vc.Clone()
+			if stamp > ext[nd.idx] {
+				ext[nd.idx] = stamp
+			}
+			nd.log.RecordExternal(ext)
 		}
 		if rid != 0 {
-			_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+			_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn, Ext: stamp})
 		}
 		return
 	}

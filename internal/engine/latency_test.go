@@ -1,9 +1,9 @@
 package engine
 
 import (
-	"os"
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"sync"
 	"testing"

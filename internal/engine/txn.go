@@ -17,7 +17,11 @@ type Txn struct {
 	id       wire.TxnID
 	readOnly bool
 
-	vc        vclock.VC
+	vc vclock.VC
+	// initVC is the snapshot adopted at the first read: the floor beneath
+	// which no per-node bound may freeze (external consistency: every commit
+	// whose client reply preceded this transaction's begin is inside it).
+	initVC    vclock.VC
 	hasRead   []bool
 	firstRead bool
 
@@ -110,8 +114,10 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 	}
 	if t.firstRead {
 		// Algorithm 5 lines 5–7: adopt the latest locally-committed
-		// snapshot as the initial visibility bound.
-		t.vc = t.nd.log.MostRecentVC()
+		// snapshot as the initial visibility bound — including commits this
+		// node merely coordinated, whose client replies already happened.
+		t.vc = t.nd.log.SnapshotVC()
+		t.initVC = t.vc.Clone()
 		t.firstRead = false
 	}
 
@@ -140,8 +146,14 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 			// pushed our knowledge higher — the read only covered
 			// versions up to what the server actually exposed, and a
 			// higher frozen bound would let a later read admit versions
-			// this one never saw.
+			// this one never saw. The initial snapshot is the floor: the
+			// server has applied at least up to it (WaitMostRecent), so
+			// everything beneath it was exposed, and freezing below it
+			// would drop commits that externally preceded our begin.
 			t.vc[from] = resp.VC[from]
+			if t.initVC[from] > t.vc[from] {
+				t.vc[from] = t.initVC[from]
+			}
 		}
 	} else {
 		t.vc.MaxInto(resp.VC)
@@ -183,11 +195,20 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 		}
 	}
 	if t.readOnly {
-		if !resp.Writer.IsZero() {
+		if !resp.Writer.IsZero() || len(resp.VerDeps) > 0 {
 			if t.seen == nil {
 				t.seen = make(map[wire.TxnID]struct{})
 			}
-			t.seen[resp.Writer] = struct{}{}
+			if !resp.Writer.IsZero() {
+				t.seen[resp.Writer] = struct{}{}
+			}
+			// The observed version's read-from closure is observed too:
+			// having serialized after the version, the reader serialized
+			// after every writer it (transitively) read from, so those
+			// writers must never be excluded — even while still parked.
+			for _, d := range resp.VerDeps {
+				t.seen[d] = struct{}{}
+			}
 		}
 		if resp.VerVC != nil {
 			if t.obs == nil {
@@ -386,7 +407,7 @@ func (t *Txn) commitUpdate() error {
 	nd := t.nd
 	if t.vc == nil {
 		// Blind writer that never read: bound is the local snapshot.
-		t.vc = nd.log.MostRecentVC()
+		t.vc = nd.log.SnapshotVC()
 	}
 
 	writes := make([]wire.KV, 0, len(t.wsOrder))
@@ -494,7 +515,20 @@ func (t *Txn) commitUpdate() error {
 	// asynchronous.
 	ectx, ecancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
 	defer ecancel()
-	t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id})
+	freezeAcks := t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id})
+	// The external-commit point: transactions beginning on this node after
+	// the client reply below must serialize after us, so our commit clock —
+	// raised to each write replica's external-commit stamp — becomes part
+	// of the node's begin snapshot, even when this node replicates none of
+	// the written keys and thus logged no NLog entry. Covering the stamps
+	// ensures such transactions pass the stamp check on our versions.
+	extVC := commitVC.Clone()
+	for i, a := range freezeAcks {
+		if ack, ok := a.(*wire.DecideAck); ok && ack.Ext > extVC[writeNodes[i]] {
+			extVC[writeNodes[i]] = ack.Ext
+		}
+	}
+	nd.log.RecordExternal(extVC)
 	nd.mu.Lock()
 	delete(nd.inflight, t.id)
 	nd.mu.Unlock()

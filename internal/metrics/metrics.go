@@ -149,6 +149,66 @@ func (s HistogramSnapshot) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
 }
 
+// Transport aggregates the batching/pooling counters of one messaging path
+// (one peer of one endpoint, or a whole network when merged).
+type Transport struct {
+	// Flushes counts batch frames written (one flush = one syscall-ish
+	// unit of work on the TCP path, one coalesced delivery on the
+	// simulated path).
+	Flushes atomic.Uint64
+	// Envelopes counts envelopes carried by those flushes.
+	Envelopes atomic.Uint64
+	// Spills counts inbound dispatches that found every pool worker busy
+	// and fell back to a dedicated goroutine (the pool saturation signal).
+	Spills atomic.Uint64
+	// FlushLatency observes enqueue→flush time per envelope batch: the
+	// price of coalescing.
+	FlushLatency Histogram
+}
+
+// EnvelopesPerFlush returns the mean batch size so far (0 when idle).
+func (t *Transport) EnvelopesPerFlush() float64 {
+	f := t.Flushes.Load()
+	if f == 0 {
+		return 0
+	}
+	return float64(t.Envelopes.Load()) / float64(f)
+}
+
+// Merge folds other's counters into t.
+func (t *Transport) Merge(other *Transport) {
+	t.Flushes.Add(other.Flushes.Load())
+	t.Envelopes.Add(other.Envelopes.Load())
+	t.Spills.Add(other.Spills.Load())
+	t.FlushLatency.Merge(&other.FlushLatency)
+}
+
+// TransportSnapshot is a point-in-time transport summary for reporting.
+type TransportSnapshot struct {
+	Flushes           uint64
+	Envelopes         uint64
+	Spills            uint64
+	EnvelopesPerFlush float64
+	FlushLatency      HistogramSnapshot
+}
+
+// Snapshot copies the counters into a plain struct.
+func (t *Transport) Snapshot() TransportSnapshot {
+	return TransportSnapshot{
+		Flushes:           t.Flushes.Load(),
+		Envelopes:         t.Envelopes.Load(),
+		Spills:            t.Spills.Load(),
+		EnvelopesPerFlush: t.EnvelopesPerFlush(),
+		FlushLatency:      t.FlushLatency.Snapshot(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s TransportSnapshot) String() string {
+	return fmt.Sprintf("flushes=%d envelopes=%d (%.2f/flush) spills=%d flushLat{%v}",
+		s.Flushes, s.Envelopes, s.EnvelopesPerFlush, s.Spills, s.FlushLatency)
+}
+
 // Engine aggregates the per-engine counters the evaluation reports.
 type Engine struct {
 	Commits       atomic.Uint64 // externally committed transactions

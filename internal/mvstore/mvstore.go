@@ -31,7 +31,17 @@ type Version struct {
 	// read (its read-from set): the true data dependencies used for
 	// sticky-exclusion closure.
 	Deps []wire.TxnID
-	Prev *Version
+	// ExtSID is the external-commit stamp: this node's applied frontier
+	// (mostRecent[self]) at the moment the writer's W entry was flagged.
+	// Zero means not yet externally committed (or a preloaded genesis
+	// version). Read-only transactions whose bound at this node is beneath
+	// the stamp exclude the version: external commits at a node are
+	// totally ordered by their stamps, so reader cuts respect the
+	// external-commit order even when it diverges from the slot order
+	// (a writer can park for a long time and externally commit *after*
+	// writers holding higher slots).
+	ExtSID uint64
+	Prev   *Version
 }
 
 // sqItem is a snapshot-queue entry plus its enqueue time (for the
@@ -199,28 +209,19 @@ func (s *Store) LatestVID(key string, i int) uint64 {
 // clock does not exceed maxVC[w], and (b) v was not written by an excluded
 // transaction (Algorithm 6 lines 11–14 / 18–21). excluded may be nil.
 func (s *Store) ReadVisible(key string, hasRead []bool, maxVC vclock.VC, excluded map[wire.TxnID]struct{}) ReadResult {
-	res, _ := s.ReadVisibleEx(key, hasRead, maxVC, excluded, nil, nil)
+	res, _ := s.ReadVisibleEx(key, hasRead, maxVC, excluded, nil)
 	return res
-}
-
-// dominatesAny reports whether vc >= some entry of bounds (entry-wise).
-func dominatesAny(vc vclock.VC, bounds []vclock.VC) bool {
-	for _, b := range bounds {
-		if b.LessEq(vc) {
-			return true
-		}
-	}
-	return false
 }
 
 // ReadVisibleEx extends ReadVisible with sticky-exclusion support for
 // read-only transactions: a version is also skipped when one of its
 // read-from dependencies is excluded (a snapshot that is before writer W is
 // before everything that read from W, transitively), versions at or beneath
-// obsVC are never excluded (the reader already observed something causally
-// after them), and the writers actually skipped due to exclusion are
-// reported so the reader can keep excluding them.
-func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, excluded map[wire.TxnID]struct{}, beforeVCs []vclock.VC, obsVC vclock.VC) (ReadResult, []wire.ExWriter) {
+// obsVC are never excluded nor bound-filtered (the reader already observed
+// something causally after them, so they are part of its snapshot), and the
+// writers actually skipped due to exclusion are reported so the reader can
+// keep excluding them.
+func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, excluded map[wire.TxnID]struct{}, obsVC vclock.VC) (ReadResult, []wire.ExWriter) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -228,6 +229,45 @@ func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, exclu
 	if ks == nil {
 		return ReadResult{}, nil
 	}
+	res, skipped, _ := s.readVisibleLocked(ks, false, 0, hasRead, maxVC, nil, excluded, nil, obsVC)
+	return res, skipped
+}
+
+// readVisibleLocked walks the version chain under the shard lock and selects
+// the version a read-only transaction observes. checkStamp enables the
+// external-commit stamp filter against stampBound. Precedence of the
+// filters:
+//
+//  1. Sticky exclusion (beforeIDs) wins over everything, including
+//     observation: once a reader serialized before a writer, that writer
+//     stays invisible for the rest of the transaction (its entries may
+//     flag at other replicas while the reader runs). Versions that read
+//     from an excluded writer's parked version are skipped via their Deps
+//     closure; versions downstream of its *flagged* versions cannot exist
+//     before the reader completes, because the flag waits for the reader's
+//     R entries (freeze gating).
+//  2. Blanket exclusion (excluded: parked, unflagged writers) applies
+//     unless the writer is in seen — the reader genuinely observed one of
+//     its versions, or a version that read from it, elsewhere (which
+//     implies the writer has externally committed, since a version only
+//     becomes visible after its writer's freeze). Provisional versions are
+//     otherwise never served to read-only transactions: two in-flight
+//     readers could order two concurrent provisional writers oppositely,
+//     and no local information can detect it (§III-C, Figure 2).
+//  3. The external-commit stamp: a flagged version whose stamp exceeds the
+//     reader's bound at this node is excluded, stickily. External commits
+//     at a node are totally ordered by their stamps, so this keeps reader
+//     cuts consistent with the external-commit order even when it diverges
+//     from the slot order (a long-parked writer can externally commit
+//     after writers holding higher slots).
+//  4. The per-node visibility bound (tooNew) is waived for versions at or
+//     beneath obsVC: they are causally inside the snapshot already, and the
+//     bound was frozen before the observation.
+//
+// It reports the selected version, the writers skipped due to exclusion, and
+// the selected version's writer when its W entry is still in the queue (its
+// client reply may not have been released yet).
+func (s *Store) readVisibleLocked(ks *keyState, checkStamp bool, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, excluded, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC) (ReadResult, []wire.ExWriter, wire.TxnID) {
 	var skipped []wire.ExWriter
 	var skippedIDs map[wire.TxnID]struct{}
 	skip := func(v *Version) {
@@ -238,14 +278,25 @@ func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, exclu
 		skippedIDs[v.Writer] = struct{}{}
 	}
 	isOut := func(id wire.TxnID) bool {
+		if _, ok := seen[id]; ok {
+			return false
+		}
 		if _, ex := excluded[id]; ex {
+			return true
+		}
+		if _, ex := beforeIDs[id]; ex {
 			return true
 		}
 		_, ex := skippedIDs[id]
 		return ex
 	}
 	for v := ks.last; v != nil; v = v.Prev {
-		if !v.Writer.IsZero() && !(obsVC != nil && v.VC.LessEq(obsVC)) {
+		observed := obsVC != nil && v.VC.LessEq(obsVC)
+		if !v.Writer.IsZero() {
+			if _, ex := beforeIDs[v.Writer]; ex {
+				skip(v)
+				continue
+			}
 			if isOut(v.Writer) {
 				skip(v)
 				continue
@@ -261,13 +312,94 @@ func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, exclu
 				skip(v)
 				continue
 			}
+			if checkStamp && v.ExtSID > stampBound && !observed {
+				if _, ok := seen[v.Writer]; !ok {
+					skip(v)
+					continue
+				}
+			}
 		}
-		if tooNew(v.VC, hasRead, maxVC) {
+		if !observed && tooNew(v.VC, hasRead, maxVC) {
 			continue
 		}
-		return ReadResult{Val: v.Val, Exists: true, VC: v.VC.Clone(), Writer: v.Writer, Deps: v.Deps}, skipped
+		var pending wire.TxnID
+		if !v.Writer.IsZero() && hasWriteEntryLocked(ks, v.Writer) {
+			pending = v.Writer
+		}
+		return ReadResult{Val: v.Val, Exists: true, VC: v.VC.Clone(), Writer: v.Writer, Deps: v.Deps}, skipped, pending
 	}
-	return ReadResult{}, skipped
+	return ReadResult{}, skipped, wire.TxnID{}
+}
+
+func hasWriteEntryLocked(ks *keyState, txn wire.TxnID) bool {
+	for _, e := range ks.sqW {
+		if e.Txn == txn {
+			return true
+		}
+	}
+	return false
+}
+
+// RORead is the outcome of an atomic read-only version selection.
+type RORead struct {
+	Res ReadResult
+	// Skipped lists the writers whose applied versions the walk excluded,
+	// with their commit clocks (sticky exclusion, §III-C).
+	Skipped []wire.ExWriter
+	// QueueSkips lists parked writers excluded at queue level: their W entry
+	// is in the snapshot-queue but their version may not be applied yet. The
+	// clock is synthetic (only the local entry, at the insertion-snapshot).
+	QueueSkips []wire.ExWriter
+	// PendingWriter names the returned version's writer when it is still
+	// parked (provisional); zero otherwise.
+	PendingWriter wire.TxnID
+}
+
+// ReadRO performs the read-only version selection of Algorithm 6 atomically:
+// the parked-writer exclusion set is computed from the snapshot-queue under
+// the same shard lock as the version-chain walk, so a writer internally
+// committing concurrently (W entry enqueued, version applied) can never be
+// observed while missing its exclusion.
+//
+// Exclusion is blanket (§III-C): every parked writer whose W entry is not
+// yet flagged is excluded — the reader serializes before it — unless the
+// reader already observed one of its versions elsewhere (seen). The
+// queue-level exclusions are reported with synthetic clocks so the reader
+// keeps excluding them (and the engine parks their freezes beneath the
+// reader's R entry).
+//
+// self/n size the synthetic clocks of queue-level exclusions; seen lists
+// writers the reader already observed (never re-excluded); beforeIDs
+// carries the sticky exclusion set (always excluded); obsVC is the
+// reader's observed clock. stampBound is the reader's external-commit cut
+// at this node (its incoming clock joined with its observed clock and the
+// computed bound): flagged versions stamped above it are excluded.
+func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC) RORead {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return RORead{}
+	}
+
+	excluded := make(map[wire.TxnID]struct{}, len(ks.sqW))
+	var queueSkips []wire.ExWriter
+	for _, e := range ks.sqW {
+		if e.committed {
+			continue
+		}
+		if _, ok := seen[e.Txn]; ok {
+			continue
+		}
+		excluded[e.Txn] = struct{}{}
+		exVC := vclock.New(n)
+		exVC[self] = e.SID
+		queueSkips = append(queueSkips, wire.ExWriter{Txn: e.Txn, VC: exVC})
+	}
+
+	res, skipped, pending := s.readVisibleLocked(ks, true, stampBound, hasRead, maxVC, seen, excluded, beforeIDs, obsVC)
+	return RORead{Res: res, Skipped: skipped, QueueSkips: queueSkips, PendingWriter: pending}
 }
 
 func tooNew(vc vclock.VC, hasRead []bool, maxVC vclock.VC) bool {
@@ -404,14 +536,23 @@ func (s *Store) blockedLocked(sh *shard, key string, txn wire.TxnID, sid uint64)
 }
 
 // SQFlagWrite marks txn's W entry on key as externally committed (the
-// freeze phase of the two-phase cleanup).
-func (s *Store) SQFlagWrite(key string, txn wire.TxnID) {
+// freeze phase of the two-phase cleanup) and stamps the version txn wrote
+// with the external-commit stamp, which outlives the entry's purge.
+func (s *Store) SQFlagWrite(key string, txn wire.TxnID, stamp uint64) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	ks := sh.keys[key]
 	if ks == nil {
 		return
+	}
+	for v := ks.last; v != nil; v = v.Prev {
+		if v.Writer == txn {
+			if v.ExtSID == 0 || stamp < v.ExtSID {
+				v.ExtSID = stamp
+			}
+			break
+		}
 	}
 	for i := range ks.sqW {
 		if ks.sqW[i].Txn == txn {

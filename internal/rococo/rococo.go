@@ -128,6 +128,9 @@ func (nd *Node) Close() error {
 	return err
 }
 
+// serve dispatches inbound protocol messages. It runs on a transport pool
+// worker (or a spill goroutine under saturation), so the commit waits in
+// the dispatch/commit handlers are safe.
 func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 	if nd.closed.Load() {
 		return

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -25,29 +26,46 @@ type InProcConfig struct {
 	// Seed seeds the jitter source; 0 means a fixed default seed, keeping
 	// simulations reproducible.
 	Seed int64
+	// Tuning configures the batching runtime (flush window, batch size,
+	// inbound worker pool).
+	Tuning Tuning
 }
 
 // DefaultLatency mirrors the ~20µs message delivery of the paper's
 // 40Gb/s InfiniBand CloudLab cluster (§V).
 const DefaultLatency = 20 * time.Microsecond
 
-// InProc is an in-process simulated network. Every delivery happens on a
-// fresh goroutine after the configured latency, modelling asynchronous
-// reliable channels (§II); per-priority counters expose traffic shape.
+// InProc is an in-process simulated network with the same batched, pooled
+// runtime as the TCP transport: every ordered sender→receiver pair has one
+// pipe goroutine that coalesces due messages into one delivery batch, and
+// every endpoint dispatches inbound messages through a bounded worker pool
+// (spilling to fresh goroutines under saturation, so blocking handlers are
+// safe). Remote deliveries happen after the configured latency, modelling
+// asynchronous reliable channels (§II); per-priority counters expose
+// traffic shape.
 type InProc struct {
 	cfg InProcConfig
 
-	mu       sync.RWMutex
-	handlers map[wire.NodeID]Handler
-	closed   bool
+	mu      sync.RWMutex
+	nodes   map[wire.NodeID]*inprocNode
+	pipes   map[[2]wire.NodeID]*inprocPipe
+	closed  bool
+	closing chan struct{}
 
-	wg sync.WaitGroup
+	wg sync.WaitGroup // in-flight deliveries
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
 
 	// delivered counts messages per priority class, for observability.
 	delivered [wire.NumPriorities]atomic.Uint64
+
+	stats metrics.Transport
+}
+
+type inprocNode struct {
+	disp  *dispatcher
+	stats *metrics.Transport
 }
 
 var _ Network = (*InProc)(nil)
@@ -57,14 +75,17 @@ func NewInProc(cfg InProcConfig) *InProc {
 	if cfg.Latency == 0 && !cfg.DisableLatency {
 		cfg.Latency = DefaultLatency
 	}
+	cfg.Tuning = cfg.Tuning.withDefaults()
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
 	return &InProc{
-		cfg:      cfg,
-		handlers: make(map[wire.NodeID]Handler),
-		jitter:   rand.New(rand.NewSource(seed)),
+		cfg:     cfg,
+		nodes:   make(map[wire.NodeID]*inprocNode),
+		pipes:   make(map[[2]wire.NodeID]*inprocPipe),
+		closing: make(chan struct{}),
+		jitter:  rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -78,19 +99,42 @@ func (n *InProc) Join(id wire.NodeID, h Handler) (Endpoint, error) {
 	if n.closed {
 		return nil, ErrClosed
 	}
-	if _, dup := n.handlers[id]; dup {
+	if _, dup := n.nodes[id]; dup {
 		return nil, fmt.Errorf("transport: node %d already joined", id)
 	}
-	n.handlers[id] = h
+	n.nodes[id] = &inprocNode{
+		disp:  newDispatcher(n.cfg.Tuning.Workers, h, &n.wg, &n.stats),
+		stats: &n.stats,
+	}
 	return &inprocEndpoint{net: n, id: id}, nil
 }
 
 // Close implements Network. It waits for all in-flight deliveries.
 func (n *InProc) Close() error {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
 	n.closed = true
+	close(n.closing)
+	pipes := make([]*inprocPipe, 0, len(n.pipes))
+	for _, p := range n.pipes {
+		pipes = append(pipes, p)
+	}
+	nodes := make([]*inprocNode, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
 	n.mu.Unlock()
+
+	for _, p := range pipes {
+		p.stop()
+	}
 	n.wg.Wait()
+	for _, nd := range nodes {
+		nd.disp.stop()
+	}
 	return nil
 }
 
@@ -103,22 +147,56 @@ func (n *InProc) Delivered() [wire.NumPriorities]uint64 {
 	return out
 }
 
+// Metrics returns the network-wide batching counters.
+func (n *InProc) Metrics() *metrics.Transport { return &n.stats }
+
+// PeerMetrics returns the batching counters of the from→to pipe, or nil if
+// that pair has never exchanged a remote message.
+func (n *InProc) PeerMetrics(from, to wire.NodeID) *metrics.Transport {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if p := n.pipes[[2]wire.NodeID{from, to}]; p != nil {
+		return &p.stats
+	}
+	return nil
+}
+
+// send routes env from→to. Self-sends bypass latency and the pipe, going
+// straight to the destination dispatcher.
 func (n *InProc) send(from, to wire.NodeID, env wire.Envelope) error {
 	n.mu.RLock()
 	if n.closed {
 		n.mu.RUnlock()
 		return ErrClosed
 	}
-	h, ok := n.handlers[to]
+	dst, ok := n.nodes[to]
 	if !ok {
 		n.mu.RUnlock()
 		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
+	if from == to {
+		n.wg.Add(1)
+		n.mu.RUnlock()
+		n.deliver(dst, env)
+		return nil
+	}
+	key := [2]wire.NodeID{from, to}
+	pipe := n.pipes[key]
+	// The wg.Add must happen while the read lock still excludes Close():
+	// Close sets closed under the write lock before it calls wg.Wait, so an
+	// Add here can never race a Wait that already saw a zero counter.
 	n.wg.Add(1)
 	n.mu.RUnlock()
+	if pipe == nil {
+		pipe = n.makePipe(key, dst)
+		if pipe == nil {
+			n.wg.Done()
+			return ErrClosed
+		}
+	}
 
 	delay := time.Duration(0)
-	if from != to && !n.cfg.DisableLatency {
+	if !n.cfg.DisableLatency {
 		delay = n.cfg.Latency
 		if n.cfg.Jitter > 0 {
 			n.jitterMu.Lock()
@@ -126,22 +204,166 @@ func (n *InProc) send(from, to wire.NodeID, env wire.Envelope) error {
 			n.jitterMu.Unlock()
 		}
 	}
-	prio := wire.PriorityOf(env.Msg.Type())
-	go func() {
-		defer n.wg.Done()
-		if delay > 0 {
-			time.Sleep(delay)
-		}
-		n.mu.RLock()
-		closed := n.closed
-		n.mu.RUnlock()
-		if closed {
-			return
-		}
-		n.delivered[prio].Add(1)
-		h(env)
-	}()
+	if !pipe.enqueue(env, delay) {
+		n.wg.Done()
+		return ErrClosed
+	}
 	return nil
+}
+
+func (n *InProc) makePipe(key [2]wire.NodeID, dst *inprocNode) *inprocPipe {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	if p := n.pipes[key]; p != nil {
+		return p
+	}
+	p := newInprocPipe(n, dst, n.cfg.Tuning.MaxBatch)
+	n.pipes[key] = p
+	return p
+}
+
+// deliver hands env to dst's worker pool, counting it. Callers hold a wg
+// slot; the dispatcher releases it after the handler returns.
+func (n *InProc) deliver(dst *inprocNode, env wire.Envelope) {
+	n.delivered[wire.PriorityOf(env.Msg.Type())].Add(1)
+	dst.disp.dispatch(env)
+}
+
+// inprocPipe is the ordered delivery channel of one sender→receiver pair:
+// a queue of (envelope, due time) drained by one goroutine that sleeps
+// until the head is due, then delivers *every* due message as one batch —
+// the in-process analogue of the TCP sender's frame coalescing.
+type inprocPipe struct {
+	net *InProc
+	dst *inprocNode
+
+	mu     sync.Mutex
+	buf    []timedEnv
+	closed bool
+	wake   chan struct{}
+	done   sync.WaitGroup
+
+	maxBatch int
+	stats    metrics.Transport
+}
+
+type timedEnv struct {
+	env wire.Envelope
+	at  time.Time     // enqueue time
+	lag time.Duration // simulated delivery delay; due = at + lag
+}
+
+func newInprocPipe(n *InProc, dst *inprocNode, maxBatch int) *inprocPipe {
+	p := &inprocPipe{net: n, dst: dst, wake: make(chan struct{}, 1), maxBatch: maxBatch}
+	p.done.Add(1)
+	go p.run()
+	return p
+}
+
+// enqueue schedules env for delivery after lag. The caller must already
+// hold a delivery slot in the network's WaitGroup; enqueue returns false
+// (without releasing it) when the pipe is closed.
+func (p *inprocPipe) enqueue(env wire.Envelope, lag time.Duration) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.buf = append(p.buf, timedEnv{env: env, at: time.Now(), lag: lag})
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (p *inprocPipe) run() {
+	defer p.done.Done()
+	var timer *time.Timer
+	batch := make([]timedEnv, 0, p.maxBatch)
+	for {
+		p.mu.Lock()
+		for len(p.buf) == 0 {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.mu.Unlock()
+			<-p.wake
+			p.mu.Lock()
+		}
+		head := p.buf[0].at.Add(p.buf[0].lag)
+		full := len(p.buf) >= p.maxBatch
+		closed := p.closed
+		p.mu.Unlock()
+
+		// Sleep until the head is due, plus the configured flush window:
+		// the window trades head latency for a bigger coalesced batch,
+		// exactly like the TCP sender's. A full batch skips the window
+		// (it must never cap throughput below MaxBatch/window), and
+		// shutdown drains without the extra latency.
+		wait := time.Until(head)
+		if w := p.net.cfg.Tuning.FlushWindow; w > 0 && !full && !closed {
+			wait += w
+		}
+		if wait > 0 {
+			if timer == nil {
+				timer = time.NewTimer(wait)
+			} else {
+				timer.Reset(wait)
+			}
+			select {
+			case <-timer.C:
+			case <-p.net.closing:
+				// Shutting down: deliveries already enqueued still drain
+				// (Close waits for them), just without the remaining delay.
+				if !timer.Stop() {
+					<-timer.C
+				}
+			}
+		}
+
+		// Deliver every message now due — the natural batch that built up
+		// while this pipe slept or the receiver was busy.
+		now := time.Now()
+		p.mu.Lock()
+		n := 0
+		for n < len(p.buf) && n < p.maxBatch && !p.buf[n].at.Add(p.buf[n].lag).After(now) {
+			n++
+		}
+		if n == 0 && len(p.buf) > 0 {
+			n = 1 // closing fast path: the head is delivered regardless
+		}
+		batch = append(batch[:0], p.buf[:n]...)
+		rest := copy(p.buf, p.buf[n:])
+		p.buf = p.buf[:rest]
+		p.mu.Unlock()
+
+		oldest := batch[0].at
+		for _, te := range batch {
+			p.net.deliver(p.dst, te.env)
+		}
+		for _, s := range []*metrics.Transport{&p.stats, &p.net.stats} {
+			s.Flushes.Add(1)
+			s.Envelopes.Add(uint64(len(batch)))
+			s.FlushLatency.Observe(time.Since(oldest))
+		}
+	}
+}
+
+func (p *inprocPipe) stop() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	p.done.Wait()
 }
 
 type inprocEndpoint struct {

@@ -12,8 +12,9 @@ import (
 // ServerFunc handles an inbound request or notification. rid is 0 for
 // one-way notifications; otherwise the handler (or code it triggers, however
 // much later) must eventually answer via Reply — SSS's DecideAck, for
-// example, is sent only after the pre-commit drain. ServerFunc runs on its
-// own goroutine and may block.
+// example, is sent only after the pre-commit drain. ServerFunc runs on a
+// pool worker (or a spill goroutine when the pool is saturated) and may
+// block indefinitely without stalling dispatch.
 type ServerFunc func(from wire.NodeID, rid uint64, msg wire.Msg)
 
 // RPC correlates request/response pairs over an Endpoint and dispatches

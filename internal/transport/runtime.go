@@ -1,0 +1,234 @@
+// Batched, pooled messaging runtime shared by the transport back ends.
+//
+// Outbound, every peer gets a queue drained by a single sender goroutine
+// that coalesces whatever accumulated while it was busy into one batch
+// frame — natural batching: an idle sender flushes a single envelope
+// immediately, a busy one amortizes framing, allocation, and syscalls over
+// the queue depth. A flush window can be configured to trade latency for
+// larger batches.
+//
+// Inbound, a bounded worker pool replaces goroutine-per-message dispatch.
+// Handlers are still allowed to block indefinitely (the SSS Decide handler
+// blocks for the whole pre-commit drain): a message that finds every worker
+// busy is handed to a dedicated spill goroutine instead of queueing behind a
+// potentially-blocked worker, so dispatch can never deadlock — the pool only
+// bounds goroutine churn for the fast-path traffic.
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Tuning configures the messaging runtime of a Network. The zero value
+// selects defaults tuned for the simulated 20µs network.
+type Tuning struct {
+	// MaxBatch caps the envelopes coalesced into one batch frame
+	// (default 64).
+	MaxBatch int
+	// FlushWindow, when positive, makes a sender that just picked up work
+	// wait this long for more envelopes before flushing. The default (0)
+	// flushes immediately: batches then form only under backpressure,
+	// which adds no latency on an idle system — the right trade for a
+	// 20µs-latency fabric.
+	FlushWindow time.Duration
+	// Workers bounds the inbound dispatch pool per endpoint (default
+	// 8×GOMAXPROCS, clamped to [32, 256]). Protocol handlers block by
+	// design (drain waits, lock waits), so the pool is sized for parked
+	// handlers, not for CPU parallelism. Messages beyond it spill to
+	// dedicated goroutines, preserving the handler-may-block contract.
+	Workers int
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.MaxBatch <= 0 {
+		t.MaxBatch = 64
+	}
+	if t.Workers <= 0 {
+		t.Workers = 8 * runtime.GOMAXPROCS(0)
+		if t.Workers < 32 {
+			t.Workers = 32
+		}
+		if t.Workers > 256 {
+			t.Workers = 256
+		}
+	}
+	return t
+}
+
+// dispatcher fans inbound envelopes out to a bounded worker pool, spilling
+// to fresh goroutines when every worker is busy. inflight accounting lives
+// in the owner's WaitGroup: callers must Add(1) before dispatch; the
+// dispatcher guarantees exactly one Done per dispatched envelope.
+type dispatcher struct {
+	handler Handler
+	tasks   chan wire.Envelope
+	quit    chan struct{}
+	wg      *sync.WaitGroup // owner's in-flight deliveries
+	workers sync.WaitGroup
+	stats   *metrics.Transport
+}
+
+// newDispatcher starts n pool workers delivering to h. wg accounts
+// in-flight deliveries (Done is called after each handler returns).
+func newDispatcher(n int, h Handler, wg *sync.WaitGroup, stats *metrics.Transport) *dispatcher {
+	d := &dispatcher{
+		handler: h,
+		tasks:   make(chan wire.Envelope),
+		quit:    make(chan struct{}),
+		wg:      wg,
+		stats:   stats,
+	}
+	d.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+func (d *dispatcher) worker() {
+	defer d.workers.Done()
+	for {
+		select {
+		case env := <-d.tasks:
+			d.handler(env)
+			d.wg.Done()
+		case <-d.quit:
+			return
+		}
+	}
+}
+
+// dispatch hands env to an idle worker, or to a dedicated spill goroutine
+// when the pool is saturated. It never blocks on a handler. The caller must
+// have done wg.Add(1).
+func (d *dispatcher) dispatch(env wire.Envelope) {
+	select {
+	case d.tasks <- env:
+	default:
+		d.stats.Spills.Add(1)
+		go func() {
+			d.handler(env)
+			d.wg.Done()
+		}()
+	}
+}
+
+// stop terminates the pool workers. The owner must have waited for its
+// in-flight deliveries first (wg), so no dispatch can race the quit.
+func (d *dispatcher) stop() {
+	close(d.quit)
+	d.workers.Wait()
+}
+
+// outq is a per-peer outbound queue drained by one sender goroutine that
+// coalesces queued envelopes into batches handed to flush. flush owns the
+// batch slice only for the duration of the call.
+type outq struct {
+	mu      sync.Mutex
+	buf     []queued
+	closed  bool
+	wake    chan struct{}
+	tune    Tuning
+	flush   func(batch []wire.Envelope)
+	stats   *metrics.Transport
+	drained sync.WaitGroup // the sender goroutine
+}
+
+type queued struct {
+	env wire.Envelope
+	at  time.Time
+}
+
+// newOutq starts the sender goroutine.
+func newOutq(tune Tuning, stats *metrics.Transport, flush func([]wire.Envelope)) *outq {
+	q := &outq{
+		wake:  make(chan struct{}, 1),
+		tune:  tune,
+		flush: flush,
+		stats: stats,
+	}
+	q.drained.Add(1)
+	go q.sender()
+	return q
+}
+
+// enqueue appends env for delivery. It never blocks on the network or the
+// receiver. Returns false when the queue is closed.
+func (q *outq) enqueue(env wire.Envelope) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, queued{env: env, at: time.Now()})
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (q *outq) sender() {
+	defer q.drained.Done()
+	batch := make([]wire.Envelope, 0, q.tune.MaxBatch)
+	for {
+		q.mu.Lock()
+		for len(q.buf) == 0 {
+			if q.closed {
+				q.mu.Unlock()
+				return
+			}
+			q.mu.Unlock()
+			<-q.wake
+			q.mu.Lock()
+		}
+		full := len(q.buf) >= q.tune.MaxBatch
+		closed := q.closed
+		q.mu.Unlock()
+
+		// Accumulate a bigger batch — but a full batch flushes right away
+		// (the window must never cap throughput below MaxBatch/window),
+		// and shutdown drains without the extra latency.
+		if w := q.tune.FlushWindow; w > 0 && !full && !closed {
+			time.Sleep(w)
+		}
+
+		q.mu.Lock()
+		n := len(q.buf)
+		if n > q.tune.MaxBatch {
+			n = q.tune.MaxBatch
+		}
+		batch = batch[:0]
+		oldest := q.buf[0].at
+		for i := 0; i < n; i++ {
+			batch = append(batch, q.buf[i].env)
+		}
+		rest := copy(q.buf, q.buf[n:])
+		q.buf = q.buf[:rest]
+		q.mu.Unlock()
+
+		q.flush(batch)
+		q.stats.Flushes.Add(1)
+		q.stats.Envelopes.Add(uint64(len(batch)))
+		q.stats.FlushLatency.Observe(time.Since(oldest))
+	}
+}
+
+// close drains the queue (pending envelopes are still flushed) and stops
+// the sender.
+func (q *outq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	q.drained.Wait()
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 
+	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -16,27 +17,41 @@ import (
 const maxFrame = 64 << 20
 
 // TCP is a Network over real TCP connections, for multi-process
-// deployments (cmd/sss-server). Each endpoint maintains one outbound
-// connection per priority class per peer, so Remove traffic is never queued
-// behind bulk reads (paper §V). Frames are uvarint-length-prefixed encoded
-// envelopes.
+// deployments (cmd/sss-server). Each endpoint maintains one outbound stream
+// per priority class per peer, so Remove traffic is never queued behind
+// bulk reads (paper §V). Every stream is drained by a single sender
+// goroutine that coalesces queued envelopes into batch frames — one
+// length-prefixed write per batch instead of one per message — with
+// sync.Pool-recycled encode buffers, so the steady-state send path
+// allocates nothing. Inbound frames are decoded from pooled buffers and
+// dispatched through a bounded worker pool that spills to dedicated
+// goroutines under saturation (handlers may block indefinitely).
 type TCP struct {
 	addrs map[wire.NodeID]string
+	tune  Tuning
 
 	mu     sync.Mutex
 	eps    map[wire.NodeID]*tcpEndpoint
 	closed bool
+
+	stats metrics.Transport
 }
 
 var _ Network = (*TCP)(nil)
 
-// NewTCP builds a TCP network over the given node address book.
+// NewTCP builds a TCP network over the given node address book, with
+// default tuning.
 func NewTCP(addrs map[wire.NodeID]string) *TCP {
+	return NewTCPTuned(addrs, Tuning{})
+}
+
+// NewTCPTuned builds a TCP network with explicit batching/pool tuning.
+func NewTCPTuned(addrs map[wire.NodeID]string, tune Tuning) *TCP {
 	book := make(map[wire.NodeID]string, len(addrs))
 	for id, a := range addrs {
 		book[id] = a
 	}
-	return &TCP{addrs: book, eps: make(map[wire.NodeID]*tcpEndpoint)}
+	return &TCP{addrs: book, tune: tune.withDefaults(), eps: make(map[wire.NodeID]*tcpEndpoint)}
 }
 
 // Join implements Network: it starts listening on the node's address.
@@ -63,11 +78,11 @@ func (t *TCP) Join(id wire.NodeID, h Handler) (Endpoint, error) {
 	ep := &tcpEndpoint{
 		net:     t,
 		id:      id,
-		handler: h,
 		ln:      ln,
-		conns:   make(map[wire.NodeID]*[wire.NumPriorities]*tcpConn),
+		peers:   make(map[wire.NodeID]*tcpPeer),
 		inbound: make(map[net.Conn]struct{}),
 	}
+	ep.disp = newDispatcher(t.tune.Workers, h, &ep.inflight, &t.stats)
 	t.eps[id] = ep
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -104,24 +119,65 @@ func (t *TCP) Addr(id wire.NodeID) (string, bool) {
 	return ep.ln.Addr().String(), true
 }
 
-type tcpConn struct {
-	mu sync.Mutex // serializes frame writes
-	c  net.Conn
-	w  *bufio.Writer
+// Metrics returns a snapshot of the network-wide batching counters: the
+// merge of every endpoint's per-peer senders plus the shared inbound-pool
+// spill count.
+func (t *TCP) Metrics() *metrics.Transport {
+	out := &metrics.Transport{}
+	out.Merge(&t.stats)
+	t.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(t.eps))
+	for _, ep := range t.eps {
+		eps = append(eps, ep)
+	}
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		for _, p := range ep.peers {
+			out.Merge(&p.stats)
+		}
+		ep.mu.Unlock()
+	}
+	return out
+}
+
+// PeerMetrics returns the batching counters for traffic sent from node
+// `from` to node `to`, or nil if no such traffic has flowed.
+func (t *TCP) PeerMetrics(from, to wire.NodeID) *metrics.Transport {
+	t.mu.Lock()
+	ep := t.eps[from]
+	t.mu.Unlock()
+	if ep == nil {
+		return nil
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if p := ep.peers[to]; p != nil {
+		return &p.stats
+	}
+	return nil
+}
+
+// tcpPeer is one peer's outbound state: a queue per priority class, each
+// drained by its own sender goroutine over its own connection.
+type tcpPeer struct {
+	queues [wire.NumPriorities]*outq
+	stats  metrics.Transport
 }
 
 type tcpEndpoint struct {
-	net     *TCP
-	id      wire.NodeID
-	handler Handler
-	ln      net.Listener
+	net  *TCP
+	id   wire.NodeID
+	ln   net.Listener
+	disp *dispatcher
 
 	mu      sync.Mutex
-	conns   map[wire.NodeID]*[wire.NumPriorities]*tcpConn
+	peers   map[wire.NodeID]*tcpPeer
 	inbound map[net.Conn]struct{}
 	closed  bool
 
-	wg sync.WaitGroup
+	wg       sync.WaitGroup // accept + read loops
+	inflight sync.WaitGroup // dispatched handler invocations
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -165,22 +221,43 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		if size > maxFrame {
 			return
 		}
-		frame := make([]byte, size)
-		if _, err := io.ReadFull(br, frame); err != nil {
-			return
+		// Frames are decoded from a pooled buffer; DecodeEnvelope copies
+		// every string/byte payload, so the buffer can be recycled as soon
+		// as decoding finishes.
+		bp := wire.GetBuf()
+		frame := *bp
+		if cap(frame) < int(size) {
+			frame = make([]byte, size)
+		} else {
+			frame = frame[:size]
 		}
-		env, err := wire.DecodeEnvelope(frame)
-		if err != nil {
+		*bp = frame
+		if _, err := io.ReadFull(br, frame); err != nil {
+			wire.PutBuf(bp)
 			return
 		}
 		if e.isClosed() {
+			wire.PutBuf(bp)
 			return
 		}
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.handler(env)
-		}()
+		if wire.IsBatch(frame) {
+			_, err = wire.DecodeBatch(frame, func(env wire.Envelope) error {
+				e.inflight.Add(1)
+				e.disp.dispatch(env)
+				return nil
+			})
+		} else {
+			var env wire.Envelope
+			env, err = wire.DecodeEnvelope(frame)
+			if err == nil {
+				e.inflight.Add(1)
+				e.disp.dispatch(env)
+			}
+		}
+		wire.PutBuf(bp)
+		if err != nil {
+			return
+		}
 	}
 }
 
@@ -190,70 +267,105 @@ func (e *tcpEndpoint) isClosed() bool {
 	return e.closed
 }
 
+// Send enqueues env for delivery to node `to`. It never blocks on the
+// network or the receiver: envelopes are coalesced and written by the
+// peer's sender goroutine. Connection failures surface as dropped messages
+// (RPC callers observe them as timeouts), exactly like a lossy network.
 func (e *tcpEndpoint) Send(to wire.NodeID, env wire.Envelope) error {
 	env.From = e.id
 	if to == e.id {
-		// Loopback: skip the socket, preserve the "own goroutine" contract.
+		// Loopback: skip the socket, keep the dispatch contract.
 		if e.isClosed() {
 			return ErrClosed
 		}
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.handler(env)
-		}()
+		e.inflight.Add(1)
+		e.disp.dispatch(env)
 		return nil
 	}
-	conn, err := e.conn(to, wire.PriorityOf(env.Msg.Type()))
+	peer, err := e.peer(to)
 	if err != nil {
 		return err
 	}
-	frame, err := wire.EncodeEnvelope(nil, env)
-	if err != nil {
-		return err
-	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
-
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if _, err := conn.w.Write(hdr[:n]); err != nil {
-		return fmt.Errorf("transport: send to %d: %w", to, err)
-	}
-	if _, err := conn.w.Write(frame); err != nil {
-		return fmt.Errorf("transport: send to %d: %w", to, err)
-	}
-	if err := conn.w.Flush(); err != nil {
-		return fmt.Errorf("transport: send to %d: %w", to, err)
+	if !peer.queues[wire.PriorityOf(env.Msg.Type())].enqueue(env) {
+		return ErrClosed
 	}
 	return nil
 }
 
-func (e *tcpEndpoint) conn(to wire.NodeID, prio wire.Priority) (*tcpConn, error) {
+// peer returns (creating on first use) the outbound state for node `to`.
+func (e *tcpEndpoint) peer(to wire.NodeID) (*tcpPeer, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
-	set := e.conns[to]
-	if set == nil {
-		set = new([wire.NumPriorities]*tcpConn)
-		e.conns[to] = set
-	}
-	if set[prio] != nil {
-		return set[prio], nil
+	if p := e.peers[to]; p != nil {
+		return p, nil
 	}
 	addr, ok := e.net.addrs[to]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	p := &tcpPeer{}
+	for prio := range p.queues {
+		p.queues[prio] = newOutq(e.net.tune, &p.stats, newTCPFlusher(e, to, addr))
 	}
-	tc := &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
-	set[prio] = tc
-	return tc, nil
+	e.peers[to] = p
+	return p, nil
+}
+
+// newTCPFlusher returns the flush function of one outbound stream: it dials
+// lazily, encodes the batch into a pooled buffer (single envelopes skip the
+// batch framing), and performs one length-prefixed write per flush.
+func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string) func([]wire.Envelope) {
+	var c net.Conn
+	var w *bufio.Writer
+	return func(batch []wire.Envelope) {
+		if c == nil {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return // dropped; peers retry via RPC timeouts
+			}
+			c = conn
+			w = bufio.NewWriterSize(c, 64<<10)
+			e.track(c)
+		}
+		bp := wire.GetBuf()
+		defer wire.PutBuf(bp)
+		var err error
+		frame := *bp
+		if len(batch) == 1 {
+			frame, err = wire.EncodeEnvelope(frame, batch[0])
+		} else {
+			frame, err = wire.EncodeBatch(frame, batch)
+		}
+		*bp = frame
+		if err != nil {
+			return
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+		if _, err := w.Write(hdr[:n]); err == nil {
+			if _, err = w.Write(frame); err == nil {
+				err = w.Flush()
+			}
+		}
+		if err != nil {
+			_ = c.Close()
+			c, w = nil, nil
+		}
+	}
+}
+
+// track registers an outbound connection for teardown at Close.
+func (e *tcpEndpoint) track(c net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = c.Close()
+		return
+	}
+	e.inbound[c] = struct{}{}
 }
 
 func (e *tcpEndpoint) Close() error {
@@ -263,26 +375,32 @@ func (e *tcpEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	conns := e.conns
-	e.conns = make(map[wire.NodeID]*[wire.NumPriorities]*tcpConn)
-	in := make([]net.Conn, 0, len(e.inbound))
+	peers := e.peers
+	e.peers = make(map[wire.NodeID]*tcpPeer)
+	e.mu.Unlock()
+
+	// Stop senders first so pending envelopes still flush over live
+	// connections.
+	for _, p := range peers {
+		for _, q := range p.queues {
+			q.close()
+		}
+	}
+
+	e.mu.Lock()
+	conns := make([]net.Conn, 0, len(e.inbound))
 	for c := range e.inbound {
-		in = append(in, c)
+		conns = append(conns, c)
 	}
 	e.mu.Unlock()
 
 	err := e.ln.Close()
-	for _, set := range conns {
-		for _, tc := range set {
-			if tc != nil {
-				_ = tc.c.Close()
-			}
-		}
-	}
-	for _, c := range in {
+	for _, c := range conns {
 		_ = c.Close()
 	}
-	e.wg.Wait()
+	e.wg.Wait()       // accept + read loops done: no new dispatches
+	e.inflight.Wait() // handlers done
+	e.disp.stop()
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		return err
 	}

@@ -1,18 +1,18 @@
 // Package transport provides the messaging substrate shared by the SSS
-// engine and its competitor engines.
-//
-// Two Network implementations exist:
+// engine and its competitor engines: a batched, pooled, flow-controlled
+// runtime (see runtime.go) under two Network implementations:
 //
 //   - InProc: an in-process simulated network with configurable one-way
 //     delivery latency (default 20µs, matching the paper's InfiniBand
 //     testbed) and per-priority-class delivery accounting. This is the
 //     substrate used by tests and by the benchmark harness; it substitutes
 //     for the paper's physical cluster while exercising exactly the same
-//     message-passing code paths.
+//     message-passing code paths, including per-peer batch coalescing.
 //   - TCP: a real transport for multi-process deployments, with one TCP
 //     stream per priority class per peer so that high-priority messages
 //     (Remove above all) never queue behind bulk read traffic — the
-//     paper's "optimized network component".
+//     paper's "optimized network component" — each stream drained by a
+//     sender goroutine that coalesces queued envelopes into batch frames.
 //
 // On top of either, RPC provides request/response correlation with
 // context-based timeouts; one-way notifications share the same path.
@@ -30,17 +30,23 @@ var ErrClosed = errors.New("transport: closed")
 // ErrUnknownNode is returned when sending to a node that never joined.
 var ErrUnknownNode = errors.New("transport: unknown node")
 
-// Handler consumes an inbound envelope. The transport invokes each handler
-// on its own goroutine, so handlers are allowed to block (the SSS Decide
-// handler, for instance, blocks until the pre-commit drain completes).
+// Handler consumes an inbound envelope. Handlers are allowed to block
+// indefinitely (the SSS Decide handler, for instance, blocks until the
+// pre-commit drain completes): the transport dispatches through a bounded
+// worker pool that spills to a dedicated goroutine whenever every worker is
+// busy, so a blocked handler can neither stall dispatch of later messages
+// nor deadlock the endpoint.
 type Handler func(env wire.Envelope)
 
 // Endpoint is one node's attachment to a Network.
 type Endpoint interface {
 	// ID returns the node ID this endpoint joined as.
 	ID() wire.NodeID
-	// Send delivers env to node to. Self-sends are permitted and bypass
-	// simulated latency. Send never blocks on the receiver's handler.
+	// Send enqueues env for delivery to node to and returns immediately:
+	// delivery is asynchronous, coalesced into batches by a per-peer
+	// sender. Self-sends are permitted, bypass simulated latency and
+	// batching, and go straight to the local dispatch pool. Send never
+	// blocks on the receiver's handler.
 	Send(to wire.NodeID, env wire.Envelope) error
 	// Close detaches the endpoint; subsequent Sends fail with ErrClosed.
 	Close() error

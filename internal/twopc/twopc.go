@@ -143,6 +143,9 @@ func fnv32(s string) uint32 {
 	return h
 }
 
+// serve dispatches inbound protocol messages. It runs on a transport pool
+// worker (or a spill goroutine under saturation), so the lock waits inside
+// handlePrepare are safe.
 func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 	if nd.closed.Load() {
 		return

@@ -165,6 +165,9 @@ func (nd *Node) snapshot() vclock.VC {
 	return nd.nodeVC.Clone()
 }
 
+// serve dispatches inbound protocol messages. It runs on a transport pool
+// worker (or a spill goroutine under saturation), so blocking in handlers
+// is safe.
 func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 	if nd.closed.Load() {
 		return

@@ -104,6 +104,7 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		buf = appendSQEntries(buf, m.Propagated)
 	case *DecideAck:
 		buf = appendTxnID(buf, m.Txn)
+		buf = binary.AppendUvarint(buf, m.Ext)
 	case *Remove:
 		buf = appendTxnID(buf, m.Txn)
 	case *FwdRemove:
@@ -229,7 +230,7 @@ func decodeBody(c *cursor, t MsgType) (Msg, error) {
 		m.Propagated = c.sqEntries()
 		return m, c.err
 	case MsgDecideAck:
-		return &DecideAck{Txn: c.txnID()}, c.err
+		return &DecideAck{Txn: c.txnID(), Ext: c.uvarint()}, c.err
 	case MsgRemove:
 		return &Remove{Txn: c.txnID()}, c.err
 	case MsgFwdRemove:

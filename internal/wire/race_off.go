@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector instrumented this build
+// (it inflates allocation counts, so alloc assertions skip under it).
+const raceEnabled = false

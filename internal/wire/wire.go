@@ -250,9 +250,12 @@ type Decide struct {
 }
 
 // DecideAck signals that the participant finished the pre-commit wait for
-// Txn (Algorithm 4's Ack).
+// Txn (Algorithm 4's Ack). When acking an ExtCommit freeze, Ext carries the
+// participant's external-commit stamp (its applied frontier at flag time),
+// which the coordinator folds into its external clock.
 type DecideAck struct {
 	Txn TxnID
+	Ext uint64
 }
 
 // Remove tells a node that read-only transaction Txn completed: every

@@ -82,6 +82,18 @@ type Options struct {
 	MaxVersions int
 	// Seed makes simulated-network jitter and workloads reproducible.
 	Seed int64
+	// BatchMaxEnvelopes caps the envelopes coalesced into one transport
+	// batch (0 = default 64).
+	BatchMaxEnvelopes int
+	// BatchFlushWindow makes per-peer senders wait this long to accumulate
+	// bigger batches before flushing. The default (0) flushes immediately,
+	// coalescing only what queued under backpressure — the right trade for
+	// the simulated 20µs network.
+	BatchFlushWindow time.Duration
+	// TransportWorkers bounds each endpoint's inbound dispatch pool
+	// (0 = default, 8×GOMAXPROCS clamped to [32, 256]). Overflow spills
+	// to dedicated goroutines, so blocking protocol handlers stay safe.
+	TransportWorkers int
 }
 
 // Cluster is a set of co-hosted protocol nodes connected by the simulated
@@ -123,6 +135,11 @@ func New(opts Options) (*Cluster, error) {
 		Latency:        opts.NetworkLatency,
 		DisableLatency: opts.DisableLatency,
 		Seed:           opts.Seed,
+		Tuning: transport.Tuning{
+			MaxBatch:    opts.BatchMaxEnvelopes,
+			FlushWindow: opts.BatchFlushWindow,
+			Workers:     opts.TransportWorkers,
+		},
 	})
 	c := &Cluster{opts: opts, lookup: lookup, net: net}
 	c.closer = append(c.closer, net.Close)
@@ -206,6 +223,10 @@ func (c *Cluster) Replicas(key string) []int {
 	}
 	return out
 }
+
+// TransportMetrics returns the simulated network's batching counters:
+// flushes, envelopes per flush, flush latency, and inbound-pool spills.
+func (c *Cluster) TransportMetrics() *metrics.Transport { return c.net.Metrics() }
 
 // Preload installs an initial value of key on every replica. Call before
 // starting clients (the benchmark's load phase).
