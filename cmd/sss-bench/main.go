@@ -5,9 +5,16 @@
 //
 //	sss-bench -figure 3            # Figure 3: throughput vs nodes
 //	sss-bench -figure all -duration 2s
+//
+// With -json, every figure additionally writes a machine-readable
+// BENCH_figure<N>.json snapshot (throughput, latency percentiles, transport
+// batching and lock-contention metrics per data point) for perf-trajectory
+// tracking across commits. The -cpuprofile/-mutexprofile/-blockprofile
+// flags capture pprof profiles of the whole run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +26,8 @@ import (
 	"github.com/sss-paper/sss"
 	"github.com/sss-paper/sss/internal/bench"
 	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/profiling"
 	"github.com/sss-paper/sss/internal/ycsb"
 )
 
@@ -33,6 +42,11 @@ var (
 	batchWin = flag.Duration("batch-window", 0, "sender flush window (0 = flush immediately)")
 	workers  = flag.Int("inbound-workers", 0, "inbound dispatch pool size per node (0 = default)")
 	netStats = flag.Bool("net-stats", false, "print per-point transport batching stats")
+	jsonOut  = flag.Bool("json", false, "write BENCH_figure<N>.json snapshots per figure")
+
+	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+	blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file")
 )
 
 func main() {
@@ -40,6 +54,12 @@ func main() {
 	nodeCounts, err := parseInts(*nodesCSV)
 	if err != nil {
 		log.Fatalf("-nodes: %v", err)
+	}
+	stopProf, err := profiling.Start(profiling.Config{
+		CPU: *cpuProfile, Mutex: *mutexProfile, Block: *blockProfile,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	run := func(f string) bool { return *figure == "all" || *figure == f }
 	if run("3") {
@@ -60,6 +80,9 @@ func main() {
 	if run("8") {
 		figure8()
 	}
+	if err := stopProf(); err != nil {
+		log.Fatalf("profiling: %v", err)
+	}
 }
 
 func parseInts(csv string) ([]int, error) {
@@ -74,8 +97,76 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
-// point runs one measurement and returns the result.
-func point(eng sss.Engine, nodes, degree int, w ycsb.Config, clientsPerNode int) bench.Result {
+// benchPoint is one measurement in the machine-readable snapshot.
+type benchPoint struct {
+	Series            string                     `json:"series"`
+	Engine            string                     `json:"engine"`
+	Nodes             int                        `json:"nodes"`
+	ReplicationDegree int                        `json:"replication_degree"`
+	ClientsPerNode    int                        `json:"clients_per_node"`
+	Keys              int                        `json:"keys"`
+	ReadOnlyPct       int                        `json:"read_only_pct"`
+	ReadOnlyOps       int                        `json:"read_only_ops,omitempty"`
+	Locality          float64                    `json:"locality,omitempty"`
+	ThroughputTxnS    float64                    `json:"throughput_txn_s"`
+	AbortRate         float64                    `json:"abort_rate"`
+	Commits           uint64                     `json:"commits"`
+	ReadOnly          uint64                     `json:"read_only"`
+	Aborts            uint64                     `json:"aborts"`
+	UpdateLatency     metrics.HistogramSnapshot  `json:"update_latency"`
+	ReadOnlyLatency   metrics.HistogramSnapshot  `json:"read_only_latency"`
+	InternalLatency   metrics.HistogramSnapshot  `json:"internal_latency"`
+	PreCommitWait     metrics.HistogramSnapshot  `json:"pre_commit_wait"`
+	ExternalWaits     uint64                     `json:"external_waits"`
+	DrainTimeouts     uint64                     `json:"drain_timeouts"`
+	Transport         metrics.TransportSnapshot  `json:"transport"`
+	Contention        metrics.ContentionSnapshot `json:"contention"`
+}
+
+// benchReport is the BENCH_<name>.json document: one figure's points plus
+// the run configuration that produced them.
+type benchReport struct {
+	Name        string        `json:"name"`
+	GeneratedAt time.Time     `json:"generated_at"`
+	Duration    time.Duration `json:"duration_ns"`
+	Warmup      time.Duration `json:"warmup_ns"`
+	Seed        int64         `json:"seed"`
+	Points      []benchPoint  `json:"points"`
+}
+
+// reporter accumulates one figure's points and writes the snapshot file.
+type reporter struct {
+	name   string
+	points []benchPoint
+}
+
+func newReporter(name string) *reporter { return &reporter{name: name} }
+
+func (r *reporter) flush() {
+	if !*jsonOut {
+		return
+	}
+	doc := benchReport{
+		Name:        r.name,
+		GeneratedAt: time.Now().UTC(),
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Seed:        *seed,
+		Points:      r.points,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("json: %v", err)
+	}
+	path := fmt.Sprintf("BENCH_%s.json", r.name)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("  [wrote %s: %d points]\n", path, len(r.points))
+}
+
+// point runs one measurement and returns the result, recording it in rep.
+func point(rep *reporter, series string, eng sss.Engine, nodes, degree int, w ycsb.Config, clientsPerNode int) bench.Result {
 	c, err := sss.New(sss.Options{
 		Nodes: nodes, ReplicationDegree: degree, Engine: eng,
 		BatchMaxEnvelopes: *batchMax,
@@ -101,8 +192,35 @@ func point(eng sss.Engine, nodes, degree int, w ycsb.Config, clientsPerNode int)
 		Seed:           *seed,
 		Lookup:         cluster.NewLookup(nodes, degree),
 	})
+	net := c.TransportMetrics().Snapshot()
 	if *netStats {
-		fmt.Printf("    [net %s n=%d] %s\n", eng, nodes, c.TransportMetrics().Snapshot())
+		fmt.Printf("    [net %s n=%d] %s | %s\n", eng, nodes, net, res.Contention)
+	}
+	if rep != nil {
+		rep.points = append(rep.points, benchPoint{
+			Series:            series,
+			Engine:            string(eng),
+			Nodes:             nodes,
+			ReplicationDegree: degree,
+			ClientsPerNode:    clientsPerNode,
+			Keys:              w.Keys,
+			ReadOnlyPct:       w.ReadOnlyPct,
+			ReadOnlyOps:       w.ReadOnlyOps,
+			Locality:          w.Locality,
+			ThroughputTxnS:    res.Throughput,
+			AbortRate:         res.AbortRate,
+			Commits:           res.Commits,
+			ReadOnly:          res.ReadOnly,
+			Aborts:            res.Aborts,
+			UpdateLatency:     res.UpdateLatency,
+			ReadOnlyLatency:   res.ReadOnlyLatency,
+			InternalLatency:   res.InternalLatency,
+			PreCommitWait:     res.PreCommitWait,
+			ExternalWaits:     res.ExternalWaits,
+			DrainTimeouts:     res.DrainTimeouts,
+			Transport:         net,
+			Contention:        res.Contention,
+		})
 	}
 	return res
 }
@@ -113,6 +231,7 @@ func header(title string) {
 
 func figure3(nodeCounts []int) {
 	header("Figure 3: throughput (txn/s) vs node count, replication=2")
+	rep := newReporter("figure3")
 	for _, ro := range []int{20, 50, 80} {
 		fmt.Printf("\n-- %d%% read-only --\n", ro)
 		fmt.Printf("%-14s", "series")
@@ -122,19 +241,22 @@ func figure3(nodeCounts []int) {
 		fmt.Println()
 		for _, keys := range []int{5000, 10000} {
 			for _, eng := range []sss.Engine{sss.Engine2PC, sss.EngineWalter, sss.EngineSSS} {
+				series := fmt.Sprintf("ro%d-%s-%dk", ro, eng, keys/1000)
 				fmt.Printf("%-14s", fmt.Sprintf("%s-%dk", eng, keys/1000))
 				for _, n := range nodeCounts {
-					res := point(eng, n, 2, ycsb.Config{Keys: keys, ReadOnlyPct: ro}, *clients)
+					res := point(rep, series, eng, n, 2, ycsb.Config{Keys: keys, ReadOnlyPct: ro}, *clients)
 					fmt.Printf("%12.0f", res.Throughput)
 				}
 				fmt.Println()
 			}
 		}
 	}
+	rep.flush()
 }
 
 func figure4(nodeCounts []int) {
 	header("Figure 4(a): maximum attainable throughput, 50% ro, 5k keys")
+	rep := newReporter("figure4")
 	fmt.Printf("%-8s", "series")
 	for _, n := range nodeCounts {
 		fmt.Printf("%12s", fmt.Sprintf("n=%d", n))
@@ -145,7 +267,8 @@ func figure4(nodeCounts []int) {
 		for _, n := range nodeCounts {
 			best := 0.0
 			for _, cpn := range []int{10, 20, 40} {
-				if tp := point(eng, n, 2, ycsb.Config{Keys: 5000, ReadOnlyPct: 50}, cpn).Throughput; tp > best {
+				series := fmt.Sprintf("max-tp-%s-c%d", eng, cpn)
+				if tp := point(rep, series, eng, n, 2, ycsb.Config{Keys: 5000, ReadOnlyPct: 50}, cpn).Throughput; tp > best {
 					best = tp
 				}
 			}
@@ -159,18 +282,21 @@ func figure4(nodeCounts []int) {
 	for _, eng := range []sss.Engine{sss.EngineSSS, sss.Engine2PC} {
 		fmt.Printf("%-8s", eng)
 		for _, cpn := range []int{1, 3, 5, 10} {
-			res := point(eng, 4, 2, ycsb.Config{Keys: 5000, ReadOnlyPct: 50}, cpn)
+			series := fmt.Sprintf("latency-%s", eng)
+			res := point(rep, series, eng, 4, 2, ycsb.Config{Keys: 5000, ReadOnlyPct: 50}, cpn)
 			fmt.Printf("%12d", res.UpdateLatency.Mean.Microseconds())
 		}
 		fmt.Println()
 	}
+	rep.flush()
 }
 
 func figure5() {
 	header("Figure 5: SSS latency breakdown (µs): internal commit vs pre-commit wait")
+	rep := newReporter("figure5")
 	fmt.Printf("%-10s%14s%14s%8s\n", "clients", "internal", "pre-commit", "wait%")
 	for _, cpn := range []int{1, 3, 5, 10} {
-		res := point(sss.EngineSSS, 4, 2, ycsb.Config{Keys: 5000, ReadOnlyPct: 50}, cpn)
+		res := point(rep, "breakdown", sss.EngineSSS, 4, 2, ycsb.Config{Keys: 5000, ReadOnlyPct: 50}, cpn)
 		in := res.InternalLatency.Mean.Microseconds()
 		wa := res.PreCommitWait.Mean.Microseconds()
 		pct := 0.0
@@ -179,10 +305,12 @@ func figure5() {
 		}
 		fmt.Printf("%-10d%14d%14d%7.1f%%\n", cpn, in, wa, pct)
 	}
+	rep.flush()
 }
 
 func figure6(nodeCounts []int) {
 	header("Figure 6: SSS vs ROCOCO vs 2PC (no replication, 5k keys), txn/s")
+	rep := newReporter("figure6")
 	for _, ro := range []int{20, 80} {
 		fmt.Printf("\n-- %d%% read-only --\n", ro)
 		fmt.Printf("%-8s", "series")
@@ -193,16 +321,19 @@ func figure6(nodeCounts []int) {
 		for _, eng := range []sss.Engine{sss.EngineSSS, sss.Engine2PC, sss.EngineROCOCO} {
 			fmt.Printf("%-8s", eng)
 			for _, n := range nodeCounts {
-				res := point(eng, n, 1, ycsb.Config{Keys: 5000, ReadOnlyPct: ro}, *clients)
+				series := fmt.Sprintf("ro%d-%s", ro, eng)
+				res := point(rep, series, eng, n, 1, ycsb.Config{Keys: 5000, ReadOnlyPct: ro}, *clients)
 				fmt.Printf("%12.0f", res.Throughput)
 			}
 			fmt.Println()
 		}
 	}
+	rep.flush()
 }
 
 func figure7(nodeCounts []int) {
 	header("Figure 7: 80% read-only, 50% locality, replication=2, txn/s")
+	rep := newReporter("figure7")
 	fmt.Printf("%-14s", "series")
 	for _, n := range nodeCounts {
 		fmt.Printf("%12s", fmt.Sprintf("n=%d", n))
@@ -210,25 +341,28 @@ func figure7(nodeCounts []int) {
 	fmt.Println()
 	for _, keys := range []int{5000, 10000} {
 		for _, eng := range []sss.Engine{sss.Engine2PC, sss.EngineWalter, sss.EngineSSS} {
+			series := fmt.Sprintf("local-%s-%dk", eng, keys/1000)
 			fmt.Printf("%-14s", fmt.Sprintf("%s-%dk", eng, keys/1000))
 			for _, n := range nodeCounts {
 				w := ycsb.Config{Keys: keys, ReadOnlyPct: 80, Distribution: ycsb.Local, Locality: 0.5}
-				res := point(eng, n, 2, w, *clients)
+				res := point(rep, series, eng, n, 2, w, *clients)
 				fmt.Printf("%12.0f", res.Throughput)
 			}
 			fmt.Println()
 		}
 	}
+	rep.flush()
 }
 
 func figure8() {
 	header("Figure 8: SSS speedup vs read-only size (80% ro, no replication)")
+	rep := newReporter("figure8")
 	fmt.Printf("%-10s%16s%16s\n", "ro keys", "SSS/ROCOCO", "SSS/2PC")
 	for _, ops := range []int{2, 4, 8, 16} {
 		w := ycsb.Config{Keys: 5000, ReadOnlyPct: 80, ReadOnlyOps: ops}
-		tpSSS := point(sss.EngineSSS, 3, 1, w, *clients).Throughput
-		tpRoc := point(sss.EngineROCOCO, 3, 1, w, *clients).Throughput
-		tp2PC := point(sss.Engine2PC, 3, 1, w, *clients).Throughput
+		tpSSS := point(rep, "ro-size-sss", sss.EngineSSS, 3, 1, w, *clients).Throughput
+		tpRoc := point(rep, "ro-size-rococo", sss.EngineROCOCO, 3, 1, w, *clients).Throughput
+		tp2PC := point(rep, "ro-size-2pc", sss.Engine2PC, 3, 1, w, *clients).Throughput
 		row := func(num, den float64) string {
 			if den <= 0 {
 				return "n/a"
@@ -237,5 +371,6 @@ func figure8() {
 		}
 		fmt.Printf("%-10d%16s%16s\n", ops, row(tpSSS, tpRoc), row(tpSSS, tp2PC))
 	}
+	rep.flush()
 	_ = os.Stdout.Sync()
 }

@@ -24,12 +24,16 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"github.com/sss-paper/sss/internal/cluster"
 	"github.com/sss-paper/sss/internal/engine"
+	"github.com/sss-paper/sss/internal/profiling"
 	"github.com/sss-paper/sss/internal/transport"
 	"github.com/sss-paper/sss/internal/wire"
 )
@@ -42,6 +46,10 @@ var (
 	batchMax   = flag.Int("batch-max", 0, "max envelopes per transport batch frame (0 = default 64)")
 	batchWin   = flag.Duration("batch-window", 0, "flush window per-peer senders wait to accumulate batches (0 = flush immediately)")
 	workers    = flag.Int("inbound-workers", 0, "inbound dispatch pool size (0 = 8×GOMAXPROCS, clamped to [32, 256])")
+
+	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file on SIGINT/SIGTERM")
+	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on SIGINT/SIGTERM")
+	blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file on SIGINT/SIGTERM")
 )
 
 func main() {
@@ -49,6 +57,25 @@ func main() {
 	addrs := strings.Split(*peers, ",")
 	if *id < 0 || *id >= len(addrs) {
 		log.Fatalf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	profCfg := profiling.Config{CPU: *cpuProfile, Mutex: *mutexProfile, Block: *blockProfile}
+	if profCfg.Enabled() {
+		stopProf, err := profiling.Start(profCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Profiles are flushed on SIGINT/SIGTERM, then the process exits.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			if err := stopProf(); err != nil {
+				log.Printf("profiling: %v", err)
+			} else {
+				log.Printf("profiles written (cpu=%q mutex=%q block=%q)", *cpuProfile, *mutexProfile, *blockProfile)
+			}
+			os.Exit(0)
+		}()
 	}
 	book := make(map[wire.NodeID]string, len(addrs))
 	for i, a := range addrs {

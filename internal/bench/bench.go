@@ -60,6 +60,9 @@ type Result struct {
 	PreCommitWait   metrics.HistogramSnapshot
 	ExternalWaits   uint64
 	DrainTimeouts   uint64
+	// Contention aggregates the nodes' lock/wait contention counters
+	// (commitlog waiter registry, snapshot-queue drains).
+	Contention metrics.ContentionSnapshot
 }
 
 // Run executes the workload against the given nodes and aggregates results.
@@ -151,6 +154,7 @@ func Run(nodes []Node, opts Options) Result {
 	res.PreCommitWait = agg.PreCommitWait.Snapshot()
 	res.ExternalWaits = agg.ExternalWaits.Load()
 	res.DrainTimeouts = agg.DrainTimeouts.Load()
+	res.Contention = agg.Contention.Snapshot()
 	return res
 }
 
@@ -204,6 +208,7 @@ func aggregate(nodes []Node) *metrics.Engine {
 		out.ReadOnlyLatency.Merge(&s.ReadOnlyLatency)
 		out.InternalLatency.Merge(&s.InternalLatency)
 		out.PreCommitWait.Merge(&s.PreCommitWait)
+		out.Contention.Merge(&s.Contention)
 	}
 	return out
 }

@@ -1,0 +1,218 @@
+package commitlog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// TestPropVisibleMaxIndexEquivalence drives a log through a random history —
+// including heavy ring eviction at tiny capacities — and checks that the
+// bucketed visibility index answers every query shape (unconstrained,
+// constrained, excluded, combinations) identically to the seed's linear
+// ring scan.
+func TestPropVisibleMaxIndexEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		self := r.Intn(n)
+		// Capacities chosen to exercise bucket widths 1..16 and both the
+		// no-eviction and deep-eviction regimes.
+		capacity := []int{1, 2, 3, 4, 7, 16, 33, 100, 256}[r.Intn(9)]
+		l := New(self, n, capacity)
+
+		count := r.Intn(3 * capacity)
+		remote := make([]uint64, n)
+		var live []wire.TxnID
+		for i := 1; i <= count; i++ {
+			id := wire.TxnID{Node: wire.NodeID(r.Intn(n)), Seq: uint64(i)}
+			vc := l.Prepare(id, true, nil)
+			final := vc.Clone()
+			for w := 0; w < n; w++ {
+				if w == self {
+					continue
+				}
+				if r.Intn(3) == 0 {
+					remote[w] += uint64(1 + r.Intn(3))
+				}
+				final[w] = remote[w]
+			}
+			l.Decide(id, final, true, true)
+			live = append(live, id)
+			if len(live) > capacity {
+				live = live[1:]
+			}
+		}
+
+		for q := 0; q < 20; q++ {
+			var hasRead []bool
+			var bound vclock.VC
+			if r.Intn(3) > 0 {
+				hasRead = make([]bool, n)
+				bound = vclock.New(n)
+				frontier := l.MostRecentVC()
+				for w := 0; w < n; w++ {
+					hasRead[w] = r.Intn(2) == 0
+					// Bounds below, at, and above the frontier.
+					switch r.Intn(3) {
+					case 0:
+						bound[w] = frontier[w] / 2
+					case 1:
+						bound[w] = frontier[w]
+					default:
+						bound[w] = frontier[w] + uint64(r.Intn(4))
+					}
+				}
+			}
+			var excluded map[wire.TxnID]struct{}
+			if r.Intn(2) == 0 && len(live) > 0 {
+				excluded = make(map[wire.TxnID]struct{})
+				for k := 0; k < 1+r.Intn(4); k++ {
+					excluded[live[r.Intn(len(live))]] = struct{}{}
+				}
+				if r.Intn(2) == 0 {
+					// An excluded transaction not in the log (evicted or
+					// never applied) must be a no-op.
+					excluded[wire.TxnID{Node: 9, Seq: uint64(1 + r.Intn(99999))}] = struct{}{}
+				}
+			}
+			got := l.VisibleMax(hasRead, bound, excluded)
+			want := l.visibleMaxNaive(hasRead, bound, excluded)
+			if !got.Equal(want) {
+				t.Logf("seed=%d n=%d self=%d cap=%d count=%d hasRead=%v bound=%v excluded=%v: got %v want %v",
+					seed, n, self, capacity, count, hasRead, bound, excluded, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVisibleMaxIndexAfterEviction pins the regression the bucketed index
+// must not introduce: after deep eviction the unconstrained query must equal
+// the scan over *retained* entries, not the all-history cumulative max.
+func TestVisibleMaxIndexAfterEviction(t *testing.T) {
+	l := New(0, 2, 8)
+	// One early commit with a high remote entry, then a long run of commits
+	// with a low remote entry: once the early commit evicts, the retained
+	// max's remote component drops.
+	id := wire.TxnID{Node: 1, Seq: 1}
+	vc := l.Prepare(id, true, nil)
+	final := vc.Clone()
+	final[1] = 100
+	l.Decide(id, final, true, true)
+	for i := 2; i <= 40; i++ {
+		id := wire.TxnID{Node: 0, Seq: uint64(i)}
+		vc := l.Prepare(id, true, nil)
+		final := vc.Clone()
+		final[1] = 5
+		l.Decide(id, final, true, true)
+	}
+	got := l.VisibleMax(nil, nil, nil)
+	want := l.visibleMaxNaive(nil, nil, nil)
+	if !got.Equal(want) {
+		t.Fatalf("post-eviction VisibleMax = %v, want %v", got, want)
+	}
+	if got[1] != 5 {
+		t.Fatalf("retained remote max = %d, want 5 (the 100 entry is evicted)", got[1])
+	}
+	// mostRecent keeps the historical max; the index must not leak it into
+	// the retained-entry query.
+	if mr := l.MostRecentVC(); mr[1] != 100 {
+		t.Fatalf("mostRecent[1] = %d, want 100", mr[1])
+	}
+}
+
+// TestWaitMostRecentWaiterRegistry exercises the per-bound waiter registry:
+// many concurrent waiters at staggered bounds, woken in bound order as the
+// frontier advances, with timeouts for unreachable bounds.
+func TestWaitMostRecentWaiterRegistry(t *testing.T) {
+	l := New(0, 1, 0)
+	const waiters = 32
+	results := make(chan struct {
+		bound uint64
+		ok    bool
+	}, waiters+4)
+	for i := 1; i <= waiters; i++ {
+		go func(bound uint64) {
+			ok := l.WaitMostRecent(bound, 5*time.Second)
+			results <- struct {
+				bound uint64
+				ok    bool
+			}{bound, ok}
+		}(uint64(i))
+	}
+	// A few waiters on bounds that will never be reached.
+	for i := 0; i < 4; i++ {
+		go func() {
+			ok := l.WaitMostRecent(waiters+100, 50*time.Millisecond)
+			results <- struct {
+				bound uint64
+				ok    bool
+			}{waiters + 100, ok}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	for i := 1; i <= waiters; i++ {
+		id := wire.TxnID{Node: 0, Seq: uint64(i)}
+		vc := l.Prepare(id, true, nil)
+		l.Decide(id, vc, true, true)
+	}
+	for i := 0; i < waiters+4; i++ {
+		res := <-results
+		if res.bound <= waiters && !res.ok {
+			t.Fatalf("waiter at bound %d should have been woken", res.bound)
+		}
+		if res.bound > waiters && res.ok {
+			t.Fatalf("waiter at unreachable bound %d reported success", res.bound)
+		}
+	}
+}
+
+// TestVisibleMaxIntoFoldsDst documents VisibleMaxInto's fold contract: dst's
+// existing entries participate in the max.
+func TestVisibleMaxIntoFoldsDst(t *testing.T) {
+	l := New(0, 2, 0)
+	id := wire.TxnID{Node: 0, Seq: 1}
+	vc := l.Prepare(id, true, nil)
+	l.Decide(id, vc, true, true)
+	dst := vclock.VC{0, 9}
+	l.VisibleMaxInto(dst, nil, nil, nil)
+	if dst[0] != 1 || dst[1] != 9 {
+		t.Fatalf("VisibleMaxInto = %v, want [1 9]", dst)
+	}
+}
+
+// TestVisibleMaxManyCapacities sweeps capacities around bucket-width
+// boundaries with deterministic histories, comparing index vs naive at
+// every step of the history (catching incremental-maintenance bugs that
+// only show at specific fill levels).
+func TestVisibleMaxManyCapacities(t *testing.T) {
+	for _, capacity := range []int{1, 2, 5, 8, 9, 17, 64, 65} {
+		t.Run(fmt.Sprintf("cap=%d", capacity), func(t *testing.T) {
+			l := New(0, 3, capacity)
+			r := rand.New(rand.NewSource(int64(capacity)))
+			for i := 1; i <= 3*capacity+2; i++ {
+				id := wire.TxnID{Node: wire.NodeID(r.Intn(3)), Seq: uint64(i)}
+				vc := l.Prepare(id, true, nil)
+				final := vc.Clone()
+				final[1] = uint64(r.Intn(i + 1))
+				final[2] = uint64(r.Intn(i + 1))
+				l.Decide(id, final, true, true)
+				got := l.VisibleMax(nil, nil, nil)
+				want := l.visibleMaxNaive(nil, nil, nil)
+				if !got.Equal(want) {
+					t.Fatalf("after %d appends: got %v want %v", i, got, want)
+				}
+			}
+		})
+	}
+}

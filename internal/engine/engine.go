@@ -96,6 +96,45 @@ type Node struct {
 	// here, even when the reader's coordinator has not heard of them.
 	extFrontier atomic.Uint64
 
+	// Per-transaction engine state is striped by TxnID so prepare, decide,
+	// propagate and remove paths for distinct transactions never contend on
+	// one mutex (the seed serialized all 26 handler lock sites on a single
+	// nd.mu). Every map in a stripe is keyed by the transaction the handler
+	// is operating on, so each handler touches exactly one stripe at a time
+	// and no two stripes are ever held together.
+	stripes [stripeCount]stripe
+
+	// readScratch pools the per-read scratch state of handleRead (the
+	// seen/before/excluded sets), so the read-only hot path stops
+	// allocating them per message.
+	readScratch sync.Pool
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// stripeBits sets the number of state stripes (a power of two).
+const (
+	stripeBits  = 6
+	stripeCount = 1 << stripeBits
+)
+
+// maxTombstonesPerStripe soft-caps removedROs per stripe; the oldest
+// tombstones beyond it are evicted FIFO (amortized O(1) per insert, no
+// full-map rescans — the seed rescanned all 2^16 entries per handler call
+// once full). 64 stripes × 1024 matches the seed's 2^16 global bound.
+// Tombstones younger than tombstoneMinAge are spared (the Remove-vs-read
+// reorder race they guard is only live for the delivery delay of a read
+// request) unless the stripe exceeds hardMaxTombstonesPerStripe, which
+// bounds memory even under bursts of young removals.
+const (
+	maxTombstonesPerStripe     = 1024
+	hardMaxTombstonesPerStripe = 4 * maxTombstonesPerStripe
+	tombstoneMinAge            = 10 * time.Second
+)
+
+// stripe holds the per-transaction state of one TxnID shard.
+type stripe struct {
 	mu sync.Mutex
 	// pending tracks transactions prepared at this participant, keyed by
 	// transaction ID, between Prepare and the end of their decide path.
@@ -109,7 +148,11 @@ type Node struct {
 	propTargets map[wire.TxnID]map[wire.NodeID]struct{}
 	// removedROs tombstones read-only transactions whose Remove has been
 	// seen, so a racing propagation cannot resurrect their entries.
+	// tombFIFO records insertion order for capped eviction; a re-tombstoned
+	// transaction leaves a stale FIFO entry that eviction skips by
+	// timestamp mismatch.
 	removedROs map[wire.TxnID]time.Time
+	tombFIFO   []tombstone
 	// parked maps an internally-committed transaction to the local written
 	// keys whose snapshot-queues still hold its W entry (plus its local
 	// insertion-snapshot); cleared by the ExtCommit purge.
@@ -117,9 +160,48 @@ type Node struct {
 	// inflight maps a locally-coordinated update transaction to a channel
 	// closed at its external commit; WaitExternal subscribers block on it.
 	inflight map[wire.TxnID]chan struct{}
+}
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
+type tombstone struct {
+	txn wire.TxnID
+	at  time.Time
+}
+
+// stripeOf returns the stripe owning txn's state.
+func (nd *Node) stripeOf(txn wire.TxnID) *stripe {
+	h := (txn.Seq ^ uint64(uint32(txn.Node))<<32) * 0x9E3779B97F4A7C15
+	return &nd.stripes[h>>(64-stripeBits)] // top stripeBits bits
+}
+
+// tombstoneLocked records that ro's Remove has been processed, evicting the
+// oldest tombstones beyond the per-stripe cap. Called with st.mu held.
+func (st *stripe) tombstoneLocked(ro wire.TxnID, now time.Time) {
+	st.removedROs[ro] = now
+	st.tombFIFO = append(st.tombFIFO, tombstone{txn: ro, at: now})
+	for len(st.removedROs) > maxTombstonesPerStripe && len(st.tombFIFO) > 0 {
+		head := st.tombFIFO[0]
+		if now.Sub(head.at) < tombstoneMinAge && len(st.removedROs) <= hardMaxTombstonesPerStripe {
+			break // everything older is gone; spare the young ones
+		}
+		st.tombFIFO = st.tombFIFO[1:]
+		if at, ok := st.removedROs[head.txn]; ok && at.Equal(head.at) {
+			delete(st.removedROs, head.txn)
+		}
+	}
+}
+
+// tombstonedLocked reports whether ro's Remove has been processed. Callers
+// needing atomicity with an insert (handleRead) hold the stripe lock across
+// both; tombstoned is the standalone form.
+func (st *stripe) tombstonedLocked(ro wire.TxnID) bool {
+	_, gone := st.removedROs[ro]
+	return gone
+}
+
+func (st *stripe) tombstoned(ro wire.TxnID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.tombstonedLocked(ro)
 }
 
 // parkedState tracks a transaction between internal and external commit at
@@ -146,22 +228,28 @@ type participantTxn struct {
 func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	nd := &Node{
-		id:          id,
-		idx:         int(id),
-		n:           n,
-		cfg:         cfg,
-		lookup:      lookup,
-		log:         commitlog.New(int(id), n, cfg.NLogCapacity),
-		store:       mvstore.New(n, cfg.MaxVersions),
-		locks:       lockmgr.New(),
-		stats:       &metrics.Engine{},
-		pending:     make(map[wire.TxnID]*participantTxn),
-		fwd:         make(map[wire.TxnID]map[wire.NodeID]struct{}),
-		propTargets: make(map[wire.TxnID]map[wire.NodeID]struct{}),
-		removedROs:  make(map[wire.TxnID]time.Time),
-		parked:      make(map[wire.TxnID]parkedState),
-		inflight:    make(map[wire.TxnID]chan struct{}),
+		id:     id,
+		idx:    int(id),
+		n:      n,
+		cfg:    cfg,
+		lookup: lookup,
+		log:    commitlog.New(int(id), n, cfg.NLogCapacity),
+		store:  mvstore.New(n, cfg.MaxVersions),
+		locks:  lockmgr.New(),
+		stats:  &metrics.Engine{},
 	}
+	nd.log.SetContention(&nd.stats.Contention)
+	nd.store.SetContention(&nd.stats.Contention)
+	for i := range nd.stripes {
+		st := &nd.stripes[i]
+		st.pending = make(map[wire.TxnID]*participantTxn)
+		st.fwd = make(map[wire.TxnID]map[wire.NodeID]struct{})
+		st.propTargets = make(map[wire.TxnID]map[wire.NodeID]struct{})
+		st.removedROs = make(map[wire.TxnID]time.Time)
+		st.parked = make(map[wire.TxnID]parkedState)
+		st.inflight = make(map[wire.TxnID]chan struct{})
+	}
+	nd.readScratch.New = func() any { return newROScratch() }
 	rpc, err := transport.NewRPC(net, id, nd.serve)
 	if err != nil {
 		return nil, fmt.Errorf("engine: node %d: %w", id, err)
@@ -227,16 +315,77 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 	}
 }
 
-// gcTombstonesLocked bounds the removedROs map. Called with nd.mu held.
-func (nd *Node) gcTombstonesLocked(now time.Time) {
-	const maxTombstones = 1 << 16
-	if len(nd.removedROs) < maxTombstones {
+// roScratch is the pooled per-read scratch state of handleRead: the
+// request's seen/before sets and the exclusion set, reused across messages
+// so the read-only hot path performs no map allocation. Maps are cleared on
+// release; oversized ones are reallocated so a pathological request cannot
+// pin a huge table in the pool.
+type roScratch struct {
+	seen     map[wire.TxnID]struct{}
+	before   map[wire.TxnID]struct{}
+	excluded map[wire.TxnID]struct{}
+}
+
+func newROScratch() *roScratch {
+	return &roScratch{
+		seen:     make(map[wire.TxnID]struct{}, 8),
+		before:   make(map[wire.TxnID]struct{}, 8),
+		excluded: make(map[wire.TxnID]struct{}, 8),
+	}
+}
+
+const scratchMapCap = 256
+
+func (nd *Node) getScratch() *roScratch {
+	return nd.readScratch.Get().(*roScratch)
+}
+
+func (nd *Node) putScratch(sc *roScratch) {
+	if len(sc.seen) > scratchMapCap || len(sc.before) > scratchMapCap || len(sc.excluded) > scratchMapCap {
+		nd.readScratch.Put(newROScratch())
 		return
 	}
-	cutoff := now.Add(-10 * time.Second)
-	for id, at := range nd.removedROs {
-		if at.Before(cutoff) {
-			delete(nd.removedROs, id)
-		}
+	clear(sc.seen)
+	clear(sc.before)
+	clear(sc.excluded)
+	nd.readScratch.Put(sc)
+}
+
+// --- test helpers (stripe-aware accessors) ---
+
+func (nd *Node) tombstoned(ro wire.TxnID) bool {
+	return nd.stripeOf(ro).tombstoned(ro)
+}
+
+func (nd *Node) parkedCount() int {
+	total := 0
+	for i := range nd.stripes {
+		st := &nd.stripes[i]
+		st.mu.Lock()
+		total += len(st.parked)
+		st.mu.Unlock()
 	}
+	return total
+}
+
+func (nd *Node) inflightCount() int {
+	total := 0
+	for i := range nd.stripes {
+		st := &nd.stripes[i]
+		st.mu.Lock()
+		total += len(st.inflight)
+		st.mu.Unlock()
+	}
+	return total
+}
+
+func (nd *Node) tombstoneCount() int {
+	total := 0
+	for i := range nd.stripes {
+		st := &nd.stripes[i]
+		st.mu.Lock()
+		total += len(st.removedROs)
+		st.mu.Unlock()
+	}
+	return total
 }

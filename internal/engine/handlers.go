@@ -42,11 +42,15 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// does everything causally dependent on them; this stickiness is what
 	// makes all read-only transactions agree on the order of concurrent
 	// update transactions (§III-C, Figure 2 — see DESIGN.md §6).
-	seen := make(map[wire.TxnID]struct{}, len(m.Seen))
+	// The sets live in pooled scratch maps: they are consumed under the
+	// store's shard lock during the walk and never retained.
+	sc := nd.getScratch()
+	defer nd.putScratch(sc)
+	seen := sc.seen
 	for _, s := range m.Seen {
 		seen[s] = struct{}{}
 	}
-	beforeIDs := make(map[wire.TxnID]struct{}, len(m.Before))
+	beforeIDs := sc.before
 	for _, b := range m.Before {
 		beforeIDs[b.Txn] = struct{}{}
 	}
@@ -65,13 +69,8 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 		// filters. The probe exclusion set here may race a concurrent
 		// internal commit; the authoritative set is recomputed atomically
 		// with the walk inside ReadRO below.
-		probe := nd.store.SQUnflaggedWriters(m.Key)
-		excluded := make(map[wire.TxnID]struct{}, len(probe)+len(beforeIDs))
-		for w := range probe {
-			if _, ok := seen[w]; !ok {
-				excluded[w] = struct{}{}
-			}
-		}
+		excluded := sc.excluded
+		nd.store.SQUnflaggedWritersInto(m.Key, seen, excluded)
 		for id := range beforeIDs {
 			excluded[id] = struct{}{}
 		}
@@ -101,9 +100,9 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// entry's insertion-snapshot, the entry is re-inserted lower, so the
 	// skipped writers' freeze phases (and hence client replies) wait for
 	// this reader's completion. The insert is atomic with handleRemove
-	// (via nd.mu + tombstone): deliveries are unordered, so T's Remove may
-	// overtake a slow read request, and a late insert would otherwise park
-	// writers forever.
+	// (via the transaction's stripe mutex + tombstone): deliveries are
+	// unordered, so T's Remove may overtake a slow read request, and a
+	// late insert would otherwise park writers forever.
 	sid := maxVC[nd.idx]
 	lower := func(skips []wire.ExWriter) {
 		for _, ex := range skips {
@@ -113,11 +112,12 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 		}
 	}
 	insert := func() {
-		nd.mu.Lock()
-		if _, gone := nd.removedROs[m.Txn]; !gone {
+		st := nd.stripeOf(m.Txn)
+		st.mu.Lock()
+		if !st.tombstonedLocked(m.Txn) {
 			nd.store.SQInsert(m.Key, wire.SQEntry{Txn: m.Txn, SID: sid, Kind: wire.EntryRead})
 		}
-		nd.mu.Unlock()
+		st.mu.Unlock()
 	}
 	insert()
 
@@ -128,7 +128,10 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	if m.VC[nd.idx] > stampBound {
 		stampBound = m.VC[nd.idx]
 	}
-	ro := nd.store.ReadRO(m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC)
+	// The first-contact probe is done with sc.excluded; hand it to ReadRO
+	// (cleared) as the scratch for the authoritative queue-exclusion set.
+	clear(sc.excluded)
+	ro := nd.store.ReadRO(m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC, sc.excluded)
 	res := ro.Res
 	before := sid
 	lower(ro.Skipped)
@@ -189,28 +192,33 @@ func (nd *Node) pendingWriterOf(key string, res mvstore.ReadResult) wire.TxnID {
 // transactions (PropagatedSet) — their anti-dependencies must travel with
 // the writer.
 func (nd *Node) handleUpdateRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
-	// The PropagatedSet capture and the fwd-record must be atomic with
-	// respect to handleRemove, so a Remove processed concurrently either
-	// sees the forward record or prevented the propagation.
-	nd.mu.Lock()
+	// The fwd-record for each propagated reader must be atomic with respect
+	// to that reader's handleRemove: taking the reader's stripe lock for
+	// the tombstone check plus the record guarantees a concurrent Remove
+	// either sees the forward record or left the tombstone that suppresses
+	// the propagation. Distinct readers need no mutual atomicity, so each
+	// is handled under its own stripe.
 	prop := nd.store.SQReadEntries(m.Key)
 	if len(prop) > 0 {
 		filtered := prop[:0]
 		for _, e := range prop {
-			if _, gone := nd.removedROs[e.Txn]; gone {
+			st := nd.stripeOf(e.Txn)
+			st.mu.Lock()
+			if st.tombstonedLocked(e.Txn) {
+				st.mu.Unlock()
 				continue
 			}
-			set := nd.fwd[e.Txn]
+			set := st.fwd[e.Txn]
 			if set == nil {
 				set = make(map[wire.NodeID]struct{})
-				nd.fwd[e.Txn] = set
+				st.fwd[e.Txn] = set
 			}
 			set[from] = struct{}{}
+			st.mu.Unlock()
 			filtered = append(filtered, e)
 		}
 		prop = filtered
 	}
-	nd.mu.Unlock()
 
 	res := nd.store.Latest(m.Key)
 	// The bound folded into the updater's clock is the returned version's
@@ -291,9 +299,10 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 		deps:      m.Deps,
 		applied:   make(chan struct{}),
 	}
-	nd.mu.Lock()
-	nd.pending[m.Txn] = pt
-	nd.mu.Unlock()
+	st := nd.stripeOf(m.Txn)
+	st.mu.Lock()
+	st.pending[m.Txn] = pt
+	st.mu.Unlock()
 
 	writeReplica := len(localWrites) > 0
 	prepVC := nd.log.Prepare(m.Txn, writeReplica, func(commitVC vclock.VC) {
@@ -354,10 +363,11 @@ func (nd *Node) localKeys(keys []string) []string {
 // snapshot-queue drain — its receipt at the coordinator is the
 // external-commit point.
 func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
-	nd.mu.Lock()
-	pt := nd.pending[m.Txn]
-	delete(nd.pending, m.Txn)
-	nd.mu.Unlock()
+	st := nd.stripeOf(m.Txn)
+	st.mu.Lock()
+	pt := st.pending[m.Txn]
+	delete(st.pending, m.Txn)
+	st.mu.Unlock()
 
 	if pt == nil {
 		// Either a duplicate decide or a prepare that failed locally (the
@@ -403,9 +413,9 @@ func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 	nd.preCommit(m, pt)
 	// The W entries stay parked until the coordinator's ExtCommit; record
 	// which keys to freeze and purge then.
-	nd.mu.Lock()
-	nd.parked[m.Txn] = parkedState{keys: pt.localWKey, sid: m.VC[nd.idx], vc: m.VC.Clone()}
-	nd.mu.Unlock()
+	st.mu.Lock()
+	st.parked[m.Txn] = parkedState{keys: pt.localWKey, sid: m.VC[nd.idx], vc: m.VC.Clone()}
+	st.mu.Unlock()
 	_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
 }
 
@@ -414,20 +424,23 @@ func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 // runs at decide time, strictly before the versions become visible.
 func (nd *Node) enqueuePreCommit(m *wire.Decide, pt *participantTxn) {
 	sid := m.VC[nd.idx]
-	nd.mu.Lock()
-	prop := make([]wire.SQEntry, 0, len(m.Propagated))
-	for _, e := range m.Propagated {
-		if _, gone := nd.removedROs[e.Txn]; gone {
-			continue
-		}
-		prop = append(prop, e)
-	}
-	nd.mu.Unlock()
 	for _, k := range pt.localWKey {
 		nd.store.SQInsert(k, wire.SQEntry{Txn: m.Txn, SID: sid, Kind: wire.EntryWrite})
-		for _, e := range prop {
-			nd.store.SQInsert(k, wire.SQEntry{Txn: e.Txn, SID: e.SID, Kind: wire.EntryRead})
+	}
+	// Each propagated reader's tombstone check is atomic with its inserts
+	// (the reader's stripe mutex, as in handleRead): a concurrent Remove
+	// either runs first and leaves the tombstone that suppresses the
+	// insert, or runs after and deletes the inserted entries — never
+	// interleaves to resurrect an entry with no Remove left to chase it.
+	for _, e := range m.Propagated {
+		st := nd.stripeOf(e.Txn)
+		st.mu.Lock()
+		if !st.tombstonedLocked(e.Txn) {
+			for _, k := range pt.localWKey {
+				nd.store.SQInsert(k, wire.SQEntry{Txn: e.Txn, SID: e.SID, Kind: wire.EntryRead})
+			}
 		}
+		st.mu.Unlock()
 	}
 }
 
@@ -450,10 +463,28 @@ func (nd *Node) preCommit(m *wire.Decide, pt *participantTxn) {
 // later reader can exclude — and thereby serialize before — the
 // transaction; purge (one-way, post-reply) deletes them.
 func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit) {
+	st := nd.stripeOf(m.Txn)
+	if m.Drain {
+		// Drain round: complete the snapshot-queue waits without flagging,
+		// so the coordinator can issue the freeze round against replicas
+		// whose backlogs are already clear — the flags then land within one
+		// message delay of each other instead of skewing by per-replica
+		// drain waits.
+		st.mu.Lock()
+		ps := st.parked[m.Txn]
+		st.mu.Unlock()
+		for _, k := range ps.keys {
+			if !nd.store.SQWaitDrain(k, m.Txn, ps.sid, nd.cfg.DrainTimeout) {
+				nd.stats.DrainTimeouts.Add(1)
+			}
+		}
+		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		return
+	}
 	if !m.Purge {
-		nd.mu.Lock()
-		ps := nd.parked[m.Txn]
-		nd.mu.Unlock()
+		st.mu.Lock()
+		ps := st.parked[m.Txn]
+		st.mu.Unlock()
 		// Freeze re-drains: a reader that excluded this writer inserted an
 		// entry with a strictly smaller insertion-snapshot, so the flag —
 		// and hence the writer's client reply — waits until that reader
@@ -498,10 +529,10 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 		}
 		return
 	}
-	nd.mu.Lock()
-	ps := nd.parked[m.Txn]
-	delete(nd.parked, m.Txn)
-	nd.mu.Unlock()
+	st.mu.Lock()
+	ps := st.parked[m.Txn]
+	delete(st.parked, m.Txn)
+	st.mu.Unlock()
 	for _, k := range ps.keys {
 		nd.store.SQRemoveWrite(k, m.Txn)
 	}
@@ -511,9 +542,10 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 // externally commits, then acks. Unknown transactions have already
 // finished (registration precedes any observable parked entry).
 func (nd *Node) handleWaitExternal(from wire.NodeID, rid uint64, m *wire.WaitExternal) {
-	nd.mu.Lock()
-	ch := nd.inflight[m.Txn]
-	nd.mu.Unlock()
+	st := nd.stripeOf(m.Txn)
+	st.mu.Lock()
+	ch := st.inflight[m.Txn]
+	st.mu.Unlock()
 	if ch != nil {
 		select {
 		case <-ch:
@@ -528,14 +560,13 @@ func (nd *Node) handleWaitExternal(from wire.NodeID, rid uint64, m *wire.WaitExt
 // transaction's snapshot-queue entries here and forward the removal to any
 // update coordinator that propagated them elsewhere.
 func (nd *Node) handleRemove(m *wire.Remove) {
-	nd.mu.Lock()
+	st := nd.stripeOf(m.Txn)
+	st.mu.Lock()
 	nd.store.SQRemoveRead(m.Txn)
-	targets := nd.fwd[m.Txn]
-	delete(nd.fwd, m.Txn)
-	now := time.Now()
-	nd.removedROs[m.Txn] = now
-	nd.gcTombstonesLocked(now)
-	nd.mu.Unlock()
+	targets := st.fwd[m.Txn]
+	delete(st.fwd, m.Txn)
+	st.tombstoneLocked(m.Txn, time.Now())
+	st.mu.Unlock()
 
 	for to := range targets {
 		nd.stats.FwdRemoves.Add(1)
@@ -551,13 +582,12 @@ func (nd *Node) handleRemove(m *wire.Remove) {
 // transaction's removal to the write replicas where its entries were
 // propagated during pre-commit.
 func (nd *Node) handleFwdRemove(m *wire.FwdRemove) {
-	nd.mu.Lock()
-	targets := nd.propTargets[m.RO]
-	delete(nd.propTargets, m.RO)
-	now := time.Now()
-	nd.removedROs[m.RO] = now
-	nd.gcTombstonesLocked(now)
-	nd.mu.Unlock()
+	st := nd.stripeOf(m.RO)
+	st.mu.Lock()
+	targets := st.propTargets[m.RO]
+	delete(st.propTargets, m.RO)
+	st.tombstoneLocked(m.RO, time.Now())
+	st.mu.Unlock()
 
 	for to := range targets {
 		if to == nd.id {

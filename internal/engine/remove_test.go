@@ -100,10 +100,7 @@ func TestTombstoneBlocksLateReadEntry(t *testing.T) {
 	// Remove arrives before the (reordered) read request: the tombstone
 	// must prevent the late insert from parking writers forever.
 	nd.handleRemove(&wire.Remove{Txn: ro})
-	nd.mu.Lock()
-	_, tombstoned := nd.removedROs[ro]
-	nd.mu.Unlock()
-	if !tombstoned {
+	if !nd.tombstoned(ro) {
 		t.Fatal("remove did not tombstone the transaction")
 	}
 	nd.handleRead(0, 0, &wire.ReadRequest{
@@ -135,11 +132,7 @@ func TestExtCommitFreezeThenPurge(t *testing.T) {
 	if nd.Stats().Commits.Load() != 1 {
 		t.Fatal("commit not counted")
 	}
-	nd.mu.Lock()
-	parked := len(nd.parked)
-	inflight := len(nd.inflight)
-	nd.mu.Unlock()
-	if parked != 0 || inflight != 0 {
+	if parked, inflight := nd.parkedCount(), nd.inflightCount(); parked != 0 || inflight != 0 {
 		t.Fatalf("leaked state: parked=%d inflight=%d", parked, inflight)
 	}
 }

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// newBenchCluster assembles n nodes over the zero-latency in-process
+// network, preloading `keys` keys.
+func newBenchCluster(b *testing.B, n, degree, keys int) []*Node {
+	b.Helper()
+	net := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+	lookup := cluster.NewLookup(n, degree)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := New(net, wire.NodeID(i), n, lookup, Config{})
+		if err != nil {
+			b.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = nd
+	}
+	b.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+		_ = net.Close()
+	})
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		for _, nd := range nodes {
+			nd.Preload(k, []byte("init"))
+		}
+	}
+	return nodes
+}
+
+// BenchmarkReadOnlyTxn measures the end-to-end read-only path — Begin,
+// `ops` reads through handleRead/ReadRO, Commit with its Removes — on a
+// single node so transport noise is minimal. allocs/op here is the RO
+// allocation-diet regression metric guarded by CI.
+func BenchmarkReadOnlyTxn(b *testing.B) {
+	for _, ops := range []int{1, 4} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			nodes := newBenchCluster(b, 1, 1, 64)
+			nd := nodes[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := nd.Begin(true)
+				for j := 0; j < ops; j++ {
+					k := fmt.Sprintf("key%04d", (i+j)%64)
+					if _, _, err := tx.Read(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadOnlyTxnContended measures the same path with concurrent
+// writers churning disjoint keys on the same node, exercising the striped
+// engine state and the commitlog waiter registry under contention.
+func BenchmarkReadOnlyTxnContended(b *testing.B) {
+	nodes := newBenchCluster(b, 2, 2, 64)
+	nd := nodes[0]
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := nodes[1].Begin(false)
+			k := fmt.Sprintf("key%04d", i%64)
+			if _, _, err := tx.Read(k); err == nil {
+				_ = tx.Write(k, []byte("w"))
+				_ = tx.Commit()
+			} else {
+				_ = tx.Abort()
+			}
+			i++
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tx := nd.Begin(true)
+			k := fmt.Sprintf("key%04d", i%64)
+			if _, _, err := tx.Read(k); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -54,6 +54,13 @@ type Txn struct {
 	before map[wire.TxnID]vclock.VC
 	obs    vclock.VC
 
+	// readCtx bounds every read RPC of this transaction with one shared
+	// DrainTimeout budget, created lazily on the first remote read and
+	// canceled when the transaction completes — one context and timer per
+	// transaction instead of one per read.
+	readCtx    context.Context
+	readCancel context.CancelFunc
+
 	begin time.Time
 	done  bool
 }
@@ -69,6 +76,7 @@ var _ kv.Txn = (*Txn)(nil)
 // Begin starts a transaction on this node. Read-only transactions must be
 // declared; they are never aborted by the concurrency control.
 func (nd *Node) Begin(readOnly bool) *Txn {
+	// ws is allocated lazily in Write: read-only transactions never need it.
 	return &Txn{
 		nd:        nd,
 		id:        wire.TxnID{Node: nd.id, Seq: nd.txnSeq.Add(1)},
@@ -76,7 +84,6 @@ func (nd *Node) Begin(readOnly bool) *Txn {
 		hasRead:   make([]bool, nd.n),
 		firstRead: true,
 		rs:        make(map[string]readVal),
-		ws:        make(map[string][]byte),
 		begin:     time.Now(),
 	}
 }
@@ -248,9 +255,10 @@ func (t *Txn) waitPendingWriters() {
 func (nd *Node) waitExternal(w wire.TxnID) {
 	nd.stats.ExternalWaits.Add(1)
 	if w.Node == nd.id {
-		nd.mu.Lock()
-		ch := nd.inflight[w]
-		nd.mu.Unlock()
+		st := nd.stripeOf(w)
+		st.mu.Lock()
+		ch := st.inflight[w]
+		st.mu.Unlock()
 		if ch == nil {
 			return
 		}
@@ -293,8 +301,28 @@ func (t *Txn) readRemote(key string) (*wire.ReadReturn, wire.NodeID, error) {
 		}
 		req.ObsVC = t.obs.Clone()
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), t.nd.cfg.DrainTimeout)
-	defer cancel()
+	if t.readCtx == nil || !readCtxFresh(t.readCtx, t.nd.cfg.DrainTimeout) {
+		// Lazily created, and renewed once half the budget is gone — the
+		// shared context is an allocation saving for bursts of reads, not
+		// a transaction deadline: every read starts with at least half the
+		// configured DrainTimeout ahead of it.
+		t.releaseReadCtx()
+		t.readCtx, t.readCancel = context.WithTimeout(context.Background(), t.nd.cfg.DrainTimeout)
+	}
+	ctx := t.readCtx
+
+	if len(targets) == 1 {
+		// Single replica: no fan-out race to win, call synchronously.
+		resp, err := t.nd.rpc.Call(ctx, targets[0], req)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: read %q: %v", kv.ErrUnavailable, key, err)
+		}
+		rr, ok := resp.(*wire.ReadReturn)
+		if !ok {
+			return nil, 0, fmt.Errorf("engine: unexpected read response %T", resp)
+		}
+		return rr, targets[0], nil
+	}
 
 	type answer struct {
 		resp *wire.ReadReturn
@@ -340,6 +368,9 @@ func (t *Txn) Write(key string, val []byte) error {
 	if t.readOnly {
 		return kv.ErrReadOnlyWrite
 	}
+	if t.ws == nil {
+		t.ws = make(map[string][]byte)
+	}
 	if _, dup := t.ws[key]; !dup {
 		t.wsOrder = append(t.wsOrder, key)
 	}
@@ -355,10 +386,30 @@ func (t *Txn) Abort() error {
 		return nil
 	}
 	t.done = true
+	t.releaseReadCtx()
 	if len(t.touched) > 0 && t.readOnly {
 		t.sendRemoves()
 	}
 	return nil
+}
+
+// releaseReadCtx cancels the transaction-scoped read context, releasing its
+// timer.
+func (t *Txn) releaseReadCtx() {
+	if t.readCancel != nil {
+		t.readCancel()
+		t.readCancel = nil
+	}
+}
+
+// readCtxFresh reports whether ctx is alive with at least half of budget
+// remaining.
+func readCtxFresh(ctx context.Context, budget time.Duration) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	deadline, ok := ctx.Deadline()
+	return !ok || time.Until(deadline) >= budget/2
 }
 
 // Commit implements kv.Txn (Algorithm 1).
@@ -367,6 +418,7 @@ func (t *Txn) Commit() error {
 		return kv.ErrTxnDone
 	}
 	t.done = true
+	t.releaseReadCtx()
 
 	if len(t.ws) == 0 {
 		// Read-only (declared or effectively): reply to the client
@@ -469,31 +521,32 @@ func (t *Txn) commitUpdate() error {
 	// land, so a forwarded Remove can chase them (§III-C), skipping
 	// already-removed transactions.
 	var prop []wire.SQEntry
-	if len(t.propagated) > 0 {
-		nd.mu.Lock()
-		for ro, e := range t.propagated {
-			if _, gone := nd.removedROs[ro]; gone {
-				continue
-			}
-			set := nd.propTargets[ro]
-			if set == nil {
-				set = make(map[wire.NodeID]struct{})
-				nd.propTargets[ro] = set
-			}
-			for _, w := range writeNodes {
-				set[w] = struct{}{}
-			}
-			prop = append(prop, e)
+	for ro, e := range t.propagated {
+		st := nd.stripeOf(ro)
+		st.mu.Lock()
+		if st.tombstonedLocked(ro) {
+			st.mu.Unlock()
+			continue
 		}
-		nd.mu.Unlock()
+		set := st.propTargets[ro]
+		if set == nil {
+			set = make(map[wire.NodeID]struct{})
+			st.propTargets[ro] = set
+		}
+		for _, w := range writeNodes {
+			set[w] = struct{}{}
+		}
+		st.mu.Unlock()
+		prop = append(prop, e)
 	}
 
 	// Register for WaitExternal subscribers before any replica can expose
 	// our parked W entries.
 	extDone := make(chan struct{})
-	nd.mu.Lock()
-	nd.inflight[t.id] = extDone
-	nd.mu.Unlock()
+	selfStripe := nd.stripeOf(t.id)
+	selfStripe.mu.Lock()
+	selfStripe.inflight[t.id] = extDone
+	selfStripe.mu.Unlock()
 
 	// --- decide phase; acks arrive after each participant's drain ---
 	dctx, dcancel := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
@@ -509,10 +562,15 @@ func (t *Txn) commitUpdate() error {
 	// Our completion must follow that of any parked writer we read from.
 	t.waitPendingWriters()
 
-	// External commit, two-phase cleanup: freeze the parked W entries
-	// everywhere (acked) so no transaction starting after our client reply
-	// can exclude us; then release subscribers and reply; the purge is
-	// asynchronous.
+	// External commit, staged cleanup: drain the snapshot-queues everywhere
+	// (acked) so the subsequent freeze round finds no backlog and the flags
+	// land near-simultaneously across replicas; then freeze the parked W
+	// entries everywhere (acked) so no transaction starting after our
+	// client reply can exclude us; then release subscribers and reply; the
+	// purge is asynchronous.
+	dctx2, dcancel2 := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
+	t.broadcast(dctx2, writeNodes, &wire.ExtCommit{Txn: t.id, Drain: true})
+	dcancel2()
 	ectx, ecancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
 	defer ecancel()
 	freezeAcks := t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id})
@@ -529,9 +587,9 @@ func (t *Txn) commitUpdate() error {
 		}
 	}
 	nd.log.RecordExternal(extVC)
-	nd.mu.Lock()
-	delete(nd.inflight, t.id)
-	nd.mu.Unlock()
+	selfStripe.mu.Lock()
+	delete(selfStripe.inflight, t.id)
+	selfStripe.mu.Unlock()
 	close(extDone)
 	for _, w := range writeNodes {
 		if w == nd.id {

@@ -135,13 +135,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
-// HistogramSnapshot is a point-in-time histogram summary.
+// HistogramSnapshot is a point-in-time histogram summary. Durations
+// serialize as integer nanoseconds.
 type HistogramSnapshot struct {
-	Count uint64
-	Mean  time.Duration
-	P50   time.Duration
-	P99   time.Duration
-	Max   time.Duration
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
 }
 
 // String renders the snapshot compactly.
@@ -185,11 +186,11 @@ func (t *Transport) Merge(other *Transport) {
 
 // TransportSnapshot is a point-in-time transport summary for reporting.
 type TransportSnapshot struct {
-	Flushes           uint64
-	Envelopes         uint64
-	Spills            uint64
-	EnvelopesPerFlush float64
-	FlushLatency      HistogramSnapshot
+	Flushes           uint64            `json:"flushes"`
+	Envelopes         uint64            `json:"envelopes"`
+	Spills            uint64            `json:"spills"`
+	EnvelopesPerFlush float64           `json:"envelopes_per_flush"`
+	FlushLatency      HistogramSnapshot `json:"flush_latency"`
 }
 
 // Snapshot copies the counters into a plain struct.
@@ -207,6 +208,62 @@ func (t *Transport) Snapshot() TransportSnapshot {
 func (s TransportSnapshot) String() string {
 	return fmt.Sprintf("flushes=%d envelopes=%d (%.2f/flush) spills=%d flushLat{%v}",
 		s.Flushes, s.Envelopes, s.EnvelopesPerFlush, s.Spills, s.FlushLatency)
+}
+
+// Contention aggregates lock- and wait-contention counters on the node hot
+// path: how often the read-only read path actually blocked (vs the lock-free
+// fast path) and how often pre-commit drains parked. Together with the
+// -mutexprofile/-blockprofile flags of sss-bench and sss-server these locate
+// the serialization points the striped engine state and the commitlog
+// visibility index are meant to remove.
+type Contention struct {
+	// LogWaits counts WaitMostRecent calls that missed the lock-free
+	// frontier fast path and registered a waiter; LogWakeups counts waiters
+	// released by a frontier advance; LogWaitTimeouts counts registrations
+	// that expired instead.
+	LogWaits        atomic.Uint64
+	LogWakeups      atomic.Uint64
+	LogWaitTimeouts atomic.Uint64
+	// SQWaits counts snapshot-queue drains (Algorithm 4) that found the
+	// queue non-empty and blocked; SQWaitTimeouts counts drains that hit
+	// the safety cap.
+	SQWaits        atomic.Uint64
+	SQWaitTimeouts atomic.Uint64
+}
+
+// Merge folds other's counters into c.
+func (c *Contention) Merge(other *Contention) {
+	c.LogWaits.Add(other.LogWaits.Load())
+	c.LogWakeups.Add(other.LogWakeups.Load())
+	c.LogWaitTimeouts.Add(other.LogWaitTimeouts.Load())
+	c.SQWaits.Add(other.SQWaits.Load())
+	c.SQWaitTimeouts.Add(other.SQWaitTimeouts.Load())
+}
+
+// ContentionSnapshot is a point-in-time copy of the contention counters.
+type ContentionSnapshot struct {
+	LogWaits        uint64 `json:"log_waits"`
+	LogWakeups      uint64 `json:"log_wakeups"`
+	LogWaitTimeouts uint64 `json:"log_wait_timeouts"`
+	SQWaits         uint64 `json:"sq_waits"`
+	SQWaitTimeouts  uint64 `json:"sq_wait_timeouts"`
+}
+
+// Snapshot copies the counters into a plain struct.
+func (c *Contention) Snapshot() ContentionSnapshot {
+	return ContentionSnapshot{
+		LogWaits:        c.LogWaits.Load(),
+		LogWakeups:      c.LogWakeups.Load(),
+		LogWaitTimeouts: c.LogWaitTimeouts.Load(),
+		SQWaits:         c.SQWaits.Load(),
+		SQWaitTimeouts:  c.SQWaitTimeouts.Load(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s ContentionSnapshot) String() string {
+	return fmt.Sprintf("logWaits=%d wakeups=%d timeouts=%d sqWaits=%d sqTimeouts=%d",
+		s.LogWaits, s.LogWakeups, s.LogWaitTimeouts, s.SQWaits, s.SQWaitTimeouts)
 }
 
 // Engine aggregates the per-engine counters the evaluation reports.
@@ -229,6 +286,10 @@ type Engine struct {
 	PreCommitWait Histogram
 	// Read-only transaction latency.
 	ReadOnlyLatency Histogram
+
+	// Contention holds the node's lock/wait contention counters, shared
+	// with the commitlog waiter registry and the mvstore drain path.
+	Contention Contention
 }
 
 // AbortRate returns aborts / (commits + aborts) for update transactions.

@@ -17,12 +17,17 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/internal/vclock"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
 // Version is one committed version of a key. Versions form a singly-linked
 // chain from newest to oldest.
+//
+// VC and Deps are immutable once the version is installed; read results and
+// wire messages share them by reference (no defensive clones on the read
+// hot path), so holders must never mutate them.
 type Version struct {
 	Val    []byte
 	VC     vclock.VC
@@ -71,8 +76,10 @@ type shard struct {
 	cond *sync.Cond
 	keys map[string]*keyState
 	// roIndex maps a read-only transaction to the keys of this shard whose
-	// snapshot-queues contain its entries, making Remove O(entries).
-	roIndex map[wire.TxnID]map[string]struct{}
+	// snapshot-queues contain its entries, making Remove O(entries). The
+	// value is a small slice (SQInsert never records duplicates), cheaper
+	// than a per-transaction set on the read hot path.
+	roIndex map[wire.TxnID][]string
 }
 
 // Store is a sharded multi-version repository. Create with New.
@@ -81,7 +88,12 @@ type Store struct {
 	maxDepth   int
 	nowFn      func() time.Time
 	genesisVCn int
+	cstats     *metrics.Contention // optional, set via SetContention
 }
+
+// SetContention wires the optional contention counters. Call before serving
+// traffic.
+func (s *Store) SetContention(c *metrics.Contention) { s.cstats = c }
 
 // DefaultMaxDepth bounds the per-key version chain; older versions are
 // pruned (see DESIGN.md §3).
@@ -102,7 +114,7 @@ func New(n, maxDepth int) *Store {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.keys = make(map[string]*keyState)
-		sh.roIndex = make(map[wire.TxnID]map[string]struct{})
+		sh.roIndex = make(map[wire.TxnID][]string)
 		sh.cond = sync.NewCond(&sh.mu)
 	}
 	return s
@@ -167,7 +179,9 @@ func (s *Store) Apply(key string, val []byte, commitVC vclock.VC, writer wire.Tx
 	}
 }
 
-// ReadResult is the outcome of a version selection.
+// ReadResult is the outcome of a version selection. VC and Deps are shared
+// with the stored version (see Version); callers must treat them as
+// read-only.
 type ReadResult struct {
 	Val    []byte
 	Exists bool
@@ -187,7 +201,7 @@ func (s *Store) Latest(key string) ReadResult {
 		return ReadResult{}
 	}
 	v := ks.last
-	return ReadResult{Val: v.Val, Exists: true, VC: v.VC.Clone(), Writer: v.Writer, Deps: v.Deps}
+	return ReadResult{Val: v.Val, Exists: true, VC: v.VC, Writer: v.Writer, Deps: v.Deps}
 }
 
 // LatestVID returns the i-th entry of the latest version's commit clock, or
@@ -271,7 +285,9 @@ func (s *Store) readVisibleLocked(ks *keyState, checkStamp bool, stampBound uint
 	var skipped []wire.ExWriter
 	var skippedIDs map[wire.TxnID]struct{}
 	skip := func(v *Version) {
-		skipped = append(skipped, wire.ExWriter{Txn: v.Writer, VC: v.VC.Clone()})
+		// The version clock is shared, not cloned: ExWriter clocks travel
+		// read-only (into the reader's Before set and back in requests).
+		skipped = append(skipped, wire.ExWriter{Txn: v.Writer, VC: v.VC})
 		if skippedIDs == nil {
 			skippedIDs = make(map[wire.TxnID]struct{})
 		}
@@ -326,7 +342,7 @@ func (s *Store) readVisibleLocked(ks *keyState, checkStamp bool, stampBound uint
 		if !v.Writer.IsZero() && hasWriteEntryLocked(ks, v.Writer) {
 			pending = v.Writer
 		}
-		return ReadResult{Val: v.Val, Exists: true, VC: v.VC.Clone(), Writer: v.Writer, Deps: v.Deps}, skipped, pending
+		return ReadResult{Val: v.Val, Exists: true, VC: v.VC, Writer: v.Writer, Deps: v.Deps}, skipped, pending
 	}
 	return ReadResult{}, skipped, wire.TxnID{}
 }
@@ -374,7 +390,12 @@ type RORead struct {
 // reader's observed clock. stampBound is the reader's external-commit cut
 // at this node (its incoming clock joined with its observed clock and the
 // computed bound): flagged versions stamped above it are excluded.
-func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC) RORead {
+//
+// scratchEx, when non-nil, is a caller-provided empty map used for the
+// queue-exclusion set — the allocation-free form for pooled read scratch.
+// It is consumed under the shard lock and not retained; the caller may
+// clear and reuse it after the call.
+func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC, scratchEx map[wire.TxnID]struct{}) RORead {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -383,7 +404,10 @@ func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []boo
 		return RORead{}
 	}
 
-	excluded := make(map[wire.TxnID]struct{}, len(ks.sqW))
+	excluded := scratchEx
+	if excluded == nil {
+		excluded = make(map[wire.TxnID]struct{}, len(ks.sqW))
+	}
 	var queueSkips []wire.ExWriter
 	for _, e := range ks.sqW {
 		if e.committed {
@@ -435,12 +459,9 @@ func (s *Store) SQInsert(key string, entry wire.SQEntry) {
 	}
 	*list = append(*list, sqItem{SQEntry: entry, at: s.nowFn()})
 	if entry.Kind == wire.EntryRead {
-		keys := sh.roIndex[entry.Txn]
-		if keys == nil {
-			keys = make(map[string]struct{})
-			sh.roIndex[entry.Txn] = keys
-		}
-		keys[key] = struct{}{}
+		// No duplicate guard needed: the loop above returns on re-insertion
+		// of an existing entry, so (txn, key) lands here at most once.
+		sh.roIndex[entry.Txn] = append(sh.roIndex[entry.Txn], key)
 	}
 }
 
@@ -454,7 +475,7 @@ func (s *Store) SQRemoveRead(txn wire.TxnID) int {
 		sh.mu.Lock()
 		keys := sh.roIndex[txn]
 		if len(keys) > 0 {
-			for key := range keys {
+			for _, key := range keys {
 				ks := sh.keys[key]
 				if ks == nil {
 					continue
@@ -503,12 +524,22 @@ func (s *Store) SQWaitDrain(key string, txn wire.TxnID, sid uint64, timeout time
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	blocked := false
 	for {
 		if !s.blockedLocked(sh, key, txn, sid) {
 			return true
 		}
+		if !blocked {
+			blocked = true
+			if s.cstats != nil {
+				s.cstats.SQWaits.Add(1)
+			}
+		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
+			if s.cstats != nil {
+				s.cstats.SQWaitTimeouts.Add(1)
+			}
 			return false
 		}
 		timer := time.AfterFunc(remain, sh.cond.Broadcast)
@@ -572,31 +603,30 @@ func (s *Store) SQBlocked(key string, txn wire.TxnID, sid uint64) bool {
 	return s.blockedLocked(sh, key, txn, sid)
 }
 
-// SQUnflaggedWriters returns the writers parked in key's queue whose W
-// entries are not yet flagged as externally committed, together with the
-// smallest such insertion-snapshot. Read-only transactions never observe
-// these writers' versions: they serialize before them (blanket exclusion),
-// which is what lets all read-only transactions agree on the order of
-// concurrent update transactions (§III-C, Figure 2).
-func (s *Store) SQUnflaggedWriters(key string) map[wire.TxnID]uint64 {
+// SQUnflaggedWritersInto adds key's parked writers whose W entries are not
+// yet flagged as externally committed — minus those in seen — to dst: the
+// read-only first-contact probe. Read-only transactions never observe these
+// writers' versions: they serialize before them (blanket exclusion), which
+// is what lets all read-only transactions agree on the order of concurrent
+// update transactions (§III-C, Figure 2). dst is caller-provided so the
+// hot path performs no allocation.
+func (s *Store) SQUnflaggedWritersInto(key string, seen map[wire.TxnID]struct{}, dst map[wire.TxnID]struct{}) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	ks := sh.keys[key]
-	if ks == nil || len(ks.sqW) == 0 {
-		return nil
+	if ks == nil {
+		return
 	}
-	var out map[wire.TxnID]uint64
 	for _, e := range ks.sqW {
 		if e.committed {
 			continue
 		}
-		if out == nil {
-			out = make(map[wire.TxnID]uint64)
+		if _, ok := seen[e.Txn]; ok {
+			continue
 		}
-		out[e.Txn] = e.SID
+		dst[e.Txn] = struct{}{}
 	}
-	return out
 }
 
 // SQHasWriteEntry reports whether txn currently has a W entry in key's
@@ -642,6 +672,26 @@ func (s *Store) SQExcludedWriters(key string, bound uint64) map[wire.TxnID]struc
 		}
 	}
 	return out
+}
+
+// SQExcludedWritersInto is SQExcludedWriters folding into a caller-provided
+// map, for pooled read scratch.
+func (s *Store) SQExcludedWritersInto(key string, bound uint64, dst map[wire.TxnID]struct{}) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return
+	}
+	for _, e := range ks.sqW {
+		if e.committed {
+			continue
+		}
+		if e.SID > bound {
+			dst[e.Txn] = struct{}{}
+		}
+	}
 }
 
 // SQReadEntries returns a snapshot of key's read entries — the

@@ -248,6 +248,47 @@ func TestSQExcludedWriters(t *testing.T) {
 	if got := s.SQExcludedWriters("absent", 0); got != nil {
 		t.Fatal("absent key excludes nothing")
 	}
+	// The caller-provided-map variant agrees with the allocating one.
+	into := make(map[wire.TxnID]struct{})
+	s.SQExcludedWritersInto("k", 5, into)
+	if len(into) != 1 {
+		t.Fatalf("SQExcludedWritersInto = %v, want 1 entry", into)
+	}
+	if _, ok := into[txn(0, 2)]; !ok {
+		t.Fatal("Into variant must exclude the sid 9 writer at bound 5")
+	}
+	s.SQExcludedWritersInto("absent", 0, into)
+	if len(into) != 1 {
+		t.Fatal("absent key must add nothing")
+	}
+}
+
+func TestSQUnflaggedWritersInto(t *testing.T) {
+	s := New(2, 0)
+	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 1), SID: 4, Kind: wire.EntryWrite})
+	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 2), SID: 9, Kind: wire.EntryWrite})
+	s.SQFlagWrite("k", txn(0, 1), 7) // externally committed: not unflagged
+	seen := map[wire.TxnID]struct{}{txn(0, 3): {}}
+	dst := make(map[wire.TxnID]struct{})
+	s.SQUnflaggedWritersInto("k", seen, dst)
+	if len(dst) != 1 {
+		t.Fatalf("unflagged = %v, want only the unflagged writer", dst)
+	}
+	if _, ok := dst[txn(0, 2)]; !ok {
+		t.Fatal("unflagged writer missing")
+	}
+	// A seen writer is never re-excluded.
+	seen[txn(0, 2)] = struct{}{}
+	clear(dst)
+	s.SQUnflaggedWritersInto("k", seen, dst)
+	if len(dst) != 0 {
+		t.Fatalf("seen writer re-excluded: %v", dst)
+	}
+	// Absent key adds nothing.
+	s.SQUnflaggedWritersInto("absent", nil, dst)
+	if len(dst) != 0 {
+		t.Fatal("absent key must add nothing")
+	}
 }
 
 func TestSQReadEntries(t *testing.T) {

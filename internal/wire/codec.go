@@ -111,6 +111,7 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		buf = appendTxnID(buf, m.RO)
 	case *ExtCommit:
 		buf = appendTxnID(buf, m.Txn)
+		buf = appendBool(buf, m.Drain)
 		buf = appendBool(buf, m.Purge)
 	case *WaitExternal:
 		buf = appendTxnID(buf, m.Txn)
@@ -236,7 +237,7 @@ func decodeBody(c *cursor, t MsgType) (Msg, error) {
 	case MsgFwdRemove:
 		return &FwdRemove{RO: c.txnID()}, c.err
 	case MsgExtCommit:
-		return &ExtCommit{Txn: c.txnID(), Purge: c.bool()}, c.err
+		return &ExtCommit{Txn: c.txnID(), Drain: c.bool(), Purge: c.bool()}, c.err
 	case MsgWaitExternal:
 		return &WaitExternal{Txn: c.txnID()}, c.err
 	case MsgWaitExternalAck:

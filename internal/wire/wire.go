@@ -265,16 +265,23 @@ type Remove struct {
 	Txn TxnID
 }
 
-// ExtCommit drives the two-phase cleanup of Txn's snapshot-queue W entries.
-// W entries persist from internal commit until *external* commit so that
-// every reader can tell whether the version it selected is still
-// provisional. The freeze phase (Purge=false, acked, completed before the
-// coordinator replies to its client) flags the entries as externally
+// ExtCommit drives the cleanup of Txn's snapshot-queue W entries. W entries
+// persist from internal commit until *external* commit so that every reader
+// can tell whether the version it selected is still provisional. The drain
+// phase (Drain=true, acked) completes the snapshot-queue waits on every
+// write replica without yet flagging anything; the freeze phase
+// (Drain=false, Purge=false, acked, completed before the coordinator
+// replies to its client) re-drains — usually instantly, the backlog was
+// cleared by the drain round — and flags the entries as externally
 // committed; the purge phase (Purge=true, one-way, after the reply) deletes
-// them. The split closes the race where one replica's entry is already
-// gone while another's still looks provisional.
+// them. The freeze/purge split closes the race where one replica's entry is
+// already gone while another's still looks provisional; the drain/freeze
+// split keeps the cross-replica flag skew at one message delay instead of
+// the full drain wait, narrowing the window in which two read-only
+// transactions can order two concurrently-freezing writers differently.
 type ExtCommit struct {
 	Txn   TxnID
+	Drain bool
 	Purge bool
 }
 

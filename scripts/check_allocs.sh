@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# check_allocs.sh — allocs/op regression guard for the hot paths.
+#
+# Runs the named benchmarks with -benchmem and fails if any exceeds its
+# recorded allocs/op ceiling. Ceilings are the measured value plus slack for
+# cross-machine variance; lower them when the paths get leaner, never raise
+# them without a recorded justification in the PR.
+#
+# Usage: scripts/check_allocs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# check <package> <bench regex> <benchtime> <ceiling allocs/op> ...
+# Each extra pair after the benchtime is "<bench-name-substring> <ceiling>".
+check() {
+  local pkg=$1 regex=$2 benchtime=$3
+  shift 3
+  local out
+  out=$(go test -run xxx -bench "$regex" -benchtime "$benchtime" -benchmem "$pkg")
+  echo "$out" | grep -E '^Benchmark' || true
+  while (($# >= 2)); do
+    local name=$1 ceiling=$2
+    shift 2
+    local allocs
+    allocs=$(echo "$out" | awk -v name="$name" '$1 ~ name { print $(NF-1); exit }')
+    if [[ -z "$allocs" ]]; then
+      echo "FAIL: benchmark matching $name not found in $pkg output" >&2
+      fail=1
+      continue
+    fi
+    if ((allocs > ceiling)); then
+      echo "FAIL: $name allocs/op = $allocs exceeds ceiling $ceiling" >&2
+      fail=1
+    else
+      echo "ok: $name allocs/op = $allocs (ceiling $ceiling)"
+    fi
+  done
+}
+
+# Read-only transaction end-to-end (Begin + reads + Commit). Seed was 33
+# (ops=1) and 100 (ops=4) allocs/op; the allocation diet brought them to 27
+# and 64.
+check ./internal/engine 'BenchmarkReadOnlyTxn/ops' 2000x \
+  'BenchmarkReadOnlyTxn/ops=1' 30 \
+  'BenchmarkReadOnlyTxn/ops=4' 70
+
+# Commitlog visibility-index queries and lock-free clock reads: one result
+# clock per query, zero for the in-place folds.
+check ./internal/commitlog 'BenchmarkVisibleMax/cap=65536/(unconstrained|bounded|excluded)' 300x \
+  'BenchmarkVisibleMax/cap=65536/unconstrained' 1 \
+  'BenchmarkVisibleMax/cap=65536/bounded' 1 \
+  'BenchmarkVisibleMax/cap=65536/excluded' 2
+check ./internal/commitlog 'BenchmarkClockReads' 2000x \
+  'BenchmarkClockReads/SnapshotVC' 1 \
+  'BenchmarkClockReads/AppliedSelf' 0 \
+  'BenchmarkClockReads/FoldExternalInto' 0
+
+exit $fail
