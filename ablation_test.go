@@ -1,6 +1,7 @@
 package sss
 
-// Ablation benchmarks for the design knobs DESIGN.md calls out: replication
+// Ablation benchmarks for the headline design knobs (docs/ARCHITECTURE.md):
+// replication
 // degree, lock-acquisition timeout (the paper's deadlock-prevention
 // parameter, §III-E), and read-only transaction share sweeps finer than the
 // paper's three points. These are not paper figures; they characterize the

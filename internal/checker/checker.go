@@ -12,6 +12,17 @@
 // checker compresses them with an interval-order chain: transactions are
 // sorted by start time and linked through virtual suffix nodes, giving an
 // O(V+E) graph that preserves reachability.
+//
+// The checker trusts only observations: what each committed transaction
+// read (key → writer of the returned version), what it wrote, and its
+// client-side start/end instants, plus each key's version order as dumped
+// from a replica's chain. Callers must verify replicas agree on version
+// orders before feeding one in (the TestCheckedWorkload harness does).
+// Soundness invariant: every reported cycle is a genuine external-
+// consistency violation; completeness is bounded by version-chain pruning
+// (run workloads with MaxVersions high enough to retain full chains).
+// docs/CONSISTENCY.md §6 describes the verification workflow built on this
+// package.
 package checker
 
 import (

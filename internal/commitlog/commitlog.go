@@ -23,6 +23,20 @@
 //     fast path and, when it must block, registers in a per-bound waiter
 //     min-heap so a frontier advance wakes exactly the waiters it satisfies
 //     instead of broadcasting to all of them.
+//
+// Invariants (see docs/CONSISTENCY.md §2):
+//
+//   - NodeVC is monotone; its own entry increments exactly once per
+//     prepared write (the transaction's write slot at this node).
+//   - mostRecent[self] — the apply frontier — advances only in CommitQ
+//     order: when WaitMostRecent(b) returns, every local version with
+//     vc[self] <= b is applied and visible.
+//   - The external clock covers only transactions witnessed to externally
+//     commit (RecordExternal): unlike mostRecent it never names a parked
+//     stranger, so it is safe to fold into other transactions' clocks and
+//     read bounds without fabricating dependencies.
+//   - Clocks loaded from the published snapshot are immutable; callers
+//     clone before mutating.
 package commitlog
 
 import (
@@ -174,7 +188,8 @@ type Log struct {
 	cstats *metrics.Contention // optional, set via SetContention
 }
 
-// DefaultCapacity is the default NLog retention (see DESIGN.md §3).
+// DefaultCapacity is the default NLog retention: large enough that the
+// visibility index, not eviction, bounds what readers can cover.
 const DefaultCapacity = 65536
 
 // New builds the commit machinery for node self of an n-node cluster.

@@ -8,6 +8,33 @@
 // with Read/Write/Commit. Inter-node traffic flows through a
 // transport.Network, so the same engine runs over the simulated in-process
 // network (benchmarks) or TCP (cmd/sss-server).
+//
+// Protocol invariants the engine maintains (argued in docs/CONSISTENCY.md):
+//
+//   - A write replica enqueues a transaction's W entry strictly before its
+//     internal commit applies the version, so a reader can never observe a
+//     provisional version without finding its writer parked.
+//   - A read-only read inserts its R entry before walking the version
+//     chain, re-inserting lower if the walk skips a writer beneath its
+//     insertion-snapshot: every writer a reader excludes drains behind that
+//     reader's entry, so the writer's client reply follows the reader's
+//     completion.
+//   - External commit is staged drain → freeze → purge. The freeze ships
+//     the coordinator-assigned freeze vector (commit clock ∨ drain-stage
+//     frontiers, computed once), which every replica records as the
+//     writer's external-commit stamp at freeze arrival — reader verdicts
+//     key off that replica-independent stamp, never off local re-drain
+//     (flag) timing.
+//   - Optionally (Config.AnnounceWait > 0), a reader waits out the
+//     drain-barrier → freeze-arrival gap instead of deciding blind in it
+//     (see the Config field and docs/CONSISTENCY.md §5 for why this ships
+//     off by default).
+//   - A transaction that observed a provisional version completes only
+//     after that writer's external commit; Removes precede completion
+//     waits, keeping the wait graph acyclic.
+//   - A read-only transaction's per-node visibility bound never rises for
+//     a node that has already served it, and never freezes beneath its
+//     begin snapshot.
 package engine
 
 import (
@@ -48,6 +75,24 @@ type Config struct {
 	StarvationAge time.Duration
 	BackoffBase   time.Duration
 	BackoffMax    time.Duration
+	// MergeWait bounds how long a fan-out read waits for sibling replica
+	// replies after the fastest reply carried exclusions (the informed
+	// merge, docs/CONSISTENCY.md §5). The siblings are already in flight,
+	// so the bound only matters when a replica is down or badly delayed:
+	// on expiry the best reply received so far is adopted, preserving the
+	// read fast path instead of stalling until the read context's
+	// DrainTimeout.
+	MergeWait time.Duration
+	// AnnounceWait, when positive, makes a read-only read wait (bounded)
+	// for the freeze announcement of a writer whose drain round has
+	// completed here instead of deciding on it blind; expiry falls back
+	// to blanket exclusion. Off (0) by default: for the wait to buy its
+	// theoretical guarantee the bound must exceed the drain round's
+	// straggler time (reader lifetimes), which stalls contended reads
+	// for milliseconds, and measured violation rates under the stress
+	// suites were not reliably better than with the stamp machinery
+	// alone — see docs/CONSISTENCY.md §5 for the honest accounting.
+	AnnounceWait time.Duration
 	// NLogCapacity bounds the applied-commit log (0 = default).
 	NLogCapacity int
 	// MaxVersions bounds per-key version chains (0 = default).
@@ -72,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 2 * time.Millisecond
+	}
+	if c.MergeWait <= 0 {
+		c.MergeWait = 5 * time.Millisecond
 	}
 	return c
 }

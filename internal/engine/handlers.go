@@ -41,7 +41,7 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// skipped (Before) stay excluded for the rest of its execution, and so
 	// does everything causally dependent on them; this stickiness is what
 	// makes all read-only transactions agree on the order of concurrent
-	// update transactions (§III-C, Figure 2 — see DESIGN.md §6).
+	// update transactions (§III-C, Figure 2 — see docs/CONSISTENCY.md §4).
 	// The sets live in pooled scratch maps: they are consumed under the
 	// store's shard lock during the walk and never retained.
 	sc := nd.getScratch()
@@ -55,6 +55,23 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 		beforeIDs[b.Txn] = struct{}{}
 	}
 
+	// Optionally wait out the freeze announcement of a writer whose drain
+	// round completed here, instead of deciding on it blind inside the
+	// drain-barrier → freeze-arrival gap (AnnounceWait > 0; off by
+	// default — see the Config field and docs/CONSISTENCY.md §5 for the
+	// measured trade-off). ReadRO's verdict-point re-check receives only
+	// whatever budget this pre-pass left unspent, so one read never
+	// blocks longer than the configured bound in total.
+	var roWait time.Duration
+	if nd.cfg.AnnounceWait > 0 {
+		start := time.Now()
+		if nd.store.SQAwaitAnnounce(m.Key, seen, beforeIDs, nd.cfg.AnnounceWait) {
+			if rem := nd.cfg.AnnounceWait - time.Since(start); rem > 0 {
+				roWait = rem
+			}
+		}
+	}
+
 	var maxVC vclock.VC
 	if len(m.HasRead) > nd.idx && m.HasRead[nd.idx] {
 		// This node answered T before: T.VC[idx] is already a hard
@@ -63,14 +80,26 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	} else {
 		// First contact (lines 4–14): the bound folds every applied commit
 		// visible under the reader's incoming clock — except those of
-		// excluded (parked, unflagged) writers, whose slots must stay
-		// outside the bound — then joins the reader's observed clock so
-		// that versions it causally observed always pass the per-version
-		// filters. The probe exclusion set here may race a concurrent
-		// internal commit; the authoritative set is recomputed atomically
-		// with the walk inside ReadRO below.
+		// excluded writers (parked with no announced external commit, or
+		// stamped above the reader's cut), whose slots must stay outside
+		// the bound — then joins the reader's observed clock so that
+		// versions it causally observed always pass the per-version
+		// filters. The probe's stamp floor is the replica-independent part
+		// of the reader's eventual cut at this node (its incoming and
+		// observed clocks plus the external frontier the fold below will
+		// cover anyway), so the probe never excludes a writer the
+		// authoritative verdict in ReadRO would include. The probe may race
+		// a concurrent internal commit; the authoritative set is recomputed
+		// atomically with the walk inside ReadRO below.
+		stampFloor := nd.extFrontier.Load()
+		if m.VC[nd.idx] > stampFloor {
+			stampFloor = m.VC[nd.idx]
+		}
+		if len(m.ObsVC) > nd.idx && m.ObsVC[nd.idx] > stampFloor {
+			stampFloor = m.ObsVC[nd.idx]
+		}
 		excluded := sc.excluded
-		nd.store.SQUnflaggedWritersInto(m.Key, seen, excluded)
+		nd.store.SQUnstampedWritersInto(m.Key, stampFloor, seen, excluded)
 		for id := range beforeIDs {
 			excluded[id] = struct{}{}
 		}
@@ -131,7 +160,7 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// The first-contact probe is done with sc.excluded; hand it to ReadRO
 	// (cleared) as the scratch for the authoritative queue-exclusion set.
 	clear(sc.excluded)
-	ro := nd.store.ReadRO(m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC, sc.excluded)
+	ro := nd.store.ReadRO(m.Txn, m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC, sc.excluded, roWait)
 	res := ro.Res
 	before := sid
 	lower(ro.Skipped)
@@ -337,7 +366,7 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 // key fails validation when its latest version is no longer the one the
 // transaction read. (The paper's vid[i] > T.VC[i] comparison under-aborts
 // when clock levelling assigns two conflicting writers the same vid[i];
-// writer identity is exact. See DESIGN.md §6.)
+// writer identity is exact.)
 func (nd *Node) validate(readKeys []string, readFrom []wire.TxnID) bool {
 	for i, k := range readKeys {
 		if nd.store.Latest(k).Writer != readFrom[i] {
@@ -458,18 +487,19 @@ func (nd *Node) preCommit(m *wire.Decide, pt *participantTxn) {
 	}
 }
 
-// handleExtCommit runs one phase of the two-phase W-entry cleanup. Freeze
-// (acked, pre-client-reply) flags the entries as externally committed so no
-// later reader can exclude — and thereby serialize before — the
-// transaction; purge (one-way, post-reply) deletes them.
+// handleExtCommit runs one phase of the staged W-entry cleanup. The drain
+// round (acked) clears the snapshot-queue backlog and reports this node's
+// drain-stage frontier; the freeze round (acked, pre-client-reply) records
+// the coordinator-assigned external-commit stamp *on arrival*, re-drains,
+// and flags the entries; purge (one-way, post-reply) deletes them.
 func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit) {
 	st := nd.stripeOf(m.Txn)
 	if m.Drain {
-		// Drain round: complete the snapshot-queue waits without flagging,
-		// so the coordinator can issue the freeze round against replicas
-		// whose backlogs are already clear — the flags then land within one
-		// message delay of each other instead of skewing by per-replica
-		// drain waits.
+		// Drain round: complete the snapshot-queue waits without announcing
+		// anything, so the coordinator can issue the freeze round against
+		// replicas whose backlogs are already clear. The ack returns this
+		// node's drain-stage frontier; the coordinator joins the frontiers
+		// with the commit clock into the freeze vector.
 		st.mu.Lock()
 		ps := st.parked[m.Txn]
 		st.mu.Unlock()
@@ -477,34 +507,37 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 			if !nd.store.SQWaitDrain(k, m.Txn, ps.sid, nd.cfg.DrainTimeout) {
 				nd.stats.DrainTimeouts.Add(1)
 			}
+			// Freeze imminent: readers now wait for the stamp on this key
+			// instead of blanket-excluding the writer (SQAwaitAnnounce).
+			nd.store.SQMarkDrained(k, m.Txn)
 		}
-		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn, Ext: nd.log.AppliedSelf()})
 		return
 	}
 	if !m.Purge {
 		st.mu.Lock()
 		ps := st.parked[m.Txn]
 		st.mu.Unlock()
-		// Freeze re-drains: a reader that excluded this writer inserted an
-		// entry with a strictly smaller insertion-snapshot, so the flag —
-		// and hence the writer's client reply — waits until that reader
-		// completes. This closes the late-insert window after the
-		// pre-commit drain.
-		for _, k := range ps.keys {
-			if !nd.store.SQWaitDrain(k, m.Txn, ps.sid, nd.cfg.DrainTimeout) {
-				nd.stats.DrainTimeouts.Add(1)
-			}
-		}
-		// The external-commit stamp: this node's applied frontier at the
-		// flag moment. Readers beneath it will exclude the versions, so
-		// external commits at this node stay totally ordered for readers
-		// regardless of how long the writer was parked. The stamp rides
-		// back on the ack so the coordinator can fold it into its external
-		// clock: transactions beginning after the client reply adopt a
-		// snapshot at or above every stamp.
+		// The external-commit stamp: this node's entry of the freeze vector
+		// the coordinator computed once for all replicas (commit clock ∨
+		// drain-stage frontiers). Readers whose cut at this node is beneath
+		// it exclude the versions, so external commits at this node stay
+		// totally ordered for readers regardless of how long the writer was
+		// parked — and because every replica stamps the same value, every
+		// replica reaches the same include/exclude verdict for any given
+		// reader cut. (Fallback for a missing vector: the local applied
+		// frontier, the pre-freeze-vector behavior.)
 		stamp := nd.log.AppliedSelf()
+		if len(m.VC) > nd.idx {
+			stamp = m.VC[nd.idx]
+		}
+		// Stamp *before* the re-drain: the verdict for this writer flips to
+		// deterministic the moment the freeze broadcast arrives, not
+		// whenever this replica's gated re-drain completes — per-replica
+		// gating was exactly the flag-timing divergence behind the
+		// freeze-skew residue.
 		for _, k := range ps.keys {
-			nd.store.SQFlagWrite(k, m.Txn, stamp)
+			nd.store.SQStampWrite(k, m.Txn, stamp)
 		}
 		for {
 			cur := nd.extFrontier.Load()
@@ -512,7 +545,7 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 				break
 			}
 		}
-		// Fold the frozen transaction's clock (raised to its stamp here)
+		// Fold the freezing transaction's clock (raised to its stamp here)
 		// into the node's externally-committed knowledge clock: it is now
 		// safe to propagate into other transactions' clocks and read
 		// bounds — unlike the applied frontier, it names no parked
@@ -523,6 +556,19 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 				ext[nd.idx] = stamp
 			}
 			nd.log.RecordExternal(ext)
+		}
+		// Freeze re-drains: a reader that excluded this writer inserted an
+		// entry with a strictly smaller insertion-snapshot, so the flag —
+		// and hence the writer's client reply — waits until that reader
+		// completes. This closes the late-insert window after the
+		// pre-commit drain.
+		for _, k := range ps.keys {
+			if !nd.store.SQWaitDrain(k, m.Txn, ps.sid, nd.cfg.DrainTimeout) {
+				nd.stats.DrainTimeouts.Add(1)
+			}
+		}
+		for _, k := range ps.keys {
+			nd.store.SQFlagWrite(k, m.Txn, stamp)
 		}
 		if rid != 0 {
 			_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn, Ext: stamp})

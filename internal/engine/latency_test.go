@@ -140,13 +140,16 @@ func TestBankInvariantUnderLatency(t *testing.T) {
 
 func acctKey(i int) string { return fmt.Sprintf("acct:%04d", i) }
 
-// stressEnabled gates the adversarial stress tests that exercise a known
-// residual read-only-agreement race (DESIGN.md §6, "Known residual"): under
-// sustained adversarial interleavings, roughly one audit in a few hundred
-// can still observe a fractured snapshot. Set SSS_STRESS=1 to run them.
+// stressEnabled gates the adversarial stress suites — long, heavily
+// concurrent checked workloads and bank-audit invariants under simulated
+// latency. Since the replica-independent inclusion rule
+// (docs/CONSISTENCY.md §5) they pass the overwhelming majority of runs,
+// but a documented residual (~1-3/100 family runs, machine-speed-
+// dependent) remains, so CI's scheduled lane enforces a regression
+// threshold rather than zero. Set SSS_STRESS=1 to run them locally.
 func stressEnabled(t *testing.T) {
 	t.Helper()
 	if os.Getenv("SSS_STRESS") == "" {
-		t.Skip("known residual race under adversarial stress; set SSS_STRESS=1 to run (DESIGN.md §6)")
+		t.Skip("adversarial stress suite; set SSS_STRESS=1 to run (docs/CONSISTENCY.md §6)")
 	}
 }

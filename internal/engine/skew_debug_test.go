@@ -1,0 +1,196 @@
+package engine
+
+// Forensic harness for read-only agreement anomalies: runs the checked
+// workload with mvstore decision tracing installed and, on a checker cycle,
+// dumps every version-selection decision involving the cycle's transactions
+// (node, serving replica, chosen/skipped writer, skip reason, stamp vs cut,
+// W-entry state). This is a *microscope*, not a regression test: the trace
+// mutex serializes all read decisions, which perturbs timing like a race
+// detector and amplifies the one-RTT drain-barrier→freeze-arrival window
+// discussed in docs/CONSISTENCY.md §6 far beyond its natural incidence. Run
+// it on purpose with SSS_FORENSICS=1 when hunting an anomaly; it fails on
+// the first violation found with a full decision dump.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/checker"
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/mvstore"
+	"github.com/sss-paper/sss/internal/wire"
+	"github.com/sss-paper/sss/kv"
+)
+
+type tracedEvent struct {
+	node wire.NodeID
+	at   time.Time
+	ev   mvstore.TraceEvent
+}
+
+func TestSkewForensics(t *testing.T) {
+	if os.Getenv("SSS_FORENSICS") == "" {
+		t.Skip("timing-amplified diagnostic microscope; set SSS_FORENSICS=1 to hunt (docs/CONSISTENCY.md §6)")
+	}
+	for round := 0; round < 120; round++ {
+		for _, tc := range []struct {
+			nNodes, degree, nKeys, clients, txns, readPct int
+			seed                                          int64
+		}{
+			{4, 2, 6, 8, 40, 50, int64(round)*31 + 2},
+			{3, 2, 2, 9, 30, 40, int64(round)*31 + 3},
+			{4, 2, 8, 8, 40, 85, int64(round)*31 + 4},
+		} {
+			if runTracedWorkload(t, tc.nNodes, tc.degree, tc.nKeys, tc.clients, tc.txns, tc.readPct, tc.seed) {
+				return // one dissected failure is enough
+			}
+		}
+	}
+	t.Log("no violation reproduced in forensic rounds")
+}
+
+// runTracedWorkload is runCheckedWorkload plus tracing; returns true when a
+// violation was found and dumped.
+func runTracedWorkload(t *testing.T, nNodes, degree, nKeys, clients, txnsPerClient, readPct int, seed int64) bool {
+	t.Helper()
+	nodes := newCluster(t, nNodes, degree, Config{MaxVersions: 1 << 20})
+
+	var traceMu sync.Mutex
+	var events []tracedEvent
+	for _, nd := range nodes {
+		id := nd.id
+		nd.store.Trace = func(ev mvstore.TraceEvent) {
+			traceMu.Lock()
+			events = append(events, tracedEvent{node: id, at: time.Now(), ev: ev})
+			traceMu.Unlock()
+		}
+	}
+
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%d", i)
+		for _, nd := range nodes {
+			nd.Preload(keys[i], []byte("init"))
+		}
+	}
+
+	type txnMeta struct {
+		obs      checker.TxnObs
+		coord    wire.NodeID
+		readOnly bool
+	}
+	var metaMu sync.Mutex
+	metas := map[wire.TxnID]txnMeta{}
+
+	hist := checker.NewHistory()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(c)))
+			nd := nodes[c%nNodes]
+			for i := 0; i < txnsPerClient; i++ {
+				readOnly := r.Intn(100) < readPct
+				start := time.Now()
+				tx := nd.Begin(readOnly)
+				var obs checker.TxnObs
+				obs.ID = tx.ID()
+				obs.ReadOnly = readOnly
+				ok := true
+				if readOnly {
+					for j := 0; j < 2+r.Intn(3); j++ {
+						k := keys[r.Intn(nKeys)]
+						if _, _, err := tx.Read(k); err != nil {
+							ok = false
+							break
+						}
+					}
+				} else {
+					for j := 0; j < 2; j++ {
+						k := keys[r.Intn(nKeys)]
+						if _, _, err := tx.Read(k); err != nil {
+							ok = false
+							break
+						}
+						if err := tx.Write(k, []byte("x")); err != nil {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					_ = tx.Abort()
+					continue
+				}
+				err := tx.Commit()
+				end := time.Now()
+				if err != nil {
+					if !readOnly && errors.Is(err, kv.ErrAborted) {
+						continue
+					}
+					continue
+				}
+				for k, w := range tx.ReadWriters() {
+					obs.Reads = append(obs.Reads, checker.ReadObs{Key: k, Writer: w})
+				}
+				obs.Writes = tx.WriteKeys()
+				obs.Start, obs.End = start, end
+				hist.Add(obs)
+				metaMu.Lock()
+				metas[obs.ID] = txnMeta{obs: obs, coord: nd.id, readOnly: readOnly}
+				metaMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	lookup := cluster.NewLookup(nNodes, degree)
+	for _, k := range keys {
+		replicas := lookup.Replicas(k)
+		hist.SetVersionOrder(k, nodes[replicas[0]].VersionWriters(k))
+	}
+	err := hist.Check()
+	if err == nil {
+		return false
+	}
+
+	// Parse "N<node>.<seq>" ids out of the cycle description.
+	ids := map[wire.TxnID]struct{}{}
+	for _, m := range regexp.MustCompile(`N(\d+)\.(\d+)`).FindAllStringSubmatch(err.Error(), -1) {
+		n, _ := strconv.Atoi(m[1])
+		s, _ := strconv.ParseUint(m[2], 10, 64)
+		ids[wire.TxnID{Node: wire.NodeID(n), Seq: s}] = struct{}{}
+	}
+	t.Logf("VIOLATION (nodes=%d deg=%d keys=%d seed=%d): %v", nNodes, degree, nKeys, seed, err)
+	metaMu.Lock()
+	for id := range ids {
+		if m, ok := metas[id]; ok {
+			t.Logf("  txn %v ro=%v coord=%d start=%s end=%s reads=%v writes=%v",
+				id, m.readOnly, m.coord,
+				m.obs.Start.Format("15:04:05.000000"), m.obs.End.Format("15:04:05.000000"),
+				m.obs.Reads, m.obs.Writes)
+		}
+	}
+	metaMu.Unlock()
+	traceMu.Lock()
+	for _, te := range events {
+		_, readerIn := ids[te.ev.Reader]
+		_, writerIn := ids[te.ev.Writer]
+		if readerIn || (writerIn && te.ev.Reason != "chosen") || (writerIn && readerIn) {
+			t.Logf("  [%s] node=%d reader=%v key=%s writer=%v vc=%v reason=%s extsid=%d stampBound=%d q=%q",
+				te.at.Format("15:04:05.000000"), te.node, te.ev.Reader, te.ev.Key, te.ev.Writer,
+				te.ev.VC, te.ev.Reason, te.ev.ExtSID, te.ev.StampBound, te.ev.QueueState)
+		}
+	}
+	traceMu.Unlock()
+	t.Fail()
+	return true
+}

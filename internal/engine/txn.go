@@ -141,7 +141,7 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 		// entries of already-read nodes stay *frozen* at their
 		// first-contact value. Raising a read node's entry afterwards
 		// would retroactively loosen the visibility filter and admit
-		// versions inconsistent with earlier reads (see DESIGN.md §6).
+		// versions inconsistent with earlier reads (docs/CONSISTENCY.md §2).
 		for w, x := range resp.VC {
 			if !t.hasRead[w] && wire.NodeID(w) != from && x > t.vc[w] {
 				t.vc[w] = x
@@ -348,15 +348,85 @@ func (t *Txn) readRemote(key string) (*wire.ReadReturn, wire.NodeID, error) {
 			ch <- answer{resp: rr, from: to}
 		}()
 	}
+	// Fastest-reply-wins (§V) — with a deterministic merge when replicas can
+	// disagree. A reply that excluded nobody can never conflict with another
+	// replica's verdict, so the first such reply is adopted immediately: the
+	// uncontended hot path pays nothing. A reply that excluded a writer may
+	// have raced that writer's freeze broadcast (the replica had not yet
+	// learned the coordinator-assigned stamp another replica already
+	// recorded); adopting it over a reply that *served* that writer's
+	// version would let the fan-out race pick the less-informed verdict —
+	// the last replica-dependent input to the snapshot decision. So when
+	// the fastest reply carries exclusions, wait for the remaining replies
+	// (already in flight) and drop any reply whose excluded writer another
+	// reply observed: inclusion of a queued writer is only possible once
+	// its freeze is announced, so the including replica is strictly better
+	// informed. Every reply is individually legal to adopt; the merge only
+	// changes which one wins. The straggler wait is bounded by MergeWait —
+	// siblings are already in flight, so only a down or badly delayed
+	// replica can make the bound matter, and then the best reply received
+	// so far is adopted rather than stalling the read.
 	var lastErr error
+	var withEx []answer
+	var mergeTimer *time.Timer
+collect:
 	for range targets {
-		a := <-ch
-		if a.err == nil {
+		var a answer
+		if mergeTimer == nil {
+			a = <-ch
+		} else {
+			select {
+			case a = <-ch:
+			case <-mergeTimer.C:
+				break collect
+			}
+		}
+		if a.err != nil {
+			lastErr = a.err
+			continue
+		}
+		if len(a.resp.Excluded) == 0 {
+			if mergeTimer != nil {
+				mergeTimer.Stop()
+			}
 			return a.resp, a.from, nil
 		}
-		lastErr = a.err
+		withEx = append(withEx, a)
+		if mergeTimer == nil {
+			mergeTimer = time.NewTimer(t.nd.cfg.MergeWait)
+		}
+	}
+	if mergeTimer != nil {
+		mergeTimer.Stop()
+	}
+	for _, a := range withEx {
+		dominated := false
+		for _, b := range withEx {
+			if b.resp.Exists && !b.resp.Writer.IsZero() && replyExcludes(a.resp, b.resp.Writer) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return a.resp, a.from, nil
+		}
+	}
+	if len(withEx) > 0 {
+		// Mutual domination (replicas ordered two writers oppositely for
+		// this very cut): fall back to arrival order.
+		return withEx[0].resp, withEx[0].from, nil
 	}
 	return nil, 0, fmt.Errorf("%w: read %q: %v", kv.ErrUnavailable, key, lastErr)
+}
+
+// replyExcludes reports whether reply r excluded writer w.
+func replyExcludes(r *wire.ReadReturn, w wire.TxnID) bool {
+	for _, ex := range r.Excluded {
+		if ex.Txn == w {
+			return true
+		}
+	}
+	return false
 }
 
 // Write implements kv.Txn: writes are buffered (lazy update, §III-B) and
@@ -563,30 +633,33 @@ func (t *Txn) commitUpdate() error {
 	t.waitPendingWriters()
 
 	// External commit, staged cleanup: drain the snapshot-queues everywhere
-	// (acked) so the subsequent freeze round finds no backlog and the flags
-	// land near-simultaneously across replicas; then freeze the parked W
-	// entries everywhere (acked) so no transaction starting after our
-	// client reply can exclude us; then release subscribers and reply; the
-	// purge is asynchronous.
+	// (acked) so the subsequent freeze round finds no backlog; join the
+	// drain-stage frontiers the acks report with the commit clock into the
+	// freeze vector — computed once, here, so every replica stamps the
+	// same, replica-independent external-commit stamp; then freeze the
+	// parked W entries everywhere (acked) so no transaction starting after
+	// our client reply can exclude us; then release subscribers and reply;
+	// the purge is asynchronous.
 	dctx2, dcancel2 := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
-	t.broadcast(dctx2, writeNodes, &wire.ExtCommit{Txn: t.id, Drain: true})
+	drainAcks := t.broadcast(dctx2, writeNodes, &wire.ExtCommit{Txn: t.id, Drain: true})
 	dcancel2()
-	ectx, ecancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
-	defer ecancel()
-	freezeAcks := t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id})
-	// The external-commit point: transactions beginning on this node after
-	// the client reply below must serialize after us, so our commit clock —
-	// raised to each write replica's external-commit stamp — becomes part
-	// of the node's begin snapshot, even when this node replicates none of
-	// the written keys and thus logged no NLog entry. Covering the stamps
-	// ensures such transactions pass the stamp check on our versions.
-	extVC := commitVC.Clone()
-	for i, a := range freezeAcks {
-		if ack, ok := a.(*wire.DecideAck); ok && ack.Ext > extVC[writeNodes[i]] {
-			extVC[writeNodes[i]] = ack.Ext
+	freezeVC := commitVC.Clone()
+	for i, a := range drainAcks {
+		if ack, ok := a.(*wire.DecideAck); ok && ack.Ext > freezeVC[writeNodes[i]] {
+			freezeVC[writeNodes[i]] = ack.Ext
 		}
 	}
-	nd.log.RecordExternal(extVC)
+	ectx, ecancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+	defer ecancel()
+	t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id, VC: freezeVC})
+	// The external-commit point: transactions beginning on this node after
+	// the client reply below must serialize after us, so our commit clock —
+	// raised to each write replica's external-commit stamp, i.e. the
+	// freeze vector — becomes part of the node's begin snapshot, even when
+	// this node replicates none of the written keys and thus logged no
+	// NLog entry. Covering the stamps ensures such transactions pass the
+	// stamp check on our versions.
+	nd.log.RecordExternal(freezeVC)
 	selfStripe.mu.Lock()
 	delete(selfStripe.inflight, t.id)
 	selfStripe.mu.Unlock()

@@ -11,6 +11,22 @@
 // The store is sharded; every shard has one mutex and one condition variable
 // broadcast on snapshot-queue removals, which is what parked update
 // transactions (Algorithm 4) wait on.
+//
+// Invariants (see docs/CONSISTENCY.md §3–4):
+//
+//   - Version clocks and dependency sets are immutable once published; read
+//     results and wire messages share them by reference, and no holder may
+//     mutate them.
+//   - A key's version chain and its snapshot-queue are read and updated
+//     under one shard lock, so ReadRO's exclusion verdicts are atomic with
+//     the version walk: a concurrently-committing writer is either excluded
+//     or legitimately observed, never observed while missing its exclusion.
+//   - The external-commit stamp on a W entry (and on the version, where it
+//     outlives the purge) is the coordinator-assigned freeze vector's entry
+//     for this node — the same value at every replica of the key — recorded
+//     at freeze arrival. Read-only verdicts are functions of (stamp, reader
+//     cut) only; the committed flag tracks re-drain progress and gates
+//     other writers' drains, never reader visibility.
 package mvstore
 
 import (
@@ -36,15 +52,19 @@ type Version struct {
 	// read (its read-from set): the true data dependencies used for
 	// sticky-exclusion closure.
 	Deps []wire.TxnID
-	// ExtSID is the external-commit stamp: this node's applied frontier
-	// (mostRecent[self]) at the moment the writer's W entry was flagged.
-	// Zero means not yet externally committed (or a preloaded genesis
-	// version). Read-only transactions whose bound at this node is beneath
-	// the stamp exclude the version: external commits at a node are
-	// totally ordered by their stamps, so reader cuts respect the
-	// external-commit order even when it diverges from the slot order
-	// (a writer can park for a long time and externally commit *after*
-	// writers holding higher slots).
+	// ExtSID is the external-commit stamp for this node's column: the
+	// coordinator-assigned freeze vector's entry for this node
+	// (commit clock joined with the drain-stage frontiers, see
+	// docs/CONSISTENCY.md), recorded the moment the freeze message
+	// arrives — before the freeze re-drain completes. Every replica of the
+	// key records the same vector, so the stamp is replica-independent.
+	// Zero means the writer's external commit has not been announced here
+	// (or a preloaded genesis version). Read-only transactions whose bound
+	// at this node is beneath the stamp exclude the version: external
+	// commits at a node are totally ordered by their stamps, so reader
+	// cuts respect the external-commit order even when it diverges from
+	// the slot order (a writer can park for a long time and externally
+	// commit *after* writers holding higher slots).
 	ExtSID uint64
 	Prev   *Version
 }
@@ -54,11 +74,25 @@ type Version struct {
 type sqItem struct {
 	wire.SQEntry
 	at time.Time
-	// committed marks a W entry whose transaction has externally
-	// committed (freeze phase): readers include its version (and wait on
-	// its coordinator) instead of excluding it, and it no longer blocks
-	// later writers' drains. The entry is purged asynchronously after the
-	// writer's client reply.
+	// stamp is the writer's external-commit stamp for this node's column
+	// (the coordinator-assigned freeze vector entry), recorded at freeze
+	// *arrival* — strictly before the freeze re-drain and the committed
+	// flag. Zero means the writer's external commit is not yet announced
+	// here. Reader verdicts key off (stamp, reader cut) alone, never off
+	// committed, so every replica of a key reaches the same
+	// include/exclude verdict for a freezing writer regardless of how
+	// long its re-drain is gated locally.
+	stamp uint64
+	// drained marks a W entry whose drain round has completed here: the
+	// freeze announcement (the stamp) is at most one round-trip away.
+	// Readers configured with a positive announce wait block on such
+	// entries until the stamp lands (SQAwaitAnnounce) instead of deciding
+	// blind — the temporal-separation experiment of
+	// docs/CONSISTENCY.md §5.
+	drained bool
+	// committed marks a W entry whose freeze re-drain has completed
+	// (flag phase): it no longer blocks later writers' drains. The entry
+	// is purged asynchronously after the writer's client reply.
 	committed bool
 }
 
@@ -89,6 +123,22 @@ type Store struct {
 	nowFn      func() time.Time
 	genesisVCn int
 	cstats     *metrics.Contention // optional, set via SetContention
+
+	// Trace, when non-nil, receives one event per read-only version-selection
+	// decision (debug/test instrumentation; set before serving traffic).
+	Trace func(ev TraceEvent)
+}
+
+// TraceEvent records one version-selection decision for debugging.
+type TraceEvent struct {
+	Reader     wire.TxnID
+	Key        string
+	Writer     wire.TxnID
+	VC         vclock.VC
+	Reason     string
+	ExtSID     uint64
+	StampBound uint64
+	QueueState string // "", "parked", "flagged" — W entry state at decision
 }
 
 // SetContention wires the optional contention counters. Call before serving
@@ -96,7 +146,8 @@ type Store struct {
 func (s *Store) SetContention(c *metrics.Contention) { s.cstats = c }
 
 // DefaultMaxDepth bounds the per-key version chain; older versions are
-// pruned (see DESIGN.md §3).
+// pruned. Checker workloads raise MaxVersions so full chains survive for
+// verification (docs/CONSISTENCY.md §6).
 const DefaultMaxDepth = 64
 
 // New builds an empty store for vector clocks of width n. maxDepth bounds
@@ -243,8 +294,20 @@ func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, exclu
 	if ks == nil {
 		return ReadResult{}, nil
 	}
-	res, skipped, _ := s.readVisibleLocked(ks, false, 0, hasRead, maxVC, nil, excluded, nil, obsVC)
+	res, skipped, _ := s.readVisibleLocked(wire.TxnID{}, "", ks, false, 0, hasRead, maxVC, nil, excluded, nil, obsVC)
 	return res, skipped
+}
+
+func queueStateLocked(ks *keyState, txn wire.TxnID) string {
+	for _, e := range ks.sqW {
+		if e.Txn == txn {
+			if e.committed {
+				return "flagged"
+			}
+			return "parked"
+		}
+	}
+	return ""
 }
 
 // readVisibleLocked walks the version chain under the shard lock and selects
@@ -281,7 +344,14 @@ func (s *Store) ReadVisibleEx(key string, hasRead []bool, maxVC vclock.VC, exclu
 // It reports the selected version, the writers skipped due to exclusion, and
 // the selected version's writer when its W entry is still in the queue (its
 // client reply may not have been released yet).
-func (s *Store) readVisibleLocked(ks *keyState, checkStamp bool, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, excluded, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC) (ReadResult, []wire.ExWriter, wire.TxnID) {
+func (s *Store) readVisibleLocked(reader wire.TxnID, key string, ks *keyState, checkStamp bool, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, excluded, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC) (ReadResult, []wire.ExWriter, wire.TxnID) {
+	trace := func(v *Version, reason string) {
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Reader: reader, Key: key, Writer: v.Writer, VC: v.VC,
+				Reason: reason, ExtSID: v.ExtSID, StampBound: stampBound,
+				QueueState: queueStateLocked(ks, v.Writer)})
+		}
+	}
 	var skipped []wire.ExWriter
 	var skippedIDs map[wire.TxnID]struct{}
 	skip := func(v *Version) {
@@ -310,10 +380,12 @@ func (s *Store) readVisibleLocked(ks *keyState, checkStamp bool, stampBound uint
 		observed := obsVC != nil && v.VC.LessEq(obsVC)
 		if !v.Writer.IsZero() {
 			if _, ex := beforeIDs[v.Writer]; ex {
+				trace(v, "sticky")
 				skip(v)
 				continue
 			}
 			if isOut(v.Writer) {
+				trace(v, "excluded")
 				skip(v)
 				continue
 			}
@@ -325,23 +397,27 @@ func (s *Store) readVisibleLocked(ks *keyState, checkStamp bool, stampBound uint
 				}
 			}
 			if dep {
+				trace(v, "dep")
 				skip(v)
 				continue
 			}
 			if checkStamp && v.ExtSID > stampBound && !observed {
 				if _, ok := seen[v.Writer]; !ok {
+					trace(v, "stamp")
 					skip(v)
 					continue
 				}
 			}
 		}
 		if !observed && tooNew(v.VC, hasRead, maxVC) {
+			trace(v, "bound")
 			continue
 		}
 		var pending wire.TxnID
 		if !v.Writer.IsZero() && hasWriteEntryLocked(ks, v.Writer) {
 			pending = v.Writer
 		}
+		trace(v, "chosen")
 		return ReadResult{Val: v.Val, Exists: true, VC: v.VC, Writer: v.Writer, Deps: v.Deps}, skipped, pending
 	}
 	return ReadResult{}, skipped, wire.TxnID{}
@@ -377,12 +453,18 @@ type RORead struct {
 // committing concurrently (W entry enqueued, version applied) can never be
 // observed while missing its exclusion.
 //
-// Exclusion is blanket (§III-C): every parked writer whose W entry is not
-// yet flagged is excluded — the reader serializes before it — unless the
-// reader already observed one of its versions elsewhere (seen). The
-// queue-level exclusions are reported with synthetic clocks so the reader
-// keeps excluding them (and the engine parks their freezes beneath the
-// reader's R entry).
+// Exclusion is blanket (§III-C) for writers whose external commit has not
+// been announced (stamp == 0): every such parked writer is excluded — the
+// reader serializes before it — unless the reader already observed one of
+// its versions elsewhere (seen). Writers whose freeze has been announced
+// carry the coordinator-assigned, replica-independent stamp, and the
+// verdict is deterministic in (stamp, reader cut): include iff the stamp
+// is at or beneath the reader's cut at this node (stampBound), exclude —
+// stickily — otherwise. The local committed flag (re-drain progress) never
+// participates, so all replicas of a key agree on the verdict for any
+// given cut. The queue-level exclusions are reported with synthetic clocks
+// so the reader keeps excluding them (and the engine parks their freezes
+// beneath the reader's R entry).
 //
 // self/n size the synthetic clocks of queue-level exclusions; seen lists
 // writers the reader already observed (never re-excluded); beforeIDs
@@ -395,10 +477,17 @@ type RORead struct {
 // queue-exclusion set — the allocation-free form for pooled read scratch.
 // It is consumed under the shard lock and not retained; the caller may
 // clear and reuse it after the call.
-func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC, scratchEx map[wire.TxnID]struct{}) RORead {
+//
+// announceWait bounds the drained-writer announcement wait performed
+// atomically before the verdicts (see SQAwaitAnnounce): a verdict is never
+// made blind on a writer inside its drain-barrier → freeze-arrival gap.
+func (s *Store) ReadRO(reader wire.TxnID, key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC, scratchEx map[wire.TxnID]struct{}, announceWait time.Duration) RORead {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if announceWait > 0 {
+		s.awaitAnnounceLocked(sh, key, seen, beforeIDs, announceWait)
+	}
 	ks := sh.keys[key]
 	if ks == nil {
 		return RORead{}
@@ -410,7 +499,16 @@ func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []boo
 	}
 	var queueSkips []wire.ExWriter
 	for _, e := range ks.sqW {
-		if e.committed {
+		if e.stamp != 0 {
+			// Announced: the writer's version is applied and carries the
+			// same stamp, so the version walk's stamp filter is the
+			// authoritative verdict — include iff stamp ≤ stampBound, with
+			// the Seen and observed-clock causal bypasses the queue entry
+			// cannot evaluate (it has no version clock). Never queue-exclude
+			// an announced writer: the verdict must not depend on whether
+			// this replica's purge has landed, and it never consults the
+			// committed flag, so it cannot depend on how long the freeze
+			// re-drain is gated here either.
 			continue
 		}
 		if _, ok := seen[e.Txn]; ok {
@@ -422,7 +520,7 @@ func (s *Store) ReadRO(key string, self, n int, stampBound uint64, hasRead []boo
 		queueSkips = append(queueSkips, wire.ExWriter{Txn: e.Txn, VC: exVC})
 	}
 
-	res, skipped, pending := s.readVisibleLocked(ks, true, stampBound, hasRead, maxVC, seen, excluded, beforeIDs, obsVC)
+	res, skipped, pending := s.readVisibleLocked(reader, key, ks, true, stampBound, hasRead, maxVC, seen, excluded, beforeIDs, obsVC)
 	return RORead{Res: res, Skipped: skipped, QueueSkips: queueSkips, PendingWriter: pending}
 }
 
@@ -566,13 +664,20 @@ func (s *Store) blockedLocked(sh *shard, key string, txn wire.TxnID, sid uint64)
 	return false
 }
 
-// SQFlagWrite marks txn's W entry on key as externally committed (the
-// freeze phase of the two-phase cleanup) and stamps the version txn wrote
-// with the external-commit stamp, which outlives the entry's purge.
-func (s *Store) SQFlagWrite(key string, txn wire.TxnID, stamp uint64) {
+// SQStampWrite records txn's external-commit stamp on key: on its W entry
+// and on the version it wrote (where the stamp outlives the entry's purge).
+// It runs at freeze *arrival*, strictly before the freeze re-drain, so the
+// read-only verdict for txn becomes deterministic at every replica as soon
+// as the (single) freeze broadcast lands — not when each replica's gated
+// re-drain happens to finish. Duplicate deliveries keep the smallest stamp.
+func (s *Store) SQStampWrite(key string, txn wire.TxnID, stamp uint64) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	s.stampLocked(sh, key, txn, stamp)
+}
+
+func (s *Store) stampLocked(sh *shard, key string, txn wire.TxnID, stamp uint64) {
 	ks := sh.keys[key]
 	if ks == nil {
 		return
@@ -585,6 +690,125 @@ func (s *Store) SQFlagWrite(key string, txn wire.TxnID, stamp uint64) {
 			break
 		}
 	}
+	for i := range ks.sqW {
+		if ks.sqW[i].Txn == txn {
+			if ks.sqW[i].stamp == 0 || stamp < ks.sqW[i].stamp {
+				ks.sqW[i].stamp = stamp
+			}
+			// Wake readers parked in SQAwaitAnnounce for this writer.
+			sh.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// SQMarkDrained records that txn's drain round completed on key: its freeze
+// announcement is imminent, so readers should wait for the stamp rather
+// than blanket-exclude (SQAwaitAnnounce). Called by the drain-phase handler
+// after the key's backlog cleared.
+func (s *Store) SQMarkDrained(key string, txn wire.TxnID) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return
+	}
+	for i := range ks.sqW {
+		if ks.sqW[i].Txn == txn {
+			ks.sqW[i].drained = true
+			return
+		}
+	}
+}
+
+// SQAwaitAnnounce blocks while key's snapshot-queue holds a drained W entry
+// whose freeze vector has not arrived yet — a writer in the one-round-trip
+// gap between its drain barrier and its freeze broadcast — ignoring writers
+// in seen (they will be included regardless) and in before (stickily
+// excluded regardless). Deciding on such a writer blind is the last source
+// of replica-dependent verdicts: by waiting out the announcement, every
+// blanket exclusion of a writer is made strictly before its freeze round
+// was issued and every inclusion strictly after, which makes opposite
+// orderings of two freezing writers by two readers temporally impossible
+// (docs/CONSISTENCY.md §5). The wait is bounded by timeout (the freeze
+// always follows the drain by one round trip in a live run); on expiry the
+// caller proceeds with blanket exclusion. Reports whether no wait was
+// needed or the announcement arrived in time.
+func (s *Store) SQAwaitAnnounce(key string, seen, before map[wire.TxnID]struct{}, timeout time.Duration) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.awaitAnnounceLocked(sh, key, seen, before, timeout)
+}
+
+// awaitAnnounceLocked is SQAwaitAnnounce's body, for callers already holding
+// the shard lock (ReadRO runs it immediately before building the exclusion
+// set, so no verdict is ever made blind on a drained writer).
+func (s *Store) awaitAnnounceLocked(sh *shard, key string, seen, before map[wire.TxnID]struct{}, timeout time.Duration) bool {
+	var deadline time.Time
+	waited := false
+	for {
+		pending := false
+		if ks := sh.keys[key]; ks != nil {
+			for i := range ks.sqW {
+				e := &ks.sqW[i]
+				if !e.drained || e.stamp != 0 {
+					continue
+				}
+				if _, ok := seen[e.Txn]; ok {
+					continue
+				}
+				if _, ok := before[e.Txn]; ok {
+					continue
+				}
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return true
+		}
+		if timeout <= 0 {
+			// A zero budget is a pure check (the caller already spent the
+			// budget): report the pending announcement without waiting or
+			// counting a timeout.
+			return false
+		}
+		if !waited {
+			waited = true
+			deadline = time.Now().Add(timeout)
+			if s.cstats != nil {
+				s.cstats.AnnounceWaits.Add(1)
+			}
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if s.cstats != nil {
+				s.cstats.AnnounceWaitTimeouts.Add(1)
+			}
+			return false
+		}
+		timer := time.AfterFunc(remain, sh.cond.Broadcast)
+		sh.cond.Wait()
+		timer.Stop()
+	}
+}
+
+// SQFlagWrite marks txn's W entry on key as externally committed (the end
+// of the freeze phase: its re-drain completed), stamping it first if a
+// direct caller skipped SQStampWrite. Flagged entries stop blocking later
+// writers' drains; they are invisible to reader verdicts, which key off
+// the stamp alone.
+func (s *Store) SQFlagWrite(key string, txn wire.TxnID, stamp uint64) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return
+	}
+	s.stampLocked(sh, key, txn, stamp)
 	for i := range ks.sqW {
 		if ks.sqW[i].Txn == txn {
 			ks.sqW[i].committed = true
@@ -603,14 +827,16 @@ func (s *Store) SQBlocked(key string, txn wire.TxnID, sid uint64) bool {
 	return s.blockedLocked(sh, key, txn, sid)
 }
 
-// SQUnflaggedWritersInto adds key's parked writers whose W entries are not
-// yet flagged as externally committed — minus those in seen — to dst: the
-// read-only first-contact probe. Read-only transactions never observe these
-// writers' versions: they serialize before them (blanket exclusion), which
-// is what lets all read-only transactions agree on the order of concurrent
-// update transactions (§III-C, Figure 2). dst is caller-provided so the
-// hot path performs no allocation.
-func (s *Store) SQUnflaggedWritersInto(key string, seen map[wire.TxnID]struct{}, dst map[wire.TxnID]struct{}) {
+// SQUnstampedWritersInto adds to dst key's parked writers the read-only
+// first-contact probe must exclude from the visibility-bound fold: those
+// whose external commit is not yet announced here (stamp == 0) or whose
+// stamp exceeds stampFloor (the replica-independent part of the reader's
+// cut at this node), minus those in seen. Read-only transactions never
+// observe the excluded writers' versions: they serialize before them
+// (§III-C, Figure 2). The probe races concurrent freezes; the
+// authoritative verdict is recomputed atomically with the walk in ReadRO.
+// dst is caller-provided so the hot path performs no allocation.
+func (s *Store) SQUnstampedWritersInto(key string, stampFloor uint64, seen map[wire.TxnID]struct{}, dst map[wire.TxnID]struct{}) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -619,7 +845,7 @@ func (s *Store) SQUnflaggedWritersInto(key string, seen map[wire.TxnID]struct{},
 		return
 	}
 	for _, e := range ks.sqW {
-		if e.committed {
+		if e.stamp != 0 && e.stamp <= stampFloor {
 			continue
 		}
 		if _, ok := seen[e.Txn]; ok {
@@ -627,6 +853,25 @@ func (s *Store) SQUnflaggedWritersInto(key string, seen map[wire.TxnID]struct{},
 		}
 		dst[e.Txn] = struct{}{}
 	}
+}
+
+// SQWriteState reports txn's W-entry state on key: its external-commit
+// stamp (0 = not announced), whether its re-drain completed (flagged), and
+// whether the entry is present at all. For tests and diagnostics.
+func (s *Store) SQWriteState(key string, txn wire.TxnID) (stamp uint64, flagged, present bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return 0, false, false
+	}
+	for _, e := range ks.sqW {
+		if e.Txn == txn {
+			return e.stamp, e.committed, true
+		}
+	}
+	return 0, false, false
 }
 
 // SQHasWriteEntry reports whether txn currently has a W entry in key's
@@ -646,52 +891,6 @@ func (s *Store) SQHasWriteEntry(key string, txn wire.TxnID) bool {
 		}
 	}
 	return false
-}
-
-// SQExcludedWriters returns the update transactions in key's queue whose
-// insertion-snapshot exceeds bound — the ExcludedSet of Algorithm 6 line 7:
-// writers still in pre-commit that the reader must serialize before.
-func (s *Store) SQExcludedWriters(key string, bound uint64) map[wire.TxnID]struct{} {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ks := sh.keys[key]
-	if ks == nil || len(ks.sqW) == 0 {
-		return nil
-	}
-	var out map[wire.TxnID]struct{}
-	for _, e := range ks.sqW {
-		if e.committed {
-			continue // externally committed: must be visible, never excluded
-		}
-		if e.SID > bound {
-			if out == nil {
-				out = make(map[wire.TxnID]struct{})
-			}
-			out[e.Txn] = struct{}{}
-		}
-	}
-	return out
-}
-
-// SQExcludedWritersInto is SQExcludedWriters folding into a caller-provided
-// map, for pooled read scratch.
-func (s *Store) SQExcludedWritersInto(key string, bound uint64, dst map[wire.TxnID]struct{}) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ks := sh.keys[key]
-	if ks == nil {
-		return
-	}
-	for _, e := range ks.sqW {
-		if e.committed {
-			continue
-		}
-		if e.SID > bound {
-			dst[e.Txn] = struct{}{}
-		}
-	}
 }
 
 // SQReadEntries returns a snapshot of key's read entries — the

@@ -230,64 +230,127 @@ func TestSQWaitDrainImmediate(t *testing.T) {
 	}
 }
 
-func TestSQExcludedWriters(t *testing.T) {
+func TestSQUnstampedWritersInto(t *testing.T) {
 	s := New(2, 0)
 	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 1), SID: 4, Kind: wire.EntryWrite})
 	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 2), SID: 9, Kind: wire.EntryWrite})
-	s.SQInsert("k", wire.SQEntry{Txn: txn(1, 3), SID: 9, Kind: wire.EntryRead})
-	ex := s.SQExcludedWriters("k", 5)
-	if len(ex) != 1 {
-		t.Fatalf("ExcludedWriters = %v, want 1 entry", ex)
-	}
-	if _, ok := ex[txn(0, 2)]; !ok {
-		t.Fatal("writer with sid 9 > bound 5 must be excluded")
-	}
-	if got := s.SQExcludedWriters("k", 9); got != nil {
-		t.Fatalf("bound 9 excludes nothing, got %v", got)
-	}
-	if got := s.SQExcludedWriters("absent", 0); got != nil {
-		t.Fatal("absent key excludes nothing")
-	}
-	// The caller-provided-map variant agrees with the allocating one.
-	into := make(map[wire.TxnID]struct{})
-	s.SQExcludedWritersInto("k", 5, into)
-	if len(into) != 1 {
-		t.Fatalf("SQExcludedWritersInto = %v, want 1 entry", into)
-	}
-	if _, ok := into[txn(0, 2)]; !ok {
-		t.Fatal("Into variant must exclude the sid 9 writer at bound 5")
-	}
-	s.SQExcludedWritersInto("absent", 0, into)
-	if len(into) != 1 {
-		t.Fatal("absent key must add nothing")
-	}
-}
-
-func TestSQUnflaggedWritersInto(t *testing.T) {
-	s := New(2, 0)
-	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 1), SID: 4, Kind: wire.EntryWrite})
-	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 2), SID: 9, Kind: wire.EntryWrite})
-	s.SQFlagWrite("k", txn(0, 1), 7) // externally committed: not unflagged
+	s.SQInsert("k", wire.SQEntry{Txn: txn(0, 4), SID: 11, Kind: wire.EntryWrite})
+	// Announced with stamp 7 ≤ floor: included (not excluded from the fold),
+	// regardless of whether the re-drain has completed.
+	s.SQStampWrite("k", txn(0, 1), 7)
+	// Announced with stamp 12 > floor: excluded like an unannounced writer.
+	s.SQStampWrite("k", txn(0, 4), 12)
 	seen := map[wire.TxnID]struct{}{txn(0, 3): {}}
 	dst := make(map[wire.TxnID]struct{})
-	s.SQUnflaggedWritersInto("k", seen, dst)
-	if len(dst) != 1 {
-		t.Fatalf("unflagged = %v, want only the unflagged writer", dst)
+	s.SQUnstampedWritersInto("k", 7, seen, dst)
+	if len(dst) != 2 {
+		t.Fatalf("excluded = %v, want the unannounced and above-floor writers", dst)
 	}
 	if _, ok := dst[txn(0, 2)]; !ok {
-		t.Fatal("unflagged writer missing")
+		t.Fatal("unannounced writer missing")
+	}
+	if _, ok := dst[txn(0, 4)]; !ok {
+		t.Fatal("above-floor stamped writer missing")
 	}
 	// A seen writer is never re-excluded.
 	seen[txn(0, 2)] = struct{}{}
+	seen[txn(0, 4)] = struct{}{}
 	clear(dst)
-	s.SQUnflaggedWritersInto("k", seen, dst)
+	s.SQUnstampedWritersInto("k", 7, seen, dst)
 	if len(dst) != 0 {
 		t.Fatalf("seen writer re-excluded: %v", dst)
 	}
 	// Absent key adds nothing.
-	s.SQUnflaggedWritersInto("absent", nil, dst)
+	s.SQUnstampedWritersInto("absent", 0, nil, dst)
 	if len(dst) != 0 {
 		t.Fatal("absent key must add nothing")
+	}
+}
+
+// TestSQAwaitAnnounce pins the drained-writer wait: readers block on a
+// drained-but-unannounced writer until its stamp arrives (never on
+// undrained, seen, or stickily-excluded writers), and fall back to blanket
+// exclusion on timeout.
+func TestSQAwaitAnnounce(t *testing.T) {
+	w := txn(0, 1)
+	s := New(1, 0)
+	s.SQInsert("k", wire.SQEntry{Txn: w, SID: 5, Kind: wire.EntryWrite})
+
+	// Undrained parked writer: no wait (the blanket-exclusion era).
+	if !s.SQAwaitAnnounce("k", nil, nil, 50*time.Millisecond) {
+		t.Fatal("undrained writer must not cause a wait")
+	}
+	s.SQMarkDrained("k", w)
+	// Drained + in seen / in before: no wait (verdict already fixed).
+	if !s.SQAwaitAnnounce("k", map[wire.TxnID]struct{}{w: {}}, nil, 50*time.Millisecond) {
+		t.Fatal("seen writer must not cause a wait")
+	}
+	if !s.SQAwaitAnnounce("k", nil, map[wire.TxnID]struct{}{w: {}}, 50*time.Millisecond) {
+		t.Fatal("before writer must not cause a wait")
+	}
+	// Drained, unannounced: wait until the stamp lands.
+	done := make(chan bool, 1)
+	go func() { done <- s.SQAwaitAnnounce("k", nil, nil, 5*time.Second) }()
+	select {
+	case <-done:
+		t.Fatal("drained unannounced writer must block the reader")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.SQStampWrite("k", w, 7)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("announcement must release the wait as success")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stamp did not wake the announce waiter")
+	}
+	// Timeout path: a second drained writer that never announces.
+	w2 := txn(0, 2)
+	s.SQInsert("k", wire.SQEntry{Txn: w2, SID: 9, Kind: wire.EntryWrite})
+	s.SQMarkDrained("k", w2)
+	if s.SQAwaitAnnounce("k", nil, nil, 5*time.Millisecond) {
+		t.Fatal("unannounced writer must time out, not succeed")
+	}
+}
+
+// TestSQStampVerdictIgnoresFlag is the store-level statement of the
+// replica-independent inclusion rule: once a freezing writer is stamped,
+// ReadRO's verdict depends only on (stamp, reader cut) — the committed
+// flag (re-drain progress, which skews across replicas) never changes it.
+func TestSQStampVerdictIgnoresFlag(t *testing.T) {
+	w := txn(0, 1)
+	reader := txn(1, 9)
+	for _, flagged := range []bool{false, true} {
+		s := New(1, 0)
+		s.Apply("k", []byte("v1"), vclock.VC{5}, w, nil)
+		s.SQInsert("k", wire.SQEntry{Txn: w, SID: 5, Kind: wire.EntryWrite})
+		s.SQStampWrite("k", w, 7)
+		if flagged {
+			s.SQFlagWrite("k", w, 7)
+		}
+		// Cut covers the stamp: include (and report the writer pending).
+		got := s.ReadRO(reader, "k", 0, 1, 7, nil, vclock.VC{9}, nil, nil, nil, nil, 0)
+		if !got.Res.Exists || got.Res.Writer != w {
+			t.Fatalf("flagged=%v: stamped writer beneath the cut must be included, got %+v", flagged, got.Res)
+		}
+		if got.PendingWriter != w {
+			t.Fatalf("flagged=%v: included freezing writer must be pending", flagged)
+		}
+		// Cut beneath the stamp: exclude, stickily.
+		got = s.ReadRO(reader, "k", 0, 1, 6, nil, vclock.VC{9}, nil, nil, nil, nil, 0)
+		if got.Res.Exists && got.Res.Writer == w {
+			t.Fatalf("flagged=%v: stamped writer above the cut must be excluded", flagged)
+		}
+		found := false
+		for _, ex := range got.Skipped {
+			if ex.Txn == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("flagged=%v: excluded writer must be reported for stickiness", flagged)
+		}
 	}
 }
 

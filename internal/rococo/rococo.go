@@ -7,8 +7,8 @@
 // the final sequence number to the maximum proposal; servers then execute
 // conflicting transactions in final-sequence order, reordering deferrable
 // pieces as needed. This is the timestamp-agreement realization of
-// ROCOCO's dependency-based reordering; see DESIGN.md §3 for the fidelity
-// note.
+// ROCOCO's dependency-based reordering (a timestamp-agreement fidelity
+// simplification of the original protocol).
 //
 // Read-only transactions use ROCOCO's multi-round scheme: each round reads
 // the keys (waiting out conflicting in-flight writers) and records per-key

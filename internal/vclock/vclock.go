@@ -6,6 +6,13 @@
 // bound T.VC, and the commitVC attached to every committed version. All
 // comparisons follow the classic entry-wise lattice: v1 <= v2 iff every
 // entry of v1 is <= the corresponding entry of v2.
+//
+// Invariants (see docs/CONSISTENCY.md §2): VC is a mutable slice, but
+// clocks that have been published — version commit clocks, clocks loaded
+// from commitlog's atomic snapshot, ExWriter clocks travelling in wire
+// messages — are immutable by convention: holders must Clone before
+// mutating. Widths never mix within a cluster; width mismatches panic
+// because they are programming errors, never runtime conditions.
 package vclock
 
 import (

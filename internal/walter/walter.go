@@ -16,7 +16,8 @@
 //     stamped (site, seq); visibility is seq <= snapshot[site].
 //
 // Disaster-tolerant geo-replication machinery from the original system is
-// out of scope (see DESIGN.md §3).
+// out of scope: the competitors exist for the paper's evaluation
+// (docs/ARCHITECTURE.md).
 package walter
 
 import (

@@ -64,7 +64,11 @@ func randomEnvelope(r *rand.Rand, n int) Envelope {
 	case 6:
 		msg = &Remove{Txn: txn}
 	case 7:
-		msg = &ExtCommit{Txn: txn, Drain: r.Intn(2) == 0, Purge: r.Intn(2) == 0}
+		m := &ExtCommit{Txn: txn, Drain: r.Intn(2) == 0, Purge: r.Intn(2) == 0}
+		if r.Intn(2) == 0 {
+			m.VC = vc // the freeze phase carries the freeze vector
+		}
+		msg = m
 	case 8:
 		msg = &WalterPropagate{Txn: txn, VC: vc, Writes: []KV{{Key: randKey(), Val: randVal()}}}
 	default:

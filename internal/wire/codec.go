@@ -113,6 +113,7 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		buf = appendTxnID(buf, m.Txn)
 		buf = appendBool(buf, m.Drain)
 		buf = appendBool(buf, m.Purge)
+		buf = m.VC.AppendBinary(buf)
 	case *WaitExternal:
 		buf = appendTxnID(buf, m.Txn)
 	case *WaitExternalAck:
@@ -237,7 +238,7 @@ func decodeBody(c *cursor, t MsgType) (Msg, error) {
 	case MsgFwdRemove:
 		return &FwdRemove{RO: c.txnID()}, c.err
 	case MsgExtCommit:
-		return &ExtCommit{Txn: c.txnID(), Drain: c.bool(), Purge: c.bool()}, c.err
+		return &ExtCommit{Txn: c.txnID(), Drain: c.bool(), Purge: c.bool(), VC: c.vc()}, c.err
 	case MsgWaitExternal:
 		return &WaitExternal{Txn: c.txnID()}, c.err
 	case MsgWaitExternalAck:

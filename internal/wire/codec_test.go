@@ -44,6 +44,11 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		{From: 3, RID: 8, Resp: true, Msg: &DecideAck{Txn: TxnID{0, 1}}},
 		{From: 1, Msg: &Remove{Txn: TxnID{1, 77}}},
 		{From: 1, Msg: &FwdRemove{RO: TxnID{2, 5}}},
+		{From: 0, RID: 11, Msg: &ExtCommit{Txn: TxnID{0, 1}, Drain: true}},
+		{From: 0, RID: 12, Msg: &ExtCommit{Txn: TxnID{0, 1}, VC: vc}},
+		{From: 0, Msg: &ExtCommit{Txn: TxnID{0, 1}, Purge: true}},
+		{From: 2, RID: 13, Msg: &WaitExternal{Txn: TxnID{2, 9}}},
+		{From: 0, RID: 13, Resp: true, Msg: &WaitExternalAck{Txn: TxnID{2, 9}}},
 		{From: 2, Msg: &WalterPropagate{Txn: TxnID{2, 5}, VC: vc, Writes: []KV{{Key: "k", Val: []byte("v")}}}},
 		{From: 0, RID: 9, Msg: &RococoDispatch{Txn: TxnID{0, 2}, ReadKeys: []string{"x"}, Writes: []KV{{Key: "y", Val: []byte("1")}}}},
 		{From: 1, RID: 9, Resp: true, Msg: &RococoDispatchReply{

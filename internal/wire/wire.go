@@ -250,9 +250,12 @@ type Decide struct {
 }
 
 // DecideAck signals that the participant finished the pre-commit wait for
-// Txn (Algorithm 4's Ack). When acking an ExtCommit freeze, Ext carries the
-// participant's external-commit stamp (its applied frontier at flag time),
-// which the coordinator folds into its external clock.
+// Txn (Algorithm 4's Ack). When acking an ExtCommit drain round, Ext
+// carries the participant's drain-stage frontier (its applied frontier
+// once its snapshot-queue backlog cleared); the coordinator joins these
+// frontiers with the commit clock into the replica-independent freeze
+// vector it ships in the freeze round. When acking a freeze, Ext echoes
+// the stamp the participant recorded.
 type DecideAck struct {
 	Txn TxnID
 	Ext uint64
@@ -269,20 +272,29 @@ type Remove struct {
 // persist from internal commit until *external* commit so that every reader
 // can tell whether the version it selected is still provisional. The drain
 // phase (Drain=true, acked) completes the snapshot-queue waits on every
-// write replica without yet flagging anything; the freeze phase
+// write replica without announcing anything; each drain ack returns the
+// replica's drain-stage frontier (DecideAck.Ext). The freeze phase
 // (Drain=false, Purge=false, acked, completed before the coordinator
-// replies to its client) re-drains — usually instantly, the backlog was
-// cleared by the drain round — and flags the entries as externally
-// committed; the purge phase (Purge=true, one-way, after the reply) deletes
-// them. The freeze/purge split closes the race where one replica's entry is
-// already gone while another's still looks provisional; the drain/freeze
-// split keeps the cross-replica flag skew at one message delay instead of
-// the full drain wait, narrowing the window in which two read-only
-// transactions can order two concurrently-freezing writers differently.
+// replies to its client) carries VC — the coordinator-assigned freeze
+// vector: the transaction's final commit clock joined, per write replica,
+// with that replica's drain-stage frontier. Every replica records
+// VC[self] as the writer's external-commit stamp *on arrival* (before its
+// own gated re-drain), re-drains, and flags the entries; the purge phase
+// (Purge=true, one-way, after the reply) deletes them.
+//
+// Because the freeze vector is computed once by the coordinator, every
+// replica of a key stamps the same value at the same protocol step, and
+// read-only inclusion verdicts — functions of (stamp, reader cut) only —
+// are replica-independent: no verdict ever keys off per-replica flag
+// timing, which used to let two read-only transactions order two
+// concurrently-freezing writers oppositely (the freeze-skew residue, see
+// docs/CONSISTENCY.md).
 type ExtCommit struct {
 	Txn   TxnID
 	Drain bool
 	Purge bool
+	// VC is the freeze vector, set on the freeze phase only.
+	VC vclock.VC
 }
 
 // WaitExternal subscribes to Txn's external commit at its coordinator. The

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# check_docs.sh — documentation health gate.
+#
+# 1. Intra-repo markdown links: every relative link target in README.md and
+#    docs/*.md must exist (fragments are stripped; http(s) links are not
+#    fetched).
+# 2. Code blocks: every ```go fenced block that declares a package is
+#    extracted into a throwaway package directory inside the module and must
+#    `go build`. Snippet blocks without a package clause are skipped.
+#
+# Usage: scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=".docscheck-tmp"
+rm -rf "$tmp"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+python3 - "$tmp" <<'EOF'
+import os, re, sys, glob
+
+tmp = sys.argv[1]
+files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+fail = 0
+
+# --- 1. intra-repo link check ---
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+for f in files:
+    text = open(f).read()
+    base = os.path.dirname(f)
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure fragment: same-file anchor
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            print(f"FAIL: {f}: broken link -> {target}")
+            fail = 1
+
+# --- 2. extract compilable go blocks ---
+fence_re = re.compile(r"^```go\s*$(.*?)^```\s*$", re.M | re.S)
+n = 0
+for f in files:
+    text = open(f).read()
+    for block in fence_re.findall(text):
+        block = block.strip("\n")
+        if not re.search(r"^package\s+\w+", block, re.M):
+            continue  # snippet, not a compilation unit
+        d = os.path.join(tmp, f"block{n:02d}")
+        os.makedirs(d, exist_ok=True)
+        with open(os.path.join(d, "main.go"), "w") as out:
+            out.write(block + "\n")
+        print(f"extracted: {f} -> {d}")
+        n += 1
+
+sys.exit(fail)
+EOF
+
+status=0
+for d in "$tmp"/block*/; do
+  [ -d "$d" ] || continue
+  if ! go build -o /dev/null "./$d" 2> "$tmp/err.log"; then
+    echo "FAIL: doc code block in $d does not compile:" >&2
+    cat "$tmp/err.log" >&2
+    status=1
+  else
+    echo "ok: $d compiles"
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  exit 1
+fi
+echo "docs check passed"
