@@ -99,28 +99,29 @@ func parseInts(csv string) ([]int, error) {
 
 // benchPoint is one measurement in the machine-readable snapshot.
 type benchPoint struct {
-	Series            string                     `json:"series"`
-	Engine            string                     `json:"engine"`
-	Nodes             int                        `json:"nodes"`
-	ReplicationDegree int                        `json:"replication_degree"`
-	ClientsPerNode    int                        `json:"clients_per_node"`
-	Keys              int                        `json:"keys"`
-	ReadOnlyPct       int                        `json:"read_only_pct"`
-	ReadOnlyOps       int                        `json:"read_only_ops,omitempty"`
-	Locality          float64                    `json:"locality,omitempty"`
-	ThroughputTxnS    float64                    `json:"throughput_txn_s"`
-	AbortRate         float64                    `json:"abort_rate"`
-	Commits           uint64                     `json:"commits"`
-	ReadOnly          uint64                     `json:"read_only"`
-	Aborts            uint64                     `json:"aborts"`
-	UpdateLatency     metrics.HistogramSnapshot  `json:"update_latency"`
-	ReadOnlyLatency   metrics.HistogramSnapshot  `json:"read_only_latency"`
-	InternalLatency   metrics.HistogramSnapshot  `json:"internal_latency"`
-	PreCommitWait     metrics.HistogramSnapshot  `json:"pre_commit_wait"`
-	ExternalWaits     uint64                     `json:"external_waits"`
-	DrainTimeouts     uint64                     `json:"drain_timeouts"`
-	Transport         metrics.TransportSnapshot  `json:"transport"`
-	Contention        metrics.ContentionSnapshot `json:"contention"`
+	Series            string                       `json:"series"`
+	Engine            string                       `json:"engine"`
+	Nodes             int                          `json:"nodes"`
+	ReplicationDegree int                          `json:"replication_degree"`
+	ClientsPerNode    int                          `json:"clients_per_node"`
+	Keys              int                          `json:"keys"`
+	ReadOnlyPct       int                          `json:"read_only_pct"`
+	ReadOnlyOps       int                          `json:"read_only_ops,omitempty"`
+	Locality          float64                      `json:"locality,omitempty"`
+	ThroughputTxnS    float64                      `json:"throughput_txn_s"`
+	AbortRate         float64                      `json:"abort_rate"`
+	Commits           uint64                       `json:"commits"`
+	ReadOnly          uint64                       `json:"read_only"`
+	Aborts            uint64                       `json:"aborts"`
+	UpdateLatency     metrics.HistogramSnapshot    `json:"update_latency"`
+	ReadOnlyLatency   metrics.HistogramSnapshot    `json:"read_only_latency"`
+	InternalLatency   metrics.HistogramSnapshot    `json:"internal_latency"`
+	PreCommitWait     metrics.HistogramSnapshot    `json:"pre_commit_wait"`
+	ExternalWaits     uint64                       `json:"external_waits"`
+	DrainTimeouts     uint64                       `json:"drain_timeouts"`
+	Transport         metrics.TransportSnapshot    `json:"transport"`
+	Contention        metrics.ContentionSnapshot   `json:"contention"`
+	CommitRounds      metrics.CommitRoundsSnapshot `json:"commit_rounds"`
 }
 
 // benchReport is the BENCH_<name>.json document: one figure's points plus
@@ -194,7 +195,7 @@ func point(rep *reporter, series string, eng sss.Engine, nodes, degree int, w yc
 	})
 	net := c.TransportMetrics().Snapshot()
 	if *netStats {
-		fmt.Printf("    [net %s n=%d] %s | %s\n", eng, nodes, net, res.Contention)
+		fmt.Printf("    [net %s n=%d] %s | %s | %s\n", eng, nodes, net, res.Contention, res.CommitRounds)
 	}
 	if rep != nil {
 		rep.points = append(rep.points, benchPoint{
@@ -220,6 +221,7 @@ func point(rep *reporter, series string, eng sss.Engine, nodes, degree int, w yc
 			DrainTimeouts:     res.DrainTimeouts,
 			Transport:         net,
 			Contention:        res.Contention,
+			CommitRounds:      res.CommitRounds,
 		})
 	}
 	return res

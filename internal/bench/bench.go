@@ -63,6 +63,10 @@ type Result struct {
 	// Contention aggregates the nodes' lock/wait contention counters
 	// (commitlog waiter registry, snapshot-queue drains).
 	Contention metrics.ContentionSnapshot
+	// CommitRounds aggregates the update-commit round structure:
+	// piggybacked vs standalone drain stages and the freeze/purge
+	// group-commit batching factors.
+	CommitRounds metrics.CommitRoundsSnapshot
 }
 
 // Run executes the workload against the given nodes and aggregates results.
@@ -155,6 +159,7 @@ func Run(nodes []Node, opts Options) Result {
 	res.ExternalWaits = agg.ExternalWaits.Load()
 	res.DrainTimeouts = agg.DrainTimeouts.Load()
 	res.Contention = agg.Contention.Snapshot()
+	res.CommitRounds = agg.CommitRounds.Snapshot()
 	return res
 }
 
@@ -209,6 +214,7 @@ func aggregate(nodes []Node) *metrics.Engine {
 		out.InternalLatency.Merge(&s.InternalLatency)
 		out.PreCommitWait.Merge(&s.PreCommitWait)
 		out.Contention.Merge(&s.Contention)
+		out.CommitRounds.Merge(&s.CommitRounds)
 	}
 	return out
 }

@@ -236,15 +236,25 @@ func New(self, n, capacity int) *Log {
 func (l *Log) SetContention(c *metrics.Contention) { l.cstats = c }
 
 // publishLocked republishes the immutable clock snapshot. Called with mu
-// held after every mutation of nodeVC/mostRecent/external.
+// held after every mutation of nodeVC/mostRecent/external. The four clock
+// copies share one backing array: the publish is two allocations, not
+// five, and the snapshot stays cache-adjacent — it is republished on every
+// apply, decide and external-knowledge fold, which makes it one of the
+// hottest allocation sites on the commit path.
 func (l *Log) publishLocked() {
+	n := len(l.nodeVC)
+	backing := make([]uint64, 4*n)
 	snap := &clockSnap{
-		nodeVC:     l.nodeVC.Clone(),
-		mostRecent: l.mostRecent.Clone(),
-		external:   l.external.Clone(),
+		nodeVC:     vclock.VC(backing[0*n : 1*n : 1*n]),
+		mostRecent: vclock.VC(backing[1*n : 2*n : 2*n]),
+		external:   vclock.VC(backing[2*n : 3*n : 3*n]),
+		snapshot:   vclock.VC(backing[3*n : 4*n : 4*n]),
 		applied:    l.applied,
 	}
-	snap.snapshot = snap.mostRecent.Clone()
+	copy(snap.nodeVC, l.nodeVC)
+	copy(snap.mostRecent, l.mostRecent)
+	copy(snap.external, l.external)
+	copy(snap.snapshot, l.mostRecent)
 	snap.snapshot.MaxInto(snap.external)
 	l.clocks.Store(snap)
 	l.frontier.Store(l.mostRecent[l.self])

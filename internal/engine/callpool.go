@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// callerPool keeps a stack of warm, long-lived goroutines that execute the
+// engine's outbound RPC legs (broadcast participants, read fan-out
+// siblings). Spawning a fresh goroutine per leg made the runtime's stack
+// growth (newstack/copystack) one of the largest CPU items on small
+// machines: every leg immediately calls through transport into the
+// scheduler and outgrows the initial stack. Pool workers pay that once and
+// keep their grown stacks across tasks; the handoff is a single task-struct
+// send on a buffered channel — no closure, no allocation.
+type callerPool struct {
+	mu     sync.Mutex
+	idle   []*caller
+	closed bool
+}
+
+type caller struct{ task chan callTask }
+
+// maxIdleCallers bounds the warm stack; excess workers retire after their
+// task.
+const maxIdleCallers = 64
+
+// callTask is one outbound RPC leg. Broadcast legs fill out/i/done; read
+// fan-out legs fill rch instead.
+type callTask struct {
+	ctx  context.Context
+	nd   *Node
+	to   wire.NodeID
+	msg  wire.Msg
+	out  []wire.Msg
+	i    int
+	done chan ackEvent
+	rch  chan readAnswer
+}
+
+// readAnswer is one replica's reply in a fan-out read.
+type readAnswer struct {
+	resp *wire.ReadReturn
+	from wire.NodeID
+	err  error
+}
+
+func (t callTask) run() {
+	defer t.nd.wg.Done()
+	resp, err := t.nd.rpc.Call(t.ctx, t.to, t.msg)
+	if t.rch != nil {
+		switch rr, ok := resp.(*wire.ReadReturn); {
+		case err != nil:
+			t.rch <- readAnswer{err: err, from: t.to}
+		case !ok:
+			t.rch <- readAnswer{err: fmt.Errorf("engine: unexpected read response %T", resp), from: t.to}
+		default:
+			t.rch <- readAnswer{resp: rr, from: t.to}
+		}
+		return
+	}
+	if err == nil {
+		t.out[t.i] = resp
+	}
+	t.done <- ackEvent{i: t.i, at: time.Now()}
+}
+
+// submit hands t to an idle worker, or starts a new one. The caller must
+// have done nd.wg.Add(1); exactly one Done is performed by the task.
+func (p *callerPool) submit(t callTask) {
+	p.mu.Lock()
+	var c *caller
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if c == nil {
+		c = &caller{task: make(chan callTask, 1)}
+		go c.loop(p)
+	}
+	c.task <- t
+}
+
+func (c *caller) loop(p *callerPool) {
+	for t := range c.task {
+		t.run()
+		p.mu.Lock()
+		if p.closed || len(p.idle) >= maxIdleCallers {
+			p.mu.Unlock()
+			return
+		}
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+	}
+}
+
+// close retires the idle workers. In-flight tasks are unaffected (the owner
+// waits for them via nd.wg before calling close); their workers see closed
+// and exit instead of re-idling.
+func (p *callerPool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		close(c.task)
+	}
+}

@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Per-replica commit pipelining (group commit) for the external-commit
+// traffic. Every peer gets one extQueue drained by a single sender
+// goroutine, mirroring the transport outq: concurrent update transactions'
+// freeze orders — and the purge notifications that follow — accumulate
+// while the previous flush is in flight and are coalesced into one
+// wire.ExtBatch envelope. The replica applies the batch's freezes with one
+// grouped pass over its striped state and a single clock republish
+// (handleExtBatch), and answers with one ack covering every freeze in it.
+//
+// Ordering: a transaction's purge is enqueued only after its freeze ack
+// returned, so queue FIFO order preserves the per-transaction
+// freeze-before-purge requirement; freezes of distinct transactions carry
+// independent, coordinator-assigned freeze vectors and may batch in any
+// order.
+
+// maxExtBatch caps the freezes+purges coalesced into one ExtBatch. It only
+// bounds pathological backlogs; natural batch sizes track the commit
+// concurrency per peer.
+const maxExtBatch = 128
+
+// extItem is one queued external-commit order: a freeze (vc non-nil, done
+// signalled once the replica acked) or a purge (vc nil, done nil).
+type extItem struct {
+	txn  wire.TxnID
+	vc   vclock.VC
+	done chan struct{}
+}
+
+// extQueue is the per-peer commit queue. Senders never block on the
+// network: enqueue appends and wakes the drainer.
+type extQueue struct {
+	mu     sync.Mutex
+	items  []extItem
+	closed bool
+	wake   chan struct{}
+}
+
+func newExtQueue() *extQueue {
+	return &extQueue{wake: make(chan struct{}, 1)}
+}
+
+// enqueue appends it for delivery. Returns false when the queue is closed
+// (node shutting down); the caller must complete the item locally.
+func (q *extQueue) enqueue(it extItem) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// close marks the queue closed and wakes the sender so it can drain and
+// exit. Items still queued are completed without network delivery (the
+// cluster is tearing down; pending Calls could only time out).
+func (q *extQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// extSender drains one peer's commit queue: it coalesces whatever
+// accumulated into a single ExtBatch, issues it as one acked call when it
+// carries freezes (one-way when purge-only), and releases every freeze
+// waiter on the ack. One in-flight batch per peer: the next batch forms
+// while the current one is on the wire — pipelined group commit.
+func (nd *Node) extSender(peer wire.NodeID, q *extQueue) {
+	defer nd.extSenders.Done()
+	var batch []extItem
+	// msg is reused across acked flushes: once the batch ack returned, no
+	// handler references the message anymore (the reply is the handler's
+	// last action), on either transport. One-way purge flushes and errored
+	// calls abandon it — the receiver (or the in-flight encode) may still
+	// hold the reference.
+	msg := &wire.ExtBatch{}
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 {
+			if q.closed {
+				q.mu.Unlock()
+				return
+			}
+			q.mu.Unlock()
+			<-q.wake
+			q.mu.Lock()
+		}
+		n := len(q.items)
+		if n > maxExtBatch {
+			n = maxExtBatch
+		}
+		batch = append(batch[:0], q.items[:n]...)
+		rest := copy(q.items, q.items[n:])
+		for i := rest; i < len(q.items); i++ {
+			q.items[i] = extItem{} // release clocks and channels
+		}
+		q.items = q.items[:rest]
+		closed := q.closed
+		q.mu.Unlock()
+
+		msg.Freezes, msg.Purges = msg.Freezes[:0], msg.Purges[:0]
+		for _, it := range batch {
+			if it.done != nil {
+				msg.Freezes = append(msg.Freezes, wire.ExtFreeze{Txn: it.txn, VC: it.vc})
+			} else {
+				msg.Purges = append(msg.Purges, it.txn)
+			}
+		}
+		switch {
+		case closed:
+			// Shutdown: drop the sends (peers may be gone; a Call would
+			// only park until its timeout) but never a waiter.
+		case len(msg.Freezes) > 0:
+			ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+			_, err := nd.rpc.Call(ctx, peer, msg)
+			cancel()
+			if err != nil {
+				nd.stats.DrainTimeouts.Add(1)
+				msg = &wire.ExtBatch{} // in flight somewhere; abandon
+			}
+		default:
+			_ = nd.rpc.Notify(peer, msg)
+			msg = &wire.ExtBatch{} // one-way: the receiver still holds it
+		}
+		for i := range batch {
+			if batch[i].done != nil {
+				close(batch[i].done)
+			}
+			batch[i] = extItem{}
+		}
+	}
+}
+
+// enqueueFreezes queues t's freeze order for every write replica and
+// returns one completion channel per replica, in writeNodes order. dst is
+// reused caller scratch.
+func (nd *Node) enqueueFreezes(txn wire.TxnID, writeNodes []wire.NodeID, freezeVC vclock.VC, dst []chan struct{}) []chan struct{} {
+	for _, w := range writeNodes {
+		done := make(chan struct{})
+		if !nd.extq[w].enqueue(extItem{txn: txn, vc: freezeVC, done: done}) {
+			close(done) // shutting down; don't park the committer
+		}
+		dst = append(dst, done)
+	}
+	return dst
+}
+
+// awaitFreezes waits for every freeze completion. No own timer: each
+// waiter is closed unconditionally by its peer's sender once the batch
+// call returns, and that call is bounded by VoteTimeout (queue close
+// releases waiters immediately), so the wait is already bounded.
+func (nd *Node) awaitFreezes(waiters []chan struct{}) {
+	for _, d := range waiters {
+		<-d
+	}
+}
+
+// enqueuePurges queues t's purge notification for every write replica.
+func (nd *Node) enqueuePurges(txn wire.TxnID, writeNodes []wire.NodeID) {
+	for _, w := range writeNodes {
+		if !nd.extq[w].enqueue(extItem{txn: txn}) {
+			// Shutting down: purge locally when possible so tests tearing
+			// down observe empty queues; remote peers are gone anyway.
+			if w == nd.id {
+				nd.purgeParked(txn)
+			}
+		}
+	}
+}
+
+// handleExtBatch applies one coalesced external-commit batch: every freeze
+// is stamped on arrival (grouped by stripe, one striped-lock acquisition
+// per distinct stripe), the batch's clocks fold into the external-knowledge
+// clock with a single republish, the gated re-drains and flags run
+// concurrently, and one ack answers for all freezes. Purges ride behind.
+func (nd *Node) handleExtBatch(from wire.NodeID, rid uint64, m *wire.ExtBatch) {
+	if len(m.Freezes) > 0 {
+		nd.applyFreezeBatch(m.Freezes)
+		nd.stats.CommitRounds.FreezeBatches.Add(1)
+		nd.stats.CommitRounds.FreezeBatchTxns.Add(uint64(len(m.Freezes)))
+	}
+	if len(m.Purges) > 0 {
+		nd.applyPurgeBatch(m.Purges)
+		nd.stats.CommitRounds.PurgeBatchTxns.Add(uint64(len(m.Purges)))
+	}
+	if rid != 0 {
+		_ = nd.rpc.Reply(from, rid, &wire.ExtBatchAck{Freezes: uint64(len(m.Freezes))})
+	}
+}
+
+// freezeScratch pools the replica-side batch-apply arrays.
+type freezeScratch struct {
+	parked  []parkedState
+	stamps  []uint64
+	visited []bool
+}
+
+var freezeScratchPool = sync.Pool{New: func() any { return &freezeScratch{} }}
+
+func (fs *freezeScratch) sized(n int) ([]parkedState, []uint64, []bool) {
+	if cap(fs.parked) < n {
+		fs.parked = make([]parkedState, n)
+		fs.stamps = make([]uint64, n)
+		fs.visited = make([]bool, n)
+	}
+	fs.parked, fs.stamps, fs.visited = fs.parked[:n], fs.stamps[:n], fs.visited[:n]
+	for i := 0; i < n; i++ {
+		fs.parked[i] = parkedState{}
+		fs.stamps[i] = 0
+		fs.visited[i] = false
+	}
+	return fs.parked, fs.stamps, fs.visited
+}
+
+// applyFreezeBatch runs the freeze phase for every transaction in the
+// batch. Semantics per transaction are identical to the singleton freeze in
+// handleExtCommit — stamp at arrival, before the gated re-drain — but the
+// batch pays the striped-state walk once per stripe and republishes the
+// node's clock snapshot once instead of once per transaction.
+func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
+	fs := freezeScratchPool.Get().(*freezeScratch)
+	defer freezeScratchPool.Put(fs)
+	parked, stamps, visited := fs.sized(len(freezes))
+	// Phase 1a: collect parked states, one striped-lock acquisition per
+	// distinct stripe (the batch's transactions hash across stripes).
+	for i := range freezes {
+		if visited[i] {
+			continue
+		}
+		st := nd.stripeOf(freezes[i].Txn)
+		st.mu.Lock()
+		for j := i; j < len(freezes); j++ {
+			if !visited[j] && nd.stripeOf(freezes[j].Txn) == st {
+				parked[j] = st.parked[freezes[j].Txn]
+				visited[j] = true
+			}
+		}
+		st.mu.Unlock()
+	}
+	// Phase 1b: stamp every entry and version at arrival — the moment the
+	// verdict for each writer becomes deterministic at this replica — and
+	// fold the batch's externally-committed knowledge into one clock.
+	var ext vclock.VC
+	var maxStamp uint64
+	for i, f := range freezes {
+		stamp := nd.log.AppliedSelf()
+		if len(f.VC) > nd.idx {
+			stamp = f.VC[nd.idx]
+		}
+		stamps[i] = stamp
+		for _, k := range parked[i].keys {
+			nd.store.SQStampWrite(k, f.Txn, stamp)
+		}
+		if stamp > maxStamp {
+			maxStamp = stamp
+		}
+		if vc := parked[i].vc; vc != nil {
+			if ext == nil {
+				ext = vc.Clone()
+			} else {
+				ext.MaxInto(vc)
+			}
+			if stamp > ext[nd.idx] {
+				ext[nd.idx] = stamp
+			}
+		}
+	}
+	for {
+		cur := nd.extFrontier.Load()
+		if maxStamp <= cur || nd.extFrontier.CompareAndSwap(cur, maxStamp) {
+			break
+		}
+	}
+	if ext != nil {
+		// RecordExternal is a monotone max-fold, so folding the batch's
+		// join in one call reaches the same clock as per-transaction folds
+		// — with a single snapshot republish.
+		nd.log.RecordExternal(ext)
+	}
+	// Phase 2: gated re-drains + flags. Concurrent per transaction so one
+	// reader-gated writer cannot serialize the batch behind its wait; the
+	// single batch ack still waits for the slowest (group commit).
+	if len(freezes) == 1 {
+		nd.redrainAndFlag(freezes[0].Txn, parked[0], stamps[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range freezes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nd.redrainAndFlag(freezes[i].Txn, parked[i], stamps[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// redrainAndFlag completes one transaction's freeze phase: wait out any
+// reader that serialized before it (strictly smaller insertion-snapshot),
+// then flag its entries.
+func (nd *Node) redrainAndFlag(txn wire.TxnID, ps parkedState, stamp uint64) {
+	for _, k := range ps.keys {
+		if !nd.store.SQWaitDrain(k, txn, ps.sid, nd.cfg.DrainTimeout) {
+			nd.stats.DrainTimeouts.Add(1)
+		}
+	}
+	for _, k := range ps.keys {
+		nd.store.SQFlagWrite(k, txn, stamp)
+	}
+}
+
+// applyPurgeBatch deletes the batch's W entries, one transaction at a
+// time (the purge win of ExtBatch is envelope coalescing; the per-txn
+// stripe work is too small to be worth grouping).
+func (nd *Node) applyPurgeBatch(purges []wire.TxnID) {
+	for _, txn := range purges {
+		nd.purgeParked(txn)
+	}
+}
+
+// purgeParked removes txn's parked state and snapshot-queue W entries (the
+// purge phase of the external commit).
+func (nd *Node) purgeParked(txn wire.TxnID) {
+	st := nd.stripeOf(txn)
+	st.mu.Lock()
+	ps := st.parked[txn]
+	delete(st.parked, txn)
+	st.mu.Unlock()
+	for _, k := range ps.keys {
+		nd.store.SQRemoveWrite(k, txn)
+	}
+}

@@ -93,6 +93,18 @@ type Config struct {
 	// suites were not reliably better than with the stamp machinery
 	// alone — see docs/CONSISTENCY.md §5 for the honest accounting.
 	AnnounceWait time.Duration
+	// PiggybackSkewBudget bounds how stale a piggybacked drain barrier may
+	// be when the freeze is issued. The drain stage normally rides the
+	// decide round (Decide.Drain), saving an acked round trip per commit;
+	// but the temporal-separation argument of docs/CONSISTENCY.md §5 wants
+	// the drain barrier within ~one message delay of the freeze arrival.
+	// When any write replica's pre-commit drain blocked or had readers
+	// parked on the written keys, or the earliest decide ack is older than
+	// this budget by freeze time, the coordinator re-tightens with a
+	// standalone drain round before freezing. Default 4ms — well above an
+	// uncontended decide round; genuinely contended commits are caught by
+	// the replica-side reader signals regardless of elapsed time.
+	PiggybackSkewBudget time.Duration
 	// NLogCapacity bounds the applied-commit log (0 = default).
 	NLogCapacity int
 	// MaxVersions bounds per-key version chains (0 = default).
@@ -120,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MergeWait <= 0 {
 		c.MergeWait = 5 * time.Millisecond
+	}
+	if c.PiggybackSkewBudget <= 0 {
+		c.PiggybackSkewBudget = 4 * time.Millisecond
 	}
 	return c
 }
@@ -156,6 +171,17 @@ type Node struct {
 	// seen/before/excluded sets), so the read-only hot path stops
 	// allocating them per message.
 	readScratch sync.Pool
+	// commitScratch pools the coordinator-side per-commit scratch of
+	// commitUpdate (prepare slices, broadcast result arrays, freeze
+	// waiters), so the update hot path stops allocating them per txn.
+	commitScratch sync.Pool
+
+	// extq holds one per-peer commit queue (group commit for the freeze
+	// and purge traffic); extSenders tracks their drainer goroutines.
+	extq       []*extQueue
+	extSenders sync.WaitGroup
+	// callers executes outbound RPC legs on warm pooled goroutines.
+	callers callerPool
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -298,11 +324,18 @@ func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cf
 		st.inflight = make(map[wire.TxnID]chan struct{})
 	}
 	nd.readScratch.New = func() any { return newROScratch() }
+	nd.commitScratch.New = func() any { return newCommitScratch(n) }
 	rpc, err := transport.NewRPC(net, id, nd.serve)
 	if err != nil {
 		return nil, fmt.Errorf("engine: node %d: %w", id, err)
 	}
 	nd.rpc = rpc
+	nd.extq = make([]*extQueue, n)
+	for i := range nd.extq {
+		nd.extq[i] = newExtQueue()
+		nd.extSenders.Add(1)
+		go nd.extSender(wire.NodeID(i), nd.extq[i])
+	}
 	return nd, nil
 }
 
@@ -326,11 +359,18 @@ func (nd *Node) VersionWriters(key string) []wire.TxnID {
 	return nd.store.VersionWriters(key)
 }
 
-// Close detaches the node from the network and waits for local work.
+// Close detaches the node from the network and waits for local work. The
+// commit queues are closed first (their drainers exit after releasing every
+// parked freeze waiter), then the RPC endpoint, then in-flight handlers.
 func (nd *Node) Close() error {
 	nd.closed.Store(true)
+	for _, q := range nd.extq {
+		q.close()
+	}
+	nd.extSenders.Wait()
 	err := nd.rpc.Close()
 	nd.wg.Wait()
+	nd.callers.close()
 	return err
 }
 
@@ -355,6 +395,8 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 		nd.handleFwdRemove(m)
 	case *wire.ExtCommit:
 		nd.handleExtCommit(from, rid, m)
+	case *wire.ExtBatch:
+		nd.handleExtBatch(from, rid, m)
 	case *wire.WaitExternal:
 		nd.handleWaitExternal(from, rid, m)
 	default:

@@ -248,3 +248,159 @@ func puppetFreeze(puppet *Node, txn wire.TxnID, freezeVC vclock.VC, writeNodes [
 		}()
 	}
 }
+
+// TestPiggybackedDecideDrainReplicaIndependence re-runs the freeze-skew
+// construction through the *piggybacked* decide+drain path (Decide.Drain):
+// the drain stage rides the decide round, each write replica returns its
+// drain-stage frontier in the decide ack, and the puppet coordinator forms
+// the freeze vector from those acks — exactly as commitUpdate does. The
+// test pins the PR-3 invariants across the pipelining: drain-stage
+// frontiers are produced (in the acks) strictly before the freeze vector
+// is formed, gated replicas stamp exactly freezeVC[self] at freeze
+// arrival, and the two mirror-image readers agree on both freezing
+// writers.
+func TestPiggybackedDecideDrainReplicaIndependence(t *testing.T) {
+	nodes := newCluster(t, 3, 1, Config{MaxVersions: 1 << 20, DrainTimeout: 2 * time.Second})
+	lookup := cluster.NewLookup(3, 1)
+	kA := keyWithPrimary(t, lookup, 0, "pgskewA")
+	kB := keyWithPrimary(t, lookup, 1, "pgskewB")
+	kC := keyWithPrimary(t, lookup, 1, "pgskewC")
+	kD := keyWithPrimary(t, lookup, 0, "pgskewD")
+	for _, k := range []string{kA, kB, kC, kD} {
+		for _, nd := range nodes {
+			nd.Preload(k, []byte("init"))
+		}
+	}
+	puppet := nodes[2]
+
+	w1 := wire.TxnID{Node: 2, Seq: 1 << 41}
+	w2 := wire.TxnID{Node: 2, Seq: 1<<41 + 1}
+	w1VC, f1 := puppetCommitPiggyback(t, puppet, w1, []wire.KV{{Key: kA, Val: []byte("w1")}, {Key: kB, Val: []byte("w1")}}, []wire.NodeID{0, 1})
+	w2VC, f2 := puppetCommitPiggyback(t, puppet, w2, []wire.KV{{Key: kC, Val: []byte("w2")}, {Key: kD, Val: []byte("w2")}}, []wire.NodeID{0, 1})
+
+	// The piggybacked acks carried the drain-stage frontiers: the freeze
+	// vector must cover the commit clock and can only have been raised by
+	// those frontiers — and it exists before any freeze was issued.
+	for _, pair := range []struct{ commit, freeze vclock.VC }{{w1VC, f1}, {w2VC, f2}} {
+		if !pair.commit.LessEq(pair.freeze) {
+			t.Fatalf("freeze vector %v does not cover commit clock %v", pair.freeze, pair.commit)
+		}
+	}
+	for _, w := range []wire.NodeID{0, 1} {
+		if f1[w] == 0 || f2[w] == 0 {
+			t.Fatalf("drain-stage frontier missing for replica %d: f1=%v f2=%v", w, f1, f2)
+		}
+	}
+
+	// Gate each writer's freeze re-drain on one replica, mirrored.
+	gateB := puppet.Begin(true)
+	if v := mustRead(t, gateB, kB); v != "init" {
+		t.Fatalf("gate reader on %s: unannounced parked writer must be excluded, got %q", kB, v)
+	}
+	gateD := puppet.Begin(true)
+	if v := mustRead(t, gateD, kD); v != "init" {
+		t.Fatalf("gate reader on %s: unannounced parked writer must be excluded, got %q", kD, v)
+	}
+	defer func() {
+		_ = gateB.Abort()
+		_ = gateD.Abort()
+	}()
+
+	puppetFreeze(puppet, w1, f1, []wire.NodeID{0, 1})
+	puppetFreeze(puppet, w2, f2, []wire.NodeID{0, 1})
+
+	waitUntil(t, "kB@1 stamped", func() bool {
+		stamp, _, _ := nodes[1].store.SQWriteState(kB, w1)
+		return stamp != 0
+	})
+	waitUntil(t, "kD@0 stamped", func() bool {
+		stamp, _, _ := nodes[0].store.SQWriteState(kD, w2)
+		return stamp != 0
+	})
+	// Gated replicas stamped exactly the freeze vector's entry, before
+	// their re-drain completed: the stamp is replica-independent.
+	if stamp, flagged, _ := nodes[1].store.SQWriteState(kB, w1); flagged || stamp != f1[1] {
+		t.Fatalf("kB@1: want gated entry stamped with freezeVC[1]=%d, got stamp=%d flagged=%v", f1[1], stamp, flagged)
+	}
+	if stamp, flagged, _ := nodes[0].store.SQWriteState(kD, w2); flagged || stamp != f2[0] {
+		t.Fatalf("kD@0: want gated entry stamped with freezeVC[0]=%d, got stamp=%d flagged=%v", f2[0], stamp, flagged)
+	}
+
+	r1 := puppet.Begin(true)
+	r1A, r1D := mustRead(t, r1, kA), mustRead(t, r1, kD)
+	r2 := puppet.Begin(true)
+	r2C, r2B := mustRead(t, r2, kC), mustRead(t, r2, kB)
+	if err := r1.Commit(); err != nil {
+		t.Fatalf("r1 commit: %v", err)
+	}
+	if err := r2.Commit(); err != nil {
+		t.Fatalf("r2 commit: %v", err)
+	}
+
+	_ = gateB.Abort()
+	_ = gateD.Abort()
+	waitUntil(t, "kB@1 flagged after gate release", func() bool {
+		_, flagged, _ := nodes[1].store.SQWriteState(kB, w1)
+		return flagged
+	})
+	waitUntil(t, "kD@0 flagged after gate release", func() bool {
+		_, flagged, _ := nodes[0].store.SQWriteState(kD, w2)
+		return flagged
+	})
+
+	if !(r1A == "w1" && r1D == "w2" && r2C == "w2" && r2B == "w1") {
+		t.Fatalf("stamped freezing writers must be visible to both readers: r1={%s:%q %s:%q} r2={%s:%q %s:%q}",
+			kA, r1A, kD, r1D, kC, r2C, kB, r2B)
+	}
+}
+
+// puppetCommitPiggyback drives txn through prepare and a piggybacked
+// decide+drain (Decide.Drain=true) at the given write replicas, assembling
+// the freeze vector from the decide acks' drain-stage frontiers exactly as
+// commitUpdate does. It returns the levelled commit clock and the freeze
+// vector; the transaction is left parked (drained, freeze not yet issued)
+// on every replica.
+func puppetCommitPiggyback(t *testing.T, puppet *Node, txn wire.TxnID, writes []wire.KV, writeNodes []wire.NodeID) (commitVC, freezeVC vclock.VC) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	commitVC = vclock.New(puppet.n)
+	for _, to := range writeNodes {
+		resp, err := puppet.rpc.Call(ctx, to, &wire.Prepare{Txn: txn, VC: vclock.New(puppet.n), Writes: writes})
+		if err != nil {
+			t.Fatalf("prepare %v at %d: %v", txn, to, err)
+		}
+		vote, ok := resp.(*wire.Vote)
+		if !ok || !vote.OK {
+			t.Fatalf("prepare %v at %d: vote %+v", txn, to, resp)
+		}
+		commitVC.MaxInto(vote.VC)
+	}
+	var xactVN uint64
+	for _, w := range writeNodes {
+		if commitVC[w] > xactVN {
+			xactVN = commitVC[w]
+		}
+	}
+	for _, w := range writeNodes {
+		commitVC[w] = xactVN
+	}
+	freezeVC = commitVC.Clone()
+	for _, to := range writeNodes {
+		resp, err := puppet.rpc.Call(ctx, to, &wire.Decide{Txn: txn, VC: commitVC, Commit: true, Drain: true})
+		if err != nil {
+			t.Fatalf("piggybacked decide %v at %d: %v", txn, to, err)
+		}
+		ack, ok := resp.(*wire.DecideAck)
+		if !ok {
+			t.Fatalf("piggybacked decide %v at %d: unexpected ack %T", txn, to, resp)
+		}
+		if ack.Ext == 0 {
+			t.Fatalf("piggybacked decide %v at %d: ack carries no drain-stage frontier", txn, to)
+		}
+		if ack.Ext > freezeVC[to] {
+			freezeVC[to] = ack.Ext
+		}
+	}
+	return commitVC, freezeVC
+}

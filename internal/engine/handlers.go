@@ -430,22 +430,50 @@ func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 	}
 
 	// Wait for this transaction's own internal commit: it may be applied
-	// during another transaction's decide (CommitQ ordering).
+	// during another transaction's decide (CommitQ ordering). The
+	// non-blocking fast path skips the timer when the apply already ran —
+	// the common case once this decide reaches the CommitQ head.
 	select {
 	case <-pt.applied:
-	case <-time.After(nd.cfg.DrainTimeout):
-		// A wedged CommitQ would surface here; ack anyway so the
-		// coordinator is not stuck, and count the anomaly.
-		nd.stats.DrainTimeouts.Add(1)
+	default:
+		select {
+		case <-pt.applied:
+		case <-time.After(nd.cfg.DrainTimeout):
+			// A wedged CommitQ would surface here; ack anyway so the
+			// coordinator is not stuck, and count the anomaly.
+			nd.stats.DrainTimeouts.Add(1)
+		}
 	}
 
-	nd.preCommit(m, pt)
+	gated := nd.preCommit(m, pt)
 	// The W entries stay parked until the coordinator's ExtCommit; record
 	// which keys to freeze and purge then.
 	st.mu.Lock()
 	st.parked[m.Txn] = parkedState{keys: pt.localWKey, sid: m.VC[nd.idx], vc: m.VC.Clone()}
 	st.mu.Unlock()
-	_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+	if !m.Drain {
+		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
+		return
+	}
+	// Piggybacked drain stage: the pre-commit wait above already cleared
+	// this key's backlog, so the drain round's work reduces to marking the
+	// entries drained (freeze imminent — readers configured with an
+	// announce wait now hold for the stamp) and shipping the drain-stage
+	// frontier back in the same ack. The coordinator forms the freeze
+	// vector only after every write replica's ack, preserving the
+	// all-backlogs-clear barrier the standalone round provided — one acked
+	// round trip cheaper. Gated echoes whether the wait blocked *or*
+	// readers are currently parked on the written keys: either way readers
+	// are active around these keys, and the coordinator re-tightens with a
+	// standalone drain round before freezing (see commitUpdate).
+	for _, k := range pt.localWKey {
+		nd.store.SQMarkDrained(k, m.Txn)
+		if !gated && nd.store.SQHasReadEntries(k) {
+			gated = true
+		}
+	}
+	nd.stats.CommitRounds.DrainsPiggybacked.Add(1)
+	_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn, Ext: nd.log.AppliedSelf(), Gated: gated})
 }
 
 // enqueuePreCommit implements Algorithm 3 on this node's written keys:
@@ -474,17 +502,26 @@ func (nd *Node) enqueuePreCommit(m *wire.Decide, pt *participantTxn) {
 }
 
 // preCommit implements Algorithm 4's wait on this node's written keys: no
-// entry with a smaller insertion-snapshot may remain.
-func (nd *Node) preCommit(m *wire.Decide, pt *participantTxn) {
+// entry with a smaller insertion-snapshot may remain. It reports whether
+// any wait actually blocked — contention that makes a piggybacked drain
+// barrier untrustworthy by freeze time (the coordinator then re-tightens
+// with a standalone drain round).
+func (nd *Node) preCommit(m *wire.Decide, pt *participantTxn) bool {
 	sid := m.VC[nd.idx]
+	gated := false
 	// The W entry itself is *not* removed here: it persists until the
 	// ExtCommit purge so readers can tell provisional versions from
 	// externally-committed ones.
 	for _, k := range pt.localWKey {
-		if !nd.store.SQWaitDrain(k, m.Txn, sid, nd.cfg.DrainTimeout) {
+		ok, g := nd.store.SQWaitDrainReport(k, m.Txn, sid, nd.cfg.DrainTimeout)
+		if !ok {
 			nd.stats.DrainTimeouts.Add(1)
 		}
+		if g {
+			gated = true
+		}
 	}
+	return gated
 }
 
 // handleExtCommit runs one phase of the staged W-entry cleanup. The drain
@@ -511,6 +548,7 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 			// instead of blanket-excluding the writer (SQAwaitAnnounce).
 			nd.store.SQMarkDrained(k, m.Txn)
 		}
+		nd.stats.CommitRounds.DrainRounds.Add(1)
 		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn, Ext: nd.log.AppliedSelf()})
 		return
 	}
@@ -575,13 +613,7 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 		}
 		return
 	}
-	st.mu.Lock()
-	ps := st.parked[m.Txn]
-	delete(st.parked, m.Txn)
-	st.mu.Unlock()
-	for _, k := range ps.keys {
-		nd.store.SQRemoveWrite(k, m.Txn)
-	}
+	nd.purgeParked(m.Txn)
 }
 
 // handleWaitExternal blocks until the named locally-coordinated transaction

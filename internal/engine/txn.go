@@ -169,12 +169,7 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 	t.rs[key] = readVal{val: resp.Val, exists: resp.Exists, writer: resp.Writer}
 	t.rsOrder = append(t.rsOrder, key)
 	for _, e := range resp.Propagated {
-		if t.propagated == nil {
-			t.propagated = make(map[wire.TxnID]wire.SQEntry)
-		}
-		if prev, ok := t.propagated[e.Txn]; !ok || e.SID < prev.SID {
-			t.propagated[e.Txn] = e
-		}
+		t.addPropagated(e)
 	}
 	if !resp.PendingWriter.IsZero() {
 		// Completion-delay obligation: we observed a provisional version,
@@ -236,6 +231,18 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 		}
 	}
 	return resp.Val, resp.Exists, nil
+}
+
+// addPropagated records one snapshot-queue entry returned by an update
+// read (a transitive anti-dependency), deduplicated by transaction with
+// the smallest insertion-snapshot retained.
+func (t *Txn) addPropagated(e wire.SQEntry) {
+	if t.propagated == nil {
+		t.propagated = make(map[wire.TxnID]wire.SQEntry)
+	}
+	if prev, ok := t.propagated[e.Txn]; !ok || e.SID < prev.SID {
+		t.propagated[e.Txn] = e
+	}
 }
 
 // waitPendingWriters delays this transaction's completion until every
@@ -324,54 +331,105 @@ func (t *Txn) readRemote(key string) (*wire.ReadReturn, wire.NodeID, error) {
 		return rr, targets[0], nil
 	}
 
-	type answer struct {
-		resp *wire.ReadReturn
-		from wire.NodeID
-		err  error
+	if t.readOnly {
+		// Read-only reads keep the full fan-out: besides the fastest-reply
+		// latency and the informed merge, every contacted replica inserts
+		// the reader's R entry, and that redundancy is load-bearing — a
+		// reader that excludes a freezing writer at one replica gates the
+		// writer's drain acks at *every* replica it visited, which is what
+		// keeps blanket exclusions temporally separated from the freeze
+		// issue (docs/CONSISTENCY.md §5). A single-replica read-only read
+		// measurably widens the residual freeze-skew window.
+		return t.readMerge(ctx, key, req, targets)
 	}
-	ch := make(chan answer, len(targets))
+
+	// Update reads go to a single replica — the local one when it
+	// replicates the key (zero network hops), otherwise a
+	// transaction-spread choice. They insert no snapshot-queue entries, so
+	// none of the read-only redundancy arguments apply, and because
+	// read-only reads park their entries at every replica, any single
+	// replica's PropagatedSet is complete: one server visit collects the
+	// full anti-dependency set (§III-C). Staleness is caught by prepare
+	// validation exactly as under fastest-reply adoption. Only an
+	// unreachable preferred replica falls back to the fan-out.
+	preferred := targets[int(t.id.Seq)%len(targets)]
 	for _, to := range targets {
-		to := to
-		t.nd.wg.Add(1)
-		go func() {
-			defer t.nd.wg.Done()
-			resp, err := t.nd.rpc.Call(ctx, to, req)
-			if err != nil {
-				ch <- answer{err: err, from: to}
-				return
-			}
-			rr, ok := resp.(*wire.ReadReturn)
-			if !ok {
-				ch <- answer{err: fmt.Errorf("engine: unexpected read response %T", resp), from: to}
-				return
-			}
-			ch <- answer{resp: rr, from: to}
-		}()
+		if to == t.nd.id {
+			preferred = to
+			break
+		}
 	}
-	// Fastest-reply-wins (§V) — with a deterministic merge when replicas can
-	// disagree. A reply that excluded nobody can never conflict with another
-	// replica's verdict, so the first such reply is adopted immediately: the
-	// uncontended hot path pays nothing. A reply that excluded a writer may
-	// have raced that writer's freeze broadcast (the replica had not yet
-	// learned the coordinator-assigned stamp another replica already
-	// recorded); adopting it over a reply that *served* that writer's
-	// version would let the fan-out race pick the less-informed verdict —
-	// the last replica-dependent input to the snapshot decision. So when
-	// the fastest reply carries exclusions, wait for the remaining replies
-	// (already in flight) and drop any reply whose excluded writer another
-	// reply observed: inclusion of a queued writer is only possible once
-	// its freeze is announced, so the including replica is strictly better
-	// informed. Every reply is individually legal to adopt; the merge only
-	// changes which one wins. The straggler wait is bounded by MergeWait —
-	// siblings are already in flight, so only a down or badly delayed
-	// replica can make the bound matter, and then the best reply received
-	// so far is adopted rather than stalling the read.
+	resp, lastErr := t.nd.rpc.Call(ctx, preferred, req)
+	if lastErr == nil {
+		rr, ok := resp.(*wire.ReadReturn)
+		if !ok {
+			return nil, 0, fmt.Errorf("engine: unexpected read response %T", resp)
+		}
+		return rr, preferred, nil
+	}
+	ch := make(chan readAnswer, len(targets))
+	remaining := t.readFanout(ctx, req, targets, preferred, ch)
+	for ; remaining > 0; remaining-- {
+		a := <-ch
+		if a.err != nil {
+			lastErr = a.err
+			continue
+		}
+		return a.resp, a.from, nil
+	}
+	return nil, 0, fmt.Errorf("%w: read %q: %v", kv.ErrUnavailable, key, lastErr)
+}
+
+// readFanout issues req to every target except skip (-1 = none), on warm
+// pooled callers (the self replica, when present, runs inline — its
+// dispatch pays no simulated latency, so it is the presumptive fastest
+// reply). It returns the number of answers that will arrive on ch.
+func (t *Txn) readFanout(ctx context.Context, req *wire.ReadRequest, targets []wire.NodeID, skip wire.NodeID, ch chan readAnswer) int {
+	n := 0
+	selfTarget := false
+	for _, to := range targets {
+		if to == skip {
+			continue
+		}
+		n++
+		if to == t.nd.id {
+			selfTarget = true
+			continue
+		}
+		t.nd.wg.Add(1)
+		t.nd.callers.submit(callTask{ctx: ctx, nd: t.nd, to: to, msg: req, rch: ch})
+	}
+	if selfTarget {
+		t.nd.wg.Add(1)
+		callTask{ctx: ctx, nd: t.nd, to: t.nd.id, msg: req, rch: ch}.run()
+	}
+	return n
+}
+
+// readMerge runs a fan-out read-only read: every replica is consulted,
+// the fastest exclusion-free reply is adopted immediately, and when
+// replies carry exclusions the informed merge picks the winner. A reply
+// that excluded a writer may have raced that writer's freeze broadcast
+// (the replica had not yet learned the coordinator-assigned stamp another
+// replica already recorded); adopting it over a reply that *served* that
+// writer's version would pick the less-informed verdict — the last
+// replica-dependent input to the snapshot decision. So any reply whose
+// excluded writer another reply observed is dropped: inclusion of a
+// queued writer is only possible once its freeze is announced, so the
+// including replica is strictly better informed. The straggler wait is
+// bounded by MergeWait: only a down or badly delayed replica can make the
+// bound matter, and then the best reply received so far is adopted rather
+// than stalling the read.
+func (t *Txn) readMerge(ctx context.Context, key string, req *wire.ReadRequest, targets []wire.NodeID) (*wire.ReadReturn, wire.NodeID, error) {
+	ch := make(chan readAnswer, len(targets))
+	remaining := t.readFanout(ctx, req, targets, -1, ch)
+
 	var lastErr error
-	var withEx []answer
+	var withEx []readAnswer
 	var mergeTimer *time.Timer
 collect:
-	for range targets {
-		var a answer
+	for ; remaining > 0; remaining-- {
+		var a readAnswer
 		if mergeTimer == nil {
 			a = <-ch
 		} else {
@@ -531,7 +589,12 @@ func (t *Txn) commitUpdate() error {
 		// Blind writer that never read: bound is the local snapshot.
 		t.vc = nd.log.SnapshotVC()
 	}
+	sc := nd.getCommitScratch()
+	defer nd.putCommitScratch(sc)
 
+	// Message payload slices are freshly allocated, never pooled: over the
+	// in-process transport they are shared by reference with handler
+	// goroutines that can outlive a timed-out broadcast.
 	writes := make([]wire.KV, 0, len(t.wsOrder))
 	for _, k := range t.wsOrder {
 		writes = append(writes, wire.KV{Key: k, Val: t.ws[k]})
@@ -540,13 +603,19 @@ func (t *Txn) commitUpdate() error {
 	if !containsNode(participants, nd.id) {
 		participants = append(participants, nd.id)
 	}
-	readFrom := make([]wire.TxnID, len(t.rsOrder))
-	for i, k := range t.rsOrder {
-		readFrom[i] = t.rs[k].writer
+	var readFrom []wire.TxnID
+	if len(t.rsOrder) > 0 {
+		readFrom = make([]wire.TxnID, len(t.rsOrder))
+		for i, k := range t.rsOrder {
+			readFrom[i] = t.rs[k].writer
+		}
 	}
-	deps := make([]wire.TxnID, 0, len(t.deps))
-	for d := range t.deps {
-		deps = append(deps, d)
+	var deps []wire.TxnID
+	if len(t.deps) > 0 {
+		deps = make([]wire.TxnID, 0, len(t.deps))
+		for d := range t.deps {
+			deps = append(deps, d)
+		}
 	}
 	prep := &wire.Prepare{
 		Txn: t.id, VC: t.vc, ReadKeys: t.rsOrder, Writes: writes,
@@ -555,7 +624,7 @@ func (t *Txn) commitUpdate() error {
 
 	// --- prepare phase ---
 	ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
-	votes := t.broadcast(ctx, participants, prep)
+	votes := t.broadcast(ctx, participants, prep, sc)
 	cancel()
 
 	commitVC := t.vc.Clone()
@@ -570,7 +639,7 @@ func (t *Txn) commitUpdate() error {
 	}
 
 	if !outcome {
-		t.finishAbort(participants)
+		t.finishAbort(participants, sc)
 		return kv.ErrAborted
 	}
 
@@ -618,40 +687,76 @@ func (t *Txn) commitUpdate() error {
 	selfStripe.inflight[t.id] = extDone
 	selfStripe.mu.Unlock()
 
-	// --- decide phase; acks arrive after each participant's drain ---
+	// --- decide phase; the drain stage rides the same round (Decide.Drain)
+	// so its acks arrive after each write replica's pre-commit drain and
+	// carry that replica's drain-stage frontier: the vote → drain → freeze
+	// chain costs two acked round trips instead of three.
 	dctx, dcancel := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
 	defer dcancel()
-	decide := &wire.Decide{Txn: t.id, VC: commitVC, Commit: true, Propagated: prop}
-	acks := t.broadcast(dctx, participants, decide)
-	for _, a := range acks {
+	decide := &wire.Decide{Txn: t.id, VC: commitVC, Commit: true, Propagated: prop, Drain: true}
+	acks := t.broadcast(dctx, participants, decide, sc)
+
+	// External commit, staged cleanup. Join the drain-stage frontiers the
+	// decide acks report with the commit clock into the freeze vector —
+	// computed once, here, after every write replica's drain stage
+	// completed (the barrier the standalone drain round used to provide),
+	// so every replica stamps the same, replica-independent
+	// external-commit stamp.
+	freezeVC := commitVC.Clone()
+	retighten := false
+	for i, a := range acks {
 		if a == nil {
 			nd.stats.DrainTimeouts.Add(1)
+			retighten = true // unknown drain state at that participant
+			continue
+		}
+		ack, ok := a.(*wire.DecideAck)
+		if !ok || ack.Ext == 0 {
+			continue // read-only participant, or a duplicate-decide ack
+		}
+		if ack.Gated {
+			retighten = true // its queue was contended during the drain
+		}
+		if w := participants[i]; containsNode(writeNodes, w) && ack.Ext > freezeVC[w] {
+			freezeVC[w] = ack.Ext
 		}
 	}
 
 	// Our completion must follow that of any parked writer we read from.
 	t.waitPendingWriters()
 
-	// External commit, staged cleanup: drain the snapshot-queues everywhere
-	// (acked) so the subsequent freeze round finds no backlog; join the
-	// drain-stage frontiers the acks report with the commit clock into the
-	// freeze vector — computed once, here, so every replica stamps the
-	// same, replica-independent external-commit stamp; then freeze the
-	// parked W entries everywhere (acked) so no transaction starting after
-	// our client reply can exclude us; then release subscribers and reply;
-	// the purge is asynchronous.
-	dctx2, dcancel2 := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
-	drainAcks := t.broadcast(dctx2, writeNodes, &wire.ExtCommit{Txn: t.id, Drain: true})
-	dcancel2()
-	freezeVC := commitVC.Clone()
-	for i, a := range drainAcks {
-		if ack, ok := a.(*wire.DecideAck); ok && ack.Ext > freezeVC[writeNodes[i]] {
-			freezeVC[writeNodes[i]] = ack.Ext
+	// Adaptive re-tightening: the piggybacked drain barrier is trusted
+	// only when it is provably fresh — no replica's drain blocked, and the
+	// earliest piggybacked ack (the participant with the widest gap) is
+	// still within the skew budget of this freeze issue; pending-writer
+	// waits and decide-round stragglers are caught by the same elapsed
+	// check. Otherwise readers had time to slip blanket exclusions in
+	// behind the piggybacked acks, so the standalone drain round
+	// re-establishes the barrier (and re-samples the frontiers) within one
+	// message delay of the freeze, exactly as before the pipelining — the
+	// temporal-separation argument of docs/CONSISTENCY.md §5 stays intact
+	// on the contended path while the uncontended path keeps the two-round
+	// commit.
+	stale := sc.firstAck.IsZero() || time.Since(sc.firstAck) > nd.cfg.PiggybackSkewBudget
+	if retighten || stale {
+		dctx2, dcancel2 := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
+		drainAcks := t.broadcast(dctx2, writeNodes, &wire.ExtCommit{Txn: t.id, Drain: true}, sc)
+		dcancel2()
+		for i, a := range drainAcks {
+			if ack, ok := a.(*wire.DecideAck); ok && ack.Ext > freezeVC[writeNodes[i]] {
+				freezeVC[writeNodes[i]] = ack.Ext
+			}
 		}
 	}
-	ectx, ecancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
-	defer ecancel()
-	t.broadcast(ectx, writeNodes, &wire.ExtCommit{Txn: t.id, VC: freezeVC})
+
+	// Freeze the parked W entries everywhere (acked, pre-client-reply) so
+	// no transaction starting after our reply can exclude us. The freeze
+	// rides the per-peer commit queue: freezes of concurrent commits to the
+	// same replica coalesce into one batched envelope the replica applies
+	// with a single striped pass and clock republish (group commit).
+	waiters := nd.enqueueFreezes(t.id, writeNodes, freezeVC, sc.waiters[:0])
+	nd.awaitFreezes(waiters)
+	sc.waiters = waiters
 	// The external-commit point: transactions beginning on this node after
 	// the client reply below must serialize after us, so our commit clock —
 	// raised to each write replica's external-commit stamp, i.e. the
@@ -664,13 +769,9 @@ func (t *Txn) commitUpdate() error {
 	delete(selfStripe.inflight, t.id)
 	selfStripe.mu.Unlock()
 	close(extDone)
-	for _, w := range writeNodes {
-		if w == nd.id {
-			nd.handleExtCommit(nd.id, 0, &wire.ExtCommit{Txn: t.id, Purge: true})
-			continue
-		}
-		_ = nd.rpc.Notify(w, &wire.ExtCommit{Txn: t.id, Purge: true})
-	}
+	// Purge is asynchronous, after the reply; it rides the same queue, so
+	// it can never overtake this transaction's own freeze.
+	nd.enqueuePurges(t.id, writeNodes)
 
 	now := time.Now()
 	nd.stats.Commits.Add(1)
@@ -684,33 +785,100 @@ func (t *Txn) commitUpdate() error {
 	return nil
 }
 
-func (t *Txn) finishAbort(participants []wire.NodeID) {
+func (t *Txn) finishAbort(participants []wire.NodeID, sc *commitScratch) {
 	nd := t.nd
 	ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
 	defer cancel()
-	t.broadcast(ctx, participants, &wire.Decide{Txn: t.id, Commit: false})
+	t.broadcast(ctx, participants, &wire.Decide{Txn: t.id, Commit: false}, sc)
 	nd.stats.Aborts.Add(1)
 }
 
-// broadcast sends msg to every participant concurrently and returns the
-// responses in participant order (nil for failures).
-func (t *Txn) broadcast(ctx context.Context, participants []wire.NodeID, msg wire.Msg) []wire.Msg {
-	out := make([]wire.Msg, len(participants))
-	done := make(chan int, len(participants))
-	for i, to := range participants {
-		i, to := i, to
-		t.nd.wg.Add(1)
-		go func() {
-			defer t.nd.wg.Done()
-			resp, err := t.nd.rpc.Call(ctx, to, msg)
-			if err == nil {
-				out[i] = resp
-			}
-			done <- i
-		}()
+// commitScratch is the pooled coordinator-side scratch of one update
+// commit: the broadcast result array and completion channel (drained fully
+// by every broadcast, so they are reusable) and the freeze-waiter slice.
+// firstAck records when the latest broadcast observed its first response —
+// the participant with the widest ack→freeze gap. Message payloads are
+// never pooled — see commitUpdate.
+type commitScratch struct {
+	out      []wire.Msg
+	done     chan ackEvent
+	waiters  []chan struct{}
+	firstAck time.Time
+}
+
+// ackEvent timestamps one broadcast leg's completion at arrival, so the
+// coordinator can bound the ack→freeze gap of the earliest-acking
+// participant without being skewed by its own inline leg's duration.
+type ackEvent struct {
+	i  int
+	at time.Time
+}
+
+// newCommitScratch sizes the scratch for a cluster of n nodes: no
+// participant set or write-replica set can exceed n.
+func newCommitScratch(n int) *commitScratch {
+	return &commitScratch{
+		out:     make([]wire.Msg, 0, n),
+		done:    make(chan ackEvent, n),
+		waiters: make([]chan struct{}, 0, n),
 	}
+}
+
+func (nd *Node) getCommitScratch() *commitScratch {
+	return nd.commitScratch.Get().(*commitScratch)
+}
+
+func (nd *Node) putCommitScratch(sc *commitScratch) {
+	for i := range sc.waiters {
+		sc.waiters[i] = nil
+	}
+	sc.waiters = sc.waiters[:0]
+	nd.commitScratch.Put(sc)
+}
+
+// broadcast sends msg to every participant concurrently and returns the
+// responses in participant order (nil for failures). The result slice is
+// scratch owned by sc: it is only valid until the next broadcast with the
+// same scratch.
+func (t *Txn) broadcast(ctx context.Context, participants []wire.NodeID, msg wire.Msg, sc *commitScratch) []wire.Msg {
+	out := sc.out[:0]
 	for range participants {
-		<-done
+		out = append(out, nil)
+	}
+	sc.out = out
+	done := sc.done
+	// The self leg runs inline on this goroutine: a self-send dispatches
+	// directly (no pipe, no latency), so there is nothing to overlap, and
+	// the spawn plus its stack growth is the single biggest per-leg cost
+	// on small machines.
+	remote := 0
+	self := false
+	for i, to := range participants {
+		if to == t.nd.id {
+			continue
+		}
+		remote++
+		t.nd.wg.Add(1)
+		t.nd.callers.submit(callTask{ctx: ctx, nd: t.nd, to: to, msg: msg, out: out, i: i, done: done})
+	}
+	for i, to := range participants {
+		if to != t.nd.id {
+			continue
+		}
+		self = true
+		if resp, err := t.nd.rpc.Call(ctx, to, msg); err == nil {
+			out[i] = resp
+		}
+	}
+	sc.firstAck = time.Time{}
+	if self {
+		sc.firstAck = time.Now()
+	}
+	for ; remote > 0; remote-- {
+		ev := <-done
+		if sc.firstAck.IsZero() || ev.at.Before(sc.firstAck) {
+			sc.firstAck = ev.at
+		}
 	}
 	return out
 }

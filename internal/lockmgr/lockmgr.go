@@ -7,6 +7,12 @@
 // already holds an exclusive lock on a key is granted the shared lock on the
 // same key for free (a transaction that both reads and writes a key locks it
 // once, exclusively).
+//
+// The table is built for the uncontended case: acquisition computes its
+// deadline lazily (no clock read unless it actually blocks), the write-side
+// key canonicalization runs in pooled scratch (no per-call allocation), and
+// releases skip the condition-variable broadcast entirely while no acquirer
+// is waiting on the shard (per-shard waiter count).
 package lockmgr
 
 import (
@@ -19,7 +25,8 @@ import (
 
 // Table is a sharded lock table. The zero value is not usable; call New.
 type Table struct {
-	shards []shard
+	shards  []shard
+	scratch sync.Pool // *acquireScratch
 }
 
 const numShards = 64
@@ -28,7 +35,18 @@ type shard struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	locks map[string]*lockState
+	// waiters counts acquirers parked on cond. Releases broadcast only
+	// when it is non-zero, so the uncontended unlock path never pays the
+	// wakeup machinery.
+	waiters int
+	// free recycles lockStates (with their sharers maps) between the
+	// release that empties a key and the next acquisition: the uncontended
+	// lock/unlock cycle allocates nothing.
+	free []*lockState
 }
+
+// maxFreeLockStates caps the per-shard lockState free list.
+const maxFreeLockStates = 64
 
 type lockState struct {
 	// owner is the exclusive holder, zero if none.
@@ -36,6 +54,12 @@ type lockState struct {
 	// sharers holds the shared owners (absent when owner is set, except
 	// transiently never: exclusive excludes shared).
 	sharers map[wire.TxnID]struct{}
+}
+
+// acquireScratch is the pooled per-call scratch of AcquireAll: the sorted,
+// deduplicated key lists and the rollback bookkeeping.
+type acquireScratch struct {
+	wk, rk, taken, sharedTaken []string
 }
 
 // New builds an empty lock table.
@@ -46,6 +70,7 @@ func New() *Table {
 		s.locks = make(map[string]*lockState)
 		s.cond = sync.NewCond(&s.mu)
 	}
+	t.scratch.New = func() any { return &acquireScratch{} }
 	return t
 }
 
@@ -73,62 +98,112 @@ func fnv32(s string) uint32 {
 // distributed deadlock. On failure every lock taken by this call is
 // released and AcquireAll returns false.
 func (t *Table) AcquireAll(txn wire.TxnID, writeKeys, readKeys []string, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	// The overall deadline is computed lazily, on the first acquisition
+	// that actually blocks: the uncontended path performs no clock read.
+	var deadline time.Time
 
-	wk := sortedUnique(writeKeys)
-	var taken []string // exclusive keys acquired so far
-	for _, k := range wk {
-		if !t.acquire(txn, k, true, deadline) {
-			for _, u := range taken {
+	// Single-exclusive-key fast path: the dominant transaction shape
+	// (every read key re-locked by its write lock) needs no ordering, no
+	// canonicalization and no rollback bookkeeping.
+	if len(writeKeys) == 1 && readsCovered(readKeys, writeKeys) {
+		return t.acquire(txn, writeKeys[0], true, timeout, &deadline)
+	}
+	if len(writeKeys) == 0 && len(readKeys) == 1 {
+		return t.acquire(txn, readKeys[0], false, timeout, &deadline)
+	}
+
+	sc := t.scratch.Get().(*acquireScratch)
+	defer t.putScratch(sc)
+
+	sc.wk = sortedUniqueInto(sc.wk[:0], writeKeys)
+	for _, k := range sc.wk {
+		if !t.acquire(txn, k, true, timeout, &deadline) {
+			for _, u := range sc.taken {
 				t.release(txn, u, true)
 			}
 			return false
 		}
-		taken = append(taken, k)
+		sc.taken = append(sc.taken, k)
 	}
 
-	isWrite := make(map[string]struct{}, len(wk))
-	for _, k := range wk {
-		isWrite[k] = struct{}{}
-	}
-	var sharedTaken []string
-	for _, k := range sortedUnique(readKeys) {
-		if _, alsoWritten := isWrite[k]; alsoWritten {
+	sc.rk = sortedUniqueInto(sc.rk[:0], readKeys)
+	for _, k := range sc.rk {
+		if containsSorted(sc.wk, k) {
 			continue // exclusive subsumes shared for the same txn
 		}
-		if !t.acquire(txn, k, false, deadline) {
-			for _, u := range sharedTaken {
+		if !t.acquire(txn, k, false, timeout, &deadline) {
+			for _, u := range sc.sharedTaken {
 				t.release(txn, u, false)
 			}
-			for _, u := range taken {
+			for _, u := range sc.taken {
 				t.release(txn, u, true)
 			}
 			return false
 		}
-		sharedTaken = append(sharedTaken, k)
+		sc.sharedTaken = append(sc.sharedTaken, k)
 	}
 	return true
+}
+
+// putScratch clears and returns sc to the pool.
+func (t *Table) putScratch(sc *acquireScratch) {
+	sc.wk, sc.rk = sc.wk[:0], sc.rk[:0]
+	sc.taken, sc.sharedTaken = sc.taken[:0], sc.sharedTaken[:0]
+	t.scratch.Put(sc)
+}
+
+// readsCovered reports whether every read key also appears among the write
+// keys (small-list linear scan; the caller's lists are transaction key
+// sets, a handful of entries).
+func readsCovered(readKeys, writeKeys []string) bool {
+	for _, r := range readKeys {
+		found := false
+		for _, w := range writeKeys {
+			if r == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// containsSorted reports whether sorted slice keys contains k.
+func containsSorted(keys []string, k string) bool {
+	i := sort.SearchStrings(keys, k)
+	return i < len(keys) && keys[i] == k
 }
 
 // ReleaseAll releases txn's exclusive locks on writeKeys and shared locks
 // on readKeys. Releasing a lock not held is a no-op, so callers may release
 // unconditionally on abort paths.
 func (t *Table) ReleaseAll(txn wire.TxnID, writeKeys, readKeys []string) {
-	seen := make(map[string]struct{}, len(writeKeys))
-	for _, k := range writeKeys {
-		if _, dup := seen[k]; dup {
+	for i, k := range writeKeys {
+		if containsPrefix(writeKeys, k, i) {
 			continue
 		}
-		seen[k] = struct{}{}
 		t.release(txn, k, true)
 	}
-	for _, k := range readKeys {
-		if _, dup := seen[k]; dup {
+	for i, k := range readKeys {
+		if containsPrefix(readKeys, k, i) || containsPrefix(writeKeys, k, len(writeKeys)) {
 			continue
 		}
-		seen[k] = struct{}{}
 		t.release(txn, k, false)
 	}
+}
+
+// containsPrefix reports whether keys[:n] contains k — the allocation-free
+// duplicate guard for ReleaseAll's small lists.
+func containsPrefix(keys []string, k string, n int) bool {
+	for _, u := range keys[:n] {
+		if u == k {
+			return true
+		}
+	}
+	return false
 }
 
 // ReleaseShared releases only txn's shared locks on readKeys (Algorithm 2,
@@ -139,14 +214,23 @@ func (t *Table) ReleaseShared(txn wire.TxnID, readKeys []string) {
 	}
 }
 
-func (t *Table) acquire(txn wire.TxnID, key string, exclusive bool, deadline time.Time) bool {
+// acquire grants txn the requested lock on key or waits. deadline is the
+// caller's shared overall bound, set from timeout the first time any
+// acquisition of the call blocks.
+func (t *Table) acquire(txn wire.TxnID, key string, exclusive bool, timeout time.Duration, deadline *time.Time) bool {
 	s := t.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		ls := s.locks[key]
 		if ls == nil {
-			ls = &lockState{}
+			if n := len(s.free); n > 0 {
+				ls = s.free[n-1]
+				s.free[n-1] = nil
+				s.free = s.free[:n-1]
+			} else {
+				ls = &lockState{}
+			}
 			s.locks[key] = ls
 		}
 		if exclusive {
@@ -170,11 +254,16 @@ func (t *Table) acquire(txn wire.TxnID, key string, exclusive bool, deadline tim
 				return true
 			}
 		}
-		wait := time.Until(deadline)
+		if deadline.IsZero() {
+			*deadline = time.Now().Add(timeout)
+		}
+		wait := time.Until(*deadline)
 		if wait <= 0 {
 			return false
 		}
+		s.waiters++
 		waitCond(s.cond, wait)
+		s.waiters--
 	}
 }
 
@@ -198,8 +287,11 @@ func (t *Table) release(txn wire.TxnID, key string, exclusive bool) {
 	}
 	if ls.owner.IsZero() && len(ls.sharers) == 0 {
 		delete(s.locks, key)
+		if len(s.free) < maxFreeLockStates {
+			s.free = append(s.free, ls) // sharers map kept, already empty
+		}
 	}
-	if changed {
+	if changed && s.waiters > 0 {
 		s.cond.Broadcast()
 	}
 }
@@ -221,12 +313,15 @@ func waitCond(cond *sync.Cond, d time.Duration) {
 	timer.Stop()
 }
 
-func sortedUnique(keys []string) []string {
+// sortedUniqueInto appends the sorted, deduplicated contents of keys to dst
+// (normally pooled scratch with spare capacity) and returns it.
+func sortedUniqueInto(dst, keys []string) []string {
 	if len(keys) == 0 {
-		return nil
+		return dst
 	}
-	out := make([]string, len(keys))
-	copy(out, keys)
+	base := len(dst)
+	dst = append(dst, keys...)
+	out := dst[base:]
 	sort.Strings(out)
 	j := 0
 	for i := 1; i < len(out); i++ {
@@ -235,5 +330,5 @@ func sortedUnique(keys []string) []string {
 			out[j] = out[i]
 		}
 	}
-	return out[:j+1]
+	return dst[:base+j+1]
 }

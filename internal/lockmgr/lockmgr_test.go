@@ -207,17 +207,23 @@ func TestContendedProgress(t *testing.T) {
 }
 
 func TestSortedUnique(t *testing.T) {
-	got := sortedUnique([]string{"c", "a", "b", "a", "c"})
+	got := sortedUniqueInto(nil, []string{"c", "a", "b", "a", "c"})
 	want := []string{"a", "b", "c"}
 	if len(got) != len(want) {
-		t.Fatalf("sortedUnique = %v", got)
+		t.Fatalf("sortedUniqueInto = %v", got)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("sortedUnique = %v, want %v", got, want)
+			t.Fatalf("sortedUniqueInto = %v, want %v", got, want)
 		}
 	}
-	if sortedUnique(nil) != nil {
-		t.Fatal("sortedUnique(nil) should be nil")
+	if got := sortedUniqueInto(nil, nil); got != nil {
+		t.Fatalf("sortedUniqueInto(nil, nil) = %v, want nil", got)
+	}
+	// Scratch reuse: results append after the existing prefix.
+	scratch := make([]string, 0, 8)
+	first := sortedUniqueInto(scratch, []string{"b", "a"})
+	if len(first) != 2 || first[0] != "a" || first[1] != "b" {
+		t.Fatalf("sortedUniqueInto into scratch = %v", first)
 	}
 }

@@ -291,6 +291,11 @@ type Engine struct {
 	DrainTimeouts atomic.Uint64 // pre-commit waits that hit the safety cap
 	ExternalWaits atomic.Uint64 // completions delayed behind a parked writer
 
+	// CommitRounds breaks down the update-commit round structure: how many
+	// drain stages rode a decide ack vs paid a standalone round trip, and
+	// how the per-peer commit queue batched the freeze and purge traffic.
+	CommitRounds CommitRounds
+
 	// Latency (begin → external commit), the paper's Figure 4(b).
 	CommitLatency Histogram
 	// Begin → internal commit (Figure 5's lower bar).
@@ -304,6 +309,60 @@ type Engine struct {
 	// Contention holds the node's lock/wait contention counters, shared
 	// with the commitlog waiter registry and the mvstore drain path.
 	Contention Contention
+}
+
+// CommitRounds counts the acked round structure of the update-commit path.
+// DrainsPiggybacked/DrainRounds are replica-side counts of drain stages
+// served inside a decide ack vs by a standalone ExtCommit drain round;
+// FreezeBatches/FreezeBatchTxns/PurgeBatchTxns count the replica-side
+// ExtBatch group-commit envelopes and the freezes/purges they carried
+// (txns per batch is the group-commit amortization factor).
+type CommitRounds struct {
+	DrainsPiggybacked atomic.Uint64
+	DrainRounds       atomic.Uint64
+	FreezeBatches     atomic.Uint64
+	FreezeBatchTxns   atomic.Uint64
+	PurgeBatchTxns    atomic.Uint64
+}
+
+// Merge folds other's counters into c.
+func (c *CommitRounds) Merge(other *CommitRounds) {
+	c.DrainsPiggybacked.Add(other.DrainsPiggybacked.Load())
+	c.DrainRounds.Add(other.DrainRounds.Load())
+	c.FreezeBatches.Add(other.FreezeBatches.Load())
+	c.FreezeBatchTxns.Add(other.FreezeBatchTxns.Load())
+	c.PurgeBatchTxns.Add(other.PurgeBatchTxns.Load())
+}
+
+// CommitRoundsSnapshot is a point-in-time copy of the commit-round counters.
+type CommitRoundsSnapshot struct {
+	DrainsPiggybacked uint64  `json:"drains_piggybacked"`
+	DrainRounds       uint64  `json:"drain_rounds_separate"`
+	FreezeBatches     uint64  `json:"freeze_batches"`
+	FreezeBatchTxns   uint64  `json:"freeze_batch_txns"`
+	FreezesPerBatch   float64 `json:"freezes_per_batch"`
+	PurgeBatchTxns    uint64  `json:"purge_batch_txns"`
+}
+
+// Snapshot copies the counters into a plain struct.
+func (c *CommitRounds) Snapshot() CommitRoundsSnapshot {
+	s := CommitRoundsSnapshot{
+		DrainsPiggybacked: c.DrainsPiggybacked.Load(),
+		DrainRounds:       c.DrainRounds.Load(),
+		FreezeBatches:     c.FreezeBatches.Load(),
+		FreezeBatchTxns:   c.FreezeBatchTxns.Load(),
+		PurgeBatchTxns:    c.PurgeBatchTxns.Load(),
+	}
+	if s.FreezeBatches > 0 {
+		s.FreezesPerBatch = float64(s.FreezeBatchTxns) / float64(s.FreezeBatches)
+	}
+	return s
+}
+
+// String renders the snapshot compactly.
+func (s CommitRoundsSnapshot) String() string {
+	return fmt.Sprintf("drainsPiggy=%d drainRounds=%d freezeBatches=%d (%.2f txn/batch) purges=%d",
+		s.DrainsPiggybacked, s.DrainRounds, s.FreezeBatches, s.FreezesPerBatch, s.PurgeBatchTxns)
 }
 
 // AbortRate returns aborts / (commits + aborts) for update transactions.

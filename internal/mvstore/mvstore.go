@@ -618,17 +618,28 @@ func (s *Store) SQRemoveWrite(key string, txn wire.TxnID) {
 // entries (Algorithm 4 line 3), or until the timeout elapses. It reports
 // whether the drain completed.
 func (s *Store) SQWaitDrain(key string, txn wire.TxnID, sid uint64, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	ok, _ := s.SQWaitDrainReport(key, txn, sid, timeout)
+	return ok
+}
+
+// SQWaitDrainReport is SQWaitDrain, additionally reporting whether the
+// wait actually blocked (the queue held a gating entry at least once).
+// The engine's pipelined commit path uses the signal to decide whether a
+// piggybacked drain stage is trustworthy or a standalone drain round must
+// re-tighten the freeze gap (docs/CONSISTENCY.md §5).
+func (s *Store) SQWaitDrainReport(key string, txn wire.TxnID, sid uint64, timeout time.Duration) (ok, gated bool) {
+	var deadline time.Time
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	blocked := false
 	for {
 		if !s.blockedLocked(sh, key, txn, sid) {
-			return true
+			return true, blocked
 		}
 		if !blocked {
 			blocked = true
+			deadline = time.Now().Add(timeout)
 			if s.cstats != nil {
 				s.cstats.SQWaits.Add(1)
 			}
@@ -638,7 +649,7 @@ func (s *Store) SQWaitDrain(key string, txn wire.TxnID, sid uint64, timeout time
 			if s.cstats != nil {
 				s.cstats.SQWaitTimeouts.Add(1)
 			}
-			return false
+			return false, blocked
 		}
 		timer := time.AfterFunc(remain, sh.cond.Broadcast)
 		sh.cond.Wait()
@@ -872,6 +883,19 @@ func (s *Store) SQWriteState(key string, txn wire.TxnID) (stamp uint64, flagged,
 		}
 	}
 	return 0, false, false
+}
+
+// SQHasReadEntries reports whether key's snapshot-queue currently holds
+// any read-only entry. The pipelined commit path uses it as a contention
+// signal: active readers around a written key mean a piggybacked drain
+// barrier may be stale by freeze time, so the coordinator re-tightens with
+// a standalone drain round (docs/CONSISTENCY.md §5).
+func (s *Store) SQHasReadEntries(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	return ks != nil && len(ks.sqR) > 0
 }
 
 // SQHasWriteEntry reports whether txn currently has a W entry in key's

@@ -61,35 +61,54 @@ func (r *RPC) handle(env wire.Envelope) {
 	r.srv(env.From, env.RID, env.Msg)
 }
 
+// respChans pools the per-call response channels: a call that completes
+// (or deregisters before any reply was matched) returns its channel for
+// reuse, so the RPC hot path allocates nothing per call.
+var respChans = sync.Pool{New: func() any { return make(chan wire.Msg, 1) }}
+
 // Call sends msg to node to and waits for the correlated response or ctx
 // expiry. A response arriving after expiry is dropped.
 func (r *RPC) Call(ctx context.Context, to wire.NodeID, msg wire.Msg) (wire.Msg, error) {
 	rid := r.nextRID.Add(1)
-	ch := make(chan wire.Msg, 1)
+	ch := respChans.Get().(chan wire.Msg)
 
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
+		respChans.Put(ch)
 		return nil, ErrClosed
 	}
 	r.pending[rid] = ch
 	r.mu.Unlock()
 
 	if err := r.ep.Send(to, wire.Envelope{RID: rid, Msg: msg}); err != nil {
-		r.mu.Lock()
-		delete(r.pending, rid)
-		r.mu.Unlock()
+		r.deregister(rid)
 		return nil, err
 	}
 
 	select {
 	case resp := <-ch:
+		// handle deregistered rid before sending, so no second send can
+		// ever land on ch: it is empty again and safe to reuse.
+		respChans.Put(ch)
 		return resp, nil
 	case <-ctx.Done():
-		r.mu.Lock()
-		delete(r.pending, rid)
-		r.mu.Unlock()
+		r.deregister(rid)
 		return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Type(), to, ctx.Err())
+	}
+}
+
+// deregister withdraws rid. When the entry was still registered, no reply
+// was (or will be) matched to it, so its channel is clean and returns to
+// the pool; when it was already gone, a racing handle owns the channel and
+// may still send — the channel is abandoned to the GC.
+func (r *RPC) deregister(rid uint64) {
+	r.mu.Lock()
+	ch, registered := r.pending[rid]
+	delete(r.pending, rid)
+	r.mu.Unlock()
+	if registered {
+		respChans.Put(ch)
 	}
 }
 

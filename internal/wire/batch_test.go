@@ -34,7 +34,7 @@ func randomEnvelope(r *rand.Rand, n int) Envelope {
 		return b
 	}
 	var msg Msg
-	switch r.Intn(10) {
+	switch r.Intn(11) {
 	case 0:
 		hr := make([]bool, n)
 		for i := range hr {
@@ -57,10 +57,10 @@ func randomEnvelope(r *rand.Rand, n int) Envelope {
 	case 3:
 		msg = &Vote{Txn: txn, VC: vc, OK: r.Intn(2) == 0}
 	case 4:
-		msg = &Decide{Txn: txn, VC: vc, Commit: r.Intn(2) == 0,
+		msg = &Decide{Txn: txn, VC: vc, Commit: r.Intn(2) == 0, Drain: r.Intn(2) == 0,
 			Propagated: []SQEntry{{Txn: txn, SID: r.Uint64() % 1e4, Kind: EntryWrite}}}
 	case 5:
-		msg = &DecideAck{Txn: txn, Ext: r.Uint64() % 1e6}
+		msg = &DecideAck{Txn: txn, Ext: r.Uint64() % 1e6, Gated: r.Intn(2) == 0}
 	case 6:
 		msg = &Remove{Txn: txn}
 	case 7:
@@ -71,6 +71,19 @@ func randomEnvelope(r *rand.Rand, n int) Envelope {
 		msg = m
 	case 8:
 		msg = &WalterPropagate{Txn: txn, VC: vc, Writes: []KV{{Key: randKey(), Val: randVal()}}}
+	case 9:
+		m := &ExtBatch{}
+		for i := 0; i < r.Intn(4); i++ {
+			f := ExtFreeze{Txn: TxnID{Node: NodeID(r.Intn(n)), Seq: r.Uint64() % 1e6}}
+			if r.Intn(4) != 0 {
+				f.VC = vc
+			}
+			m.Freezes = append(m.Freezes, f)
+		}
+		for i := 0; i < r.Intn(4); i++ {
+			m.Purges = append(m.Purges, TxnID{Node: NodeID(r.Intn(n)), Seq: r.Uint64() % 1e6})
+		}
+		msg = m
 	default:
 		msg = &RococoDispatch{Txn: txn, ReadKeys: []string{randKey()}, Writes: []KV{{Key: randKey(), Val: randVal()}}}
 	}

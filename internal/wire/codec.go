@@ -102,9 +102,11 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		buf = m.VC.AppendBinary(buf)
 		buf = appendBool(buf, m.Commit)
 		buf = appendSQEntries(buf, m.Propagated)
+		buf = appendBool(buf, m.Drain)
 	case *DecideAck:
 		buf = appendTxnID(buf, m.Txn)
 		buf = binary.AppendUvarint(buf, m.Ext)
+		buf = appendBool(buf, m.Gated)
 	case *Remove:
 		buf = appendTxnID(buf, m.Txn)
 	case *FwdRemove:
@@ -114,6 +116,18 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		buf = appendBool(buf, m.Drain)
 		buf = appendBool(buf, m.Purge)
 		buf = m.VC.AppendBinary(buf)
+	case *ExtBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(m.Freezes)))
+		for _, f := range m.Freezes {
+			buf = appendTxnID(buf, f.Txn)
+			buf = f.VC.AppendBinary(buf)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Purges)))
+		for _, p := range m.Purges {
+			buf = appendTxnID(buf, p)
+		}
+	case *ExtBatchAck:
+		buf = binary.AppendUvarint(buf, m.Freezes)
 	case *WaitExternal:
 		buf = appendTxnID(buf, m.Txn)
 	case *WaitExternalAck:
@@ -230,15 +244,33 @@ func decodeBody(c *cursor, t MsgType) (Msg, error) {
 		m.VC = c.vc()
 		m.Commit = c.bool()
 		m.Propagated = c.sqEntries()
+		m.Drain = c.bool()
 		return m, c.err
 	case MsgDecideAck:
-		return &DecideAck{Txn: c.txnID(), Ext: c.uvarint()}, c.err
+		return &DecideAck{Txn: c.txnID(), Ext: c.uvarint(), Gated: c.bool()}, c.err
 	case MsgRemove:
 		return &Remove{Txn: c.txnID()}, c.err
 	case MsgFwdRemove:
 		return &FwdRemove{RO: c.txnID()}, c.err
 	case MsgExtCommit:
 		return &ExtCommit{Txn: c.txnID(), Drain: c.bool(), Purge: c.bool(), VC: c.vc()}, c.err
+	case MsgExtBatch:
+		m := &ExtBatch{}
+		if n := int(c.uvarint()); n > 0 && c.err == nil {
+			m.Freezes = make([]ExtFreeze, n)
+			for i := range m.Freezes {
+				m.Freezes[i] = ExtFreeze{Txn: c.txnID(), VC: c.vc()}
+			}
+		}
+		if n := int(c.uvarint()); n > 0 && c.err == nil {
+			m.Purges = make([]TxnID, n)
+			for i := range m.Purges {
+				m.Purges[i] = c.txnID()
+			}
+		}
+		return m, c.err
+	case MsgExtBatchAck:
+		return &ExtBatchAck{Freezes: c.uvarint()}, c.err
 	case MsgWaitExternal:
 		return &WaitExternal{Txn: c.txnID()}, c.err
 	case MsgWaitExternalAck:

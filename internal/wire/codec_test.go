@@ -41,12 +41,19 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 			Txn: TxnID{0, 1}, VC: vc, Commit: true,
 			Propagated: []SQEntry{{Txn: TxnID{1, 2}, SID: 3, Kind: EntryWrite}},
 		}},
+		{From: 0, RID: 8, Msg: &Decide{Txn: TxnID{0, 1}, VC: vc, Commit: true, Drain: true}},
 		{From: 3, RID: 8, Resp: true, Msg: &DecideAck{Txn: TxnID{0, 1}}},
 		{From: 1, Msg: &Remove{Txn: TxnID{1, 77}}},
 		{From: 1, Msg: &FwdRemove{RO: TxnID{2, 5}}},
 		{From: 0, RID: 11, Msg: &ExtCommit{Txn: TxnID{0, 1}, Drain: true}},
 		{From: 0, RID: 12, Msg: &ExtCommit{Txn: TxnID{0, 1}, VC: vc}},
 		{From: 0, Msg: &ExtCommit{Txn: TxnID{0, 1}, Purge: true}},
+		{From: 0, RID: 14, Msg: &ExtBatch{
+			Freezes: []ExtFreeze{{Txn: TxnID{0, 1}, VC: vc}, {Txn: TxnID{0, 2}}},
+			Purges:  []TxnID{{1, 3}},
+		}},
+		{From: 0, Msg: &ExtBatch{Purges: []TxnID{{1, 4}, {2, 5}}}},
+		{From: 1, RID: 14, Resp: true, Msg: &ExtBatchAck{Freezes: 2}},
 		{From: 2, RID: 13, Msg: &WaitExternal{Txn: TxnID{2, 9}}},
 		{From: 0, RID: 13, Resp: true, Msg: &WaitExternalAck{Txn: TxnID{2, 9}}},
 		{From: 2, Msg: &WalterPropagate{Txn: TxnID{2, 5}, VC: vc, Writes: []KV{{Key: "k", Val: []byte("v")}}}},

@@ -84,6 +84,8 @@ const (
 	MsgRococoDispatchReply
 	MsgRococoCommit
 	MsgRococoCommitReply
+	MsgExtBatch
+	MsgExtBatchAck
 )
 
 // Priority is the transport service class of a message, lower is served
@@ -111,7 +113,7 @@ type Msg interface {
 // PriorityOf classifies a message type into its transport service class.
 func PriorityOf(t MsgType) Priority {
 	switch t {
-	case MsgRemove, MsgFwdRemove, MsgExtCommit:
+	case MsgRemove, MsgFwdRemove, MsgExtCommit, MsgExtBatch, MsgExtBatchAck:
 		return PrioRemove
 	case MsgPrepare, MsgVote, MsgDecide, MsgDecideAck,
 		MsgWaitExternal, MsgWaitExternalAck,
@@ -247,18 +249,35 @@ type Decide struct {
 	VC         vclock.VC
 	Commit     bool
 	Propagated []SQEntry
+	// Drain piggybacks the external-commit drain stage onto the decide
+	// round: after its pre-commit wait, the write replica marks its W
+	// entries drained and returns its drain-stage frontier in
+	// DecideAck.Ext, so the coordinator can assemble the freeze vector
+	// straight from the decide acks — collapsing the separate acked
+	// ExtCommit drain round. The paper's protocol only requires *ordering*
+	// between the stages per transaction, not a dedicated round trip per
+	// stage: the coordinator still forms the freeze vector only after
+	// every write replica's drain stage completed.
+	Drain bool
 }
 
 // DecideAck signals that the participant finished the pre-commit wait for
-// Txn (Algorithm 4's Ack). When acking an ExtCommit drain round, Ext
-// carries the participant's drain-stage frontier (its applied frontier
-// once its snapshot-queue backlog cleared); the coordinator joins these
-// frontiers with the commit clock into the replica-independent freeze
-// vector it ships in the freeze round. When acking a freeze, Ext echoes
-// the stamp the participant recorded.
+// Txn (Algorithm 4's Ack). When acking an ExtCommit drain round or a
+// piggybacked decide+drain (Decide.Drain), Ext carries the participant's
+// drain-stage frontier (its applied frontier once its snapshot-queue
+// backlog cleared); the coordinator joins these frontiers with the commit
+// clock into the replica-independent freeze vector it ships in the freeze
+// round. When acking a freeze, Ext echoes the stamp the participant
+// recorded. Gated, on a piggybacked decide+drain ack, reports that the
+// participant's pre-commit drain actually blocked on a queued entry: the
+// coordinator then falls back to the standalone drain round before
+// freezing, because a contended queue means the piggybacked drain barrier
+// may be stale by the time the freeze would be issued
+// (docs/CONSISTENCY.md §5).
 type DecideAck struct {
-	Txn TxnID
-	Ext uint64
+	Txn   TxnID
+	Ext   uint64
+	Gated bool
 }
 
 // Remove tells a node that read-only transaction Txn completed: every
@@ -273,7 +292,10 @@ type Remove struct {
 // can tell whether the version it selected is still provisional. The drain
 // phase (Drain=true, acked) completes the snapshot-queue waits on every
 // write replica without announcing anything; each drain ack returns the
-// replica's drain-stage frontier (DecideAck.Ext). The freeze phase
+// replica's drain-stage frontier (DecideAck.Ext). The coordinator normally
+// piggybacks this stage onto the decide round (Decide.Drain) instead of
+// paying a dedicated round trip; the standalone form remains for callers
+// that drive the stages separately. The freeze phase
 // (Drain=false, Purge=false, acked, completed before the coordinator
 // replies to its client) carries VC — the coordinator-assigned freeze
 // vector: the transaction's final commit clock joined, per write replica,
@@ -295,6 +317,34 @@ type ExtCommit struct {
 	Purge bool
 	// VC is the freeze vector, set on the freeze phase only.
 	VC vclock.VC
+}
+
+// ExtFreeze is one transaction's freeze order inside an ExtBatch: the
+// transaction plus its coordinator-assigned freeze vector (see
+// ExtCommit.VC).
+type ExtFreeze struct {
+	Txn TxnID
+	VC  vclock.VC
+}
+
+// ExtBatch carries the coalesced external-commit traffic of one coordinator
+// to one write replica: the freeze orders of every update transaction whose
+// drain stage completed while the per-peer commit queue's previous flush was
+// in flight, plus any purge notifications that became due. The replica
+// stamps every freeze on arrival (same semantics as per-transaction
+// ExtCommit freezes), folds all their clocks into its external-knowledge
+// clock with a single republish, runs the gated re-drains concurrently, and
+// answers with one ExtBatchAck covering the whole batch — group commit for
+// the freeze round. A batch with no freezes is a one-way purge notification.
+type ExtBatch struct {
+	Freezes []ExtFreeze
+	Purges  []TxnID
+}
+
+// ExtBatchAck answers an ExtBatch once every freeze in it has been stamped,
+// re-drained and flagged. Freezes echoes the number of freezes applied.
+type ExtBatchAck struct {
+	Freezes uint64
 }
 
 // WaitExternal subscribes to Txn's external commit at its coordinator. The
@@ -377,6 +427,8 @@ var (
 	_ Msg = (*RococoDispatchReply)(nil)
 	_ Msg = (*RococoCommit)(nil)
 	_ Msg = (*RococoCommitReply)(nil)
+	_ Msg = (*ExtBatch)(nil)
+	_ Msg = (*ExtBatchAck)(nil)
 )
 
 // Type implements Msg.
@@ -426,3 +478,9 @@ func (*RococoCommit) Type() MsgType { return MsgRococoCommit }
 
 // Type implements Msg.
 func (*RococoCommitReply) Type() MsgType { return MsgRococoCommitReply }
+
+// Type implements Msg.
+func (*ExtBatch) Type() MsgType { return MsgExtBatch }
+
+// Type implements Msg.
+func (*ExtBatchAck) Type() MsgType { return MsgExtBatchAck }

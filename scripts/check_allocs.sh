@@ -40,11 +40,30 @@ check() {
 }
 
 # Read-only transaction end-to-end (Begin + reads + Commit). Seed was 33
-# (ops=1) and 100 (ops=4) allocs/op; the allocation diet brought them to 27
-# and 64.
+# (ops=1) and 100 (ops=4) allocs/op; the PR-2 diet brought them to 27/64 and
+# the PR-4 transport-channel pooling + warm caller pool to 25/58.
 check ./internal/engine 'BenchmarkReadOnlyTxn/ops' 2000x \
-  'BenchmarkReadOnlyTxn/ops=1' 30 \
-  'BenchmarkReadOnlyTxn/ops=4' 70
+  'BenchmarkReadOnlyTxn/ops=1' 28 \
+  'BenchmarkReadOnlyTxn/ops=4' 64
+
+# Update transaction end-to-end (Begin + read-modify-writes + Commit through
+# prepare, piggybacked decide+drain, queued freeze/purge). Pre-diet baseline
+# was 114/133 (local) and 184 (remote) allocs/op; the write-side diet
+# (commit scratch, pooled RPC channels, warm callers, batch reuse,
+# single-replica update reads) measures 78/95 and 116.
+check ./internal/engine 'BenchmarkUpdateTxnCommit' 2000x \
+  'BenchmarkUpdateTxnCommit/ops=1' 85 \
+  'BenchmarkUpdateTxnCommit/ops=2' 105 \
+  'BenchmarkUpdateTxnCommitRemote' 130
+
+# Lock table: the single-key and canonicalizing acquire paths and release
+# are allocation-free (pooled scratch, recycled lock states, waiter-gated
+# broadcasts).
+check ./internal/lockmgr 'BenchmarkAcquire/|BenchmarkRelease' 5000x \
+  'BenchmarkAcquire/single' 0 \
+  'BenchmarkAcquire/multi' 0 \
+  'BenchmarkAcquire/sharedOnly' 0 \
+  'BenchmarkRelease' 0
 
 # Commitlog visibility-index queries and lock-free clock reads: one result
 # clock per query, zero for the in-place folds.
