@@ -1,0 +1,477 @@
+// Package client is the Go client library for sss-server's binary client
+// protocol. It implements the same kv.Store / kv.Txn vocabulary as the
+// embedded engines, over TCP:
+//
+//	c, err := client.Dial("127.0.0.1:8000", client.Options{})
+//	defer c.Close()
+//
+//	tx := c.Begin(false)
+//	v, _, _ := tx.Read("greeting")
+//	_ = tx.Write("greeting", append(v, '!'))
+//	err = tx.Commit() // returns at external commit, like the embedded API
+//
+// One Client speaks to one server (one SSS node — clients are co-located
+// with a coordinator, as in the paper's system model §II); DialCluster
+// spreads transactions round-robin over several nodes. Each Client keeps a
+// small pool of connections, pipelines concurrent requests over them
+// (replies are matched by request ID), and redials dropped connections on
+// next use. A transaction is pinned to the connection it began on — its
+// server-side state lives in that session — so a mid-transaction disconnect
+// surfaces kv.ErrUnavailable and the server aborts the transaction.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sss-paper/sss/internal/clientproto"
+	"github.com/sss-paper/sss/kv"
+)
+
+// Options tunes a Client. The zero value selects defaults.
+type Options struct {
+	// Conns is the connection-pool size per server (default 2).
+	// Transactions are assigned round-robin at Begin.
+	Conns int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/reply round trip (default 60s —
+	// generous because Commit legitimately parks until external commit).
+	// An expired request marks its transaction broken and its connection
+	// suspect; both surface kv.ErrUnavailable.
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Client is a connection-pooled handle to one sss-server. It implements
+// kv.Store; handles from Begin implement kv.Txn. Safe for concurrent use —
+// distinct transactions may run on distinct goroutines (each individual
+// kv.Txn stays single-goroutine, per the interface contract).
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	slots  []*conn // lazily dialed; nil or dead entries redial on next use
+	next   uint64  // round-robin cursor (atomic)
+	closed bool
+}
+
+var _ kv.Store = (*Client)(nil)
+
+// Dial connects to one server. The first connection is established eagerly
+// so misconfiguration fails fast; the rest of the pool dials on demand.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.slots = make([]*conn, c.opts.Conns)
+	if _, err := c.slot(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down every pooled connection. Open transactions on them are
+// aborted server-side.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	slots := c.slots
+	c.slots = nil
+	c.mu.Unlock()
+	for _, cn := range slots {
+		if cn != nil {
+			cn.close(kv.ErrUnavailable)
+		}
+	}
+	return nil
+}
+
+// Ping performs one round trip on a pooled connection — the health /
+// readiness probe.
+func (c *Client) Ping() error {
+	cn, err := c.pick()
+	if err != nil {
+		return err
+	}
+	rep, err := cn.call(&clientproto.Request{Op: clientproto.OpPing}, c.opts.RequestTimeout)
+	if err != nil {
+		return err
+	}
+	if rep.Kind != clientproto.ReplyOK {
+		return replyError(rep)
+	}
+	return nil
+}
+
+// Begin implements kv.Store: it opens a transaction on a pooled connection.
+// The kv.Store interface cannot surface connection errors from Begin, so a
+// failed begin returns a handle whose every method reports the error.
+func (c *Client) Begin(readOnly bool) kv.Txn {
+	cn, err := c.pick()
+	if err != nil {
+		return &Txn{err: err}
+	}
+	rep, err := cn.call(&clientproto.Request{Op: clientproto.OpBegin, ReadOnly: readOnly}, c.opts.RequestTimeout)
+	if err != nil {
+		return &Txn{err: err}
+	}
+	if rep.Kind != clientproto.ReplyOK {
+		return &Txn{err: replyError(rep)}
+	}
+	return &Txn{c: c, cn: cn, handle: rep.Txn}
+}
+
+// pick returns a live pooled connection, redialing dead slots.
+func (c *Client) pick() (*conn, error) {
+	i := int(atomic.AddUint64(&c.next, 1)) % c.opts.Conns
+	return c.slot(i)
+}
+
+func (c *Client) slot(i int) (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: closed: %w", kv.ErrUnavailable)
+	}
+	if cn := c.slots[i]; cn != nil && !cn.isDead() {
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+
+	// Dial outside the lock; only one winner installs per slot.
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %v: %w", c.addr, err, kv.ErrUnavailable)
+	}
+	cn := newConn(nc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		cn.close(kv.ErrUnavailable)
+		return nil, fmt.Errorf("client: closed: %w", kv.ErrUnavailable)
+	}
+	if cur := c.slots[i]; cur != nil && !cur.isDead() {
+		// Lost the redial race; use the winner and drop ours.
+		cn.close(kv.ErrUnavailable)
+		return cur, nil
+	}
+	c.slots[i] = cn
+	return cn, nil
+}
+
+// Txn is a client-side transaction handle. Like every kv.Txn it must be
+// driven by a single goroutine.
+type Txn struct {
+	c      *Client
+	cn     *conn
+	handle uint64
+	err    error // sticky: set by a failed begin or a broken connection
+	done   bool
+}
+
+var _ kv.Txn = (*Txn)(nil)
+
+// Read implements kv.Txn.
+func (t *Txn) Read(key string) ([]byte, bool, error) {
+	if err := t.usable(); err != nil {
+		return nil, false, err
+	}
+	rep, err := t.call(&clientproto.Request{Op: clientproto.OpRead, Txn: t.handle, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if rep.Kind != clientproto.ReplyValue {
+		return nil, false, replyError(rep)
+	}
+	return rep.Val, rep.Exists, nil
+}
+
+// Write implements kv.Txn. Oversized payloads are rejected client-side: an
+// over-limit frame would make the server hang up on the whole multiplexed
+// connection, aborting every other transaction pipelined on it, so the
+// offending Write must fail alone without being sent.
+func (t *Txn) Write(key string, val []byte) error {
+	if err := t.usable(); err != nil {
+		return err
+	}
+	if len(key)+len(val)+64 > clientproto.MaxFrame {
+		return fmt.Errorf("client: write of %d bytes exceeds the %d-byte frame limit", len(val), clientproto.MaxFrame)
+	}
+	rep, err := t.call(&clientproto.Request{Op: clientproto.OpWrite, Txn: t.handle, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if rep.Kind != clientproto.ReplyOK {
+		return replyError(rep)
+	}
+	return nil
+}
+
+// Commit implements kv.Txn. Like the embedded engine, it returns only at
+// external commit.
+func (t *Txn) Commit() error {
+	if err := t.usable(); err != nil {
+		return err
+	}
+	t.done = true
+	rep, err := t.call(&clientproto.Request{Op: clientproto.OpCommit, Txn: t.handle})
+	if err != nil {
+		return err
+	}
+	if rep.Kind != clientproto.ReplyOK {
+		return replyError(rep)
+	}
+	return nil
+}
+
+// Abort implements kv.Txn. Safe to call after a failed Commit (the server
+// then reports the handle unknown, which Abort swallows, matching the
+// embedded engines' idempotent Abort).
+func (t *Txn) Abort() error {
+	if t.err != nil || t.done {
+		return nil
+	}
+	t.done = true
+	rep, err := t.call(&clientproto.Request{Op: clientproto.OpAbort, Txn: t.handle})
+	if err != nil {
+		return nil // connection gone: the server aborts it for us
+	}
+	if rep.Kind != clientproto.ReplyOK && rep.Code != clientproto.CodeUnknownTxn {
+		return replyError(rep)
+	}
+	return nil
+}
+
+func (t *Txn) usable() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.done {
+		return kv.ErrTxnDone
+	}
+	return nil
+}
+
+func (t *Txn) call(req *clientproto.Request) (clientproto.Reply, error) {
+	rep, err := t.cn.call(req, t.c.opts.RequestTimeout)
+	if err != nil {
+		// The session's fate is unknown (or the session is gone): poison
+		// the handle. The server aborts the transaction when it notices
+		// the dead connection.
+		t.err = err
+		return clientproto.Reply{}, err
+	}
+	return rep, nil
+}
+
+// replyError maps a typed protocol error onto the kv error vocabulary.
+func replyError(rep clientproto.Reply) error {
+	if rep.Kind != clientproto.ReplyErr {
+		return fmt.Errorf("client: unexpected reply kind %d", rep.Kind)
+	}
+	switch rep.Code {
+	case clientproto.CodeAborted:
+		return kv.ErrAborted
+	case clientproto.CodeReadOnlyWrite:
+		return kv.ErrReadOnlyWrite
+	case clientproto.CodeTxnDone, clientproto.CodeUnknownTxn:
+		return kv.ErrTxnDone
+	case clientproto.CodeUnavailable:
+		return kv.ErrUnavailable
+	default:
+		return fmt.Errorf("client: server error %v: %s", rep.Code, rep.Msg)
+	}
+}
+
+// conn is one pooled connection: a locked writer plus a demux goroutine
+// matching pipelined replies to waiting callers by request ID.
+type conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan clientproto.Reply
+	dead    bool
+	err     error
+}
+
+func newConn(nc net.Conn) *conn {
+	cn := &conn{nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), pending: make(map[uint64]chan clientproto.Reply)}
+	go cn.demux()
+	return cn
+}
+
+func (cn *conn) isDead() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.dead
+}
+
+// close marks the connection dead and fails every pending call with cause.
+func (cn *conn) close(cause error) {
+	cn.mu.Lock()
+	if cn.dead {
+		cn.mu.Unlock()
+		return
+	}
+	cn.dead = true
+	cn.err = cause
+	pending := cn.pending
+	cn.pending = make(map[uint64]chan clientproto.Reply)
+	cn.mu.Unlock()
+	_ = cn.nc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// demux reads replies and delivers them to registered callers.
+func (cn *conn) demux() {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	for {
+		rep, err := clientproto.ReadReply(br)
+		if err != nil {
+			cn.close(fmt.Errorf("client: connection lost: %v: %w", err, kv.ErrUnavailable))
+			return
+		}
+		cn.mu.Lock()
+		ch := cn.pending[rep.ReqID]
+		delete(cn.pending, rep.ReqID)
+		cn.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+// call performs one pipelined round trip: register, write, await.
+func (cn *conn) call(req *clientproto.Request, timeout time.Duration) (clientproto.Reply, error) {
+	ch := make(chan clientproto.Reply, 1)
+	cn.mu.Lock()
+	if cn.dead {
+		err := cn.err
+		cn.mu.Unlock()
+		if err == nil {
+			err = kv.ErrUnavailable
+		}
+		return clientproto.Reply{}, err
+	}
+	cn.nextID++
+	req.ReqID = cn.nextID
+	cn.pending[req.ReqID] = ch
+	cn.mu.Unlock()
+
+	cn.wmu.Lock()
+	err := clientproto.WriteRequest(cn.bw, req)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.mu.Lock()
+		delete(cn.pending, req.ReqID)
+		cn.mu.Unlock()
+		cn.close(fmt.Errorf("client: write failed: %v: %w", err, kv.ErrUnavailable))
+		return clientproto.Reply{}, kv.ErrUnavailable
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			cn.mu.Lock()
+			err := cn.err
+			cn.mu.Unlock()
+			if err == nil {
+				err = kv.ErrUnavailable
+			}
+			return clientproto.Reply{}, err
+		}
+		return rep, nil
+	case <-timer.C:
+		// The session's state is now unknowable; kill the connection so
+		// the server aborts everything on it and the pool redials fresh.
+		cn.close(fmt.Errorf("client: request timeout after %v: %w", timeout, kv.ErrUnavailable))
+		return clientproto.Reply{}, kv.ErrUnavailable
+	}
+}
+
+// Cluster is a round-robin facade over one Client per server address: each
+// Begin is coordinated by the next node, mimicking the paper's co-located
+// client placement spread over the whole cluster.
+type Cluster struct {
+	clients []*Client
+	next    uint64
+}
+
+var _ kv.Store = (*Cluster)(nil)
+
+// DialCluster connects to every address. On any failure the already-dialed
+// clients are closed.
+func DialCluster(addrs []string, opts Options) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: no addresses")
+	}
+	cl := &Cluster{}
+	for _, a := range addrs {
+		c, err := Dial(a, opts)
+		if err != nil {
+			_ = cl.Close()
+			return nil, err
+		}
+		cl.clients = append(cl.clients, c)
+	}
+	return cl, nil
+}
+
+// Begin implements kv.Store, rotating coordinators per transaction.
+func (cl *Cluster) Begin(readOnly bool) kv.Txn {
+	i := int(atomic.AddUint64(&cl.next, 1)) % len(cl.clients)
+	return cl.clients[i].Begin(readOnly)
+}
+
+// Node returns the i-th node's client.
+func (cl *Cluster) Node(i int) *Client { return cl.clients[i] }
+
+// NumNodes returns the cluster size.
+func (cl *Cluster) NumNodes() int { return len(cl.clients) }
+
+// Close closes every client.
+func (cl *Cluster) Close() error {
+	var firstErr error
+	for _, c := range cl.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

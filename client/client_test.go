@@ -1,0 +1,242 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/clientproto"
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/engine"
+	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/kv"
+)
+
+type storeFunc func(readOnly bool) kv.Txn
+
+func (f storeFunc) Begin(readOnly bool) kv.Txn { return f(readOnly) }
+
+// startServer boots a single-node engine behind a clientproto.Server and
+// returns its address plus the server (for metrics assertions).
+func startServer(t *testing.T) (string, *clientproto.Server) {
+	t.Helper()
+	net_ := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+	nd, err := engine.New(net_, 0, 1, cluster.NewLookup(1, 1), engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nd.Close()
+		_ = net_.Close()
+	})
+	for i := 0; i < 32; i++ {
+		nd.Preload(fmt.Sprintf("k%02d", i), []byte("init"))
+	}
+	srv := clientproto.NewServer(storeFunc(func(ro bool) kv.Txn { return nd.Begin(ro) }), clientproto.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+func TestClientReadWriteCommit(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	tx := c.Begin(false)
+	v, ok, err := tx.Read("k00")
+	if err != nil || !ok || string(v) != "init" {
+		t.Fatalf("read: %q %v %v", v, ok, err)
+	}
+	if err := tx.Write("k00", []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	ro := c.Begin(true)
+	v, ok, err = ro.Read("k00")
+	if err != nil || !ok || string(v) != "hello" {
+		t.Fatalf("ro read: %q %v %v", v, ok, err)
+	}
+	if _, ok, err := ro.Read("nope"); err != nil || ok {
+		t.Fatalf("missing key: %v %v", ok, err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("ro commit: %v", err)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ro := c.Begin(true)
+	if err := ro.Write("k01", []byte("x")); !errors.Is(err, kv.ErrReadOnlyWrite) {
+		t.Fatalf("ro write: %v", err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("ro commit: %v", err)
+	}
+	// Use-after-finish maps to ErrTxnDone locally.
+	if _, _, err := ro.Read("k01"); !errors.Is(err, kv.ErrTxnDone) {
+		t.Fatalf("read after commit: %v", err)
+	}
+	// Abort after commit is a no-op.
+	if err := ro.Abort(); err != nil {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestClientConcurrentTxns(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%02d", i%8)
+			ro := i%3 == 0
+			tx := c.Begin(ro)
+			for j := 0; j < 4; j++ {
+				if _, _, err := tx.Read(key); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if !ro {
+					if err := tx.Write(key, []byte{byte(i), byte(j)}); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				}
+			}
+			if err := tx.Commit(); err != nil && !errors.Is(err, kv.ErrAborted) {
+				t.Errorf("commit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestClientReconnect kills the server-side sessions and verifies the pool
+// redials: in-flight transactions fail with ErrUnavailable, new Begins
+// succeed.
+func TestClientReconnect(t *testing.T) {
+	addr, srv := startServer(t)
+	c, err := Dial(addr, Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	tx := c.Begin(false)
+	if _, _, err := tx.Read("k00"); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	// Tear down every server session (simulates a server-side drop). The
+	// listener stays up, so redial succeeds.
+	_ = srv.Close()
+	// Wait for the client's demux to notice.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, err := tx.Read("k00"); err != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, _, err := tx.Read("k00"); !errors.Is(err, kv.ErrUnavailable) {
+		t.Fatalf("read on dead conn: %v", err)
+	}
+
+	// A fresh server on the same address: Begin must redial transparently.
+	net_ := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+	nd, err := engine.New(net_, 0, 1, cluster.NewLookup(1, 1), engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nd.Close()
+		_ = net_.Close()
+	})
+	nd.Preload("k00", []byte("fresh"))
+	srv2 := clientproto.NewServer(storeFunc(func(ro bool) kv.Txn { return nd.Begin(ro) }), clientproto.ServerOptions{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv2.Serve(ln) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		tx2 := c.Begin(true)
+		var v []byte
+		v, _, lastErr = tx2.Read("k00")
+		if lastErr == nil {
+			if string(v) != "fresh" {
+				t.Fatalf("read after reconnect: %q", v)
+			}
+			if err := tx2.Commit(); err != nil {
+				t.Fatalf("commit after reconnect: %v", err)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("client never reconnected: %v", lastErr)
+}
+
+func TestDialCluster(t *testing.T) {
+	addr1, _ := startServer(t)
+	addr2, _ := startServer(t)
+	cl, err := DialCluster([]string{addr1, addr2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	if cl.NumNodes() != 2 {
+		t.Fatalf("nodes: %d", cl.NumNodes())
+	}
+	// Round-robin Begins land on both nodes (separate single-node engines,
+	// so each sees its own keyspace).
+	for i := 0; i < 4; i++ {
+		tx := cl.Begin(true)
+		if _, _, err := tx.Read("k00"); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", Options{DialTimeout: 200 * time.Millisecond}); !errors.Is(err, kv.ErrUnavailable) {
+		t.Fatalf("dial to closed port: %v", err)
+	}
+}

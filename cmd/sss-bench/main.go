@@ -6,6 +6,14 @@
 //	sss-bench -figure 3            # Figure 3: throughput vs nodes
 //	sss-bench -figure all -duration 2s
 //
+// With -transport tcp, the figure-3 sweep instead drives a real
+// multi-process deployment: internal/harness boots one sss-server process
+// per node on loopback TCP and closed-loop clients issue transactions
+// through the public client package — the paper's networked system shape,
+// not the in-process simulation. TCP mode supports figure 3 only (the
+// competitor engines have no server binary) and writes
+// BENCH_figure3_tcp.json with -json.
+//
 // With -json, every figure additionally writes a machine-readable
 // BENCH_figure<N>.json snapshot (throughput, latency percentiles, transport
 // batching and lock-contention metrics per data point) for perf-trajectory
@@ -44,6 +52,11 @@ var (
 	netStats = flag.Bool("net-stats", false, "print per-point transport batching stats")
 	jsonOut  = flag.Bool("json", false, "write BENCH_figure<N>.json snapshots per figure")
 
+	transportKind = flag.String("transport", "inproc", "inproc (simulated network) | tcp (real multi-process cluster, figure 3 only)")
+	serverBin     = flag.String("server-bin", "", "sss-server binary for -transport tcp (empty = build once via go build)")
+	tcpKeys       = flag.String("tcp-keys", "5000,10000", "keyspace sizes for the tcp figure-3 sweep")
+	tcpRO         = flag.String("tcp-ro", "20,50,80", "read-only percentages for the tcp figure-3 sweep")
+
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file")
@@ -62,6 +75,19 @@ func main() {
 		log.Fatal(err)
 	}
 	run := func(f string) bool { return *figure == "all" || *figure == f }
+	if *transportKind == "tcp" {
+		if !run("3") {
+			log.Fatalf("-transport tcp supports figure 3 only (got -figure %s)", *figure)
+		}
+		figure3TCP(nodeCounts)
+		if err := stopProf(); err != nil {
+			log.Fatalf("profiling: %v", err)
+		}
+		return
+	}
+	if *transportKind != "inproc" {
+		log.Fatalf("-transport must be inproc or tcp, got %q", *transportKind)
+	}
 	if run("3") {
 		figure3(nodeCounts)
 	}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"github.com/sss-paper/sss/client"
+	"github.com/sss-paper/sss/internal/bench"
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/harness"
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/ycsb"
+	"github.com/sss-paper/sss/kv"
+)
+
+// figure3TCP is the distributed counterpart of figure3: the same
+// throughput-vs-nodes sweep, but each point boots a real multi-process
+// cluster (one sss-server per node) and drives it through the public client
+// package over loopback TCP. Only the SSS engine runs — the competitors
+// have no server binary. Latencies are measured at the client (begin →
+// commit return), i.e. they include the client protocol round trips, which
+// is the deployment-honest number.
+func figure3TCP(nodeCounts []int) {
+	bin := *serverBin
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "sss-bench-bin-*")
+		if err != nil {
+			log.Fatalf("tcp bench: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		fmt.Println("building sss-server...")
+		bin, err = harness.BuildServer(dir)
+		if err != nil {
+			log.Fatalf("tcp bench: %v", err)
+		}
+	}
+	roPcts, err := parseInts(*tcpRO)
+	if err != nil {
+		log.Fatalf("-tcp-ro: %v", err)
+	}
+	keySizes, err := parseInts(*tcpKeys)
+	if err != nil {
+		log.Fatalf("-tcp-keys: %v", err)
+	}
+
+	header("Figure 3 (TCP): throughput (txn/s) vs node count, replication=2, real processes")
+	rep := newReporter("figure3_tcp")
+	for _, ro := range roPcts {
+		fmt.Printf("\n-- %d%% read-only --\n", ro)
+		fmt.Printf("%-14s", "series")
+		for _, n := range nodeCounts {
+			fmt.Printf("%12s", fmt.Sprintf("n=%d", n))
+		}
+		fmt.Println()
+		for _, keys := range keySizes {
+			series := fmt.Sprintf("ro%d-sss-%dk-tcp", ro, keys/1000)
+			fmt.Printf("%-14s", fmt.Sprintf("sss-%dk", keys/1000))
+			for _, n := range nodeCounts {
+				res := tcpPoint(rep, series, bin, n, 2, ycsb.Config{Keys: keys, ReadOnlyPct: ro}, *clients)
+				fmt.Printf("%12.0f", res.Throughput)
+			}
+			fmt.Println()
+		}
+	}
+	rep.flush()
+}
+
+// tcpPoint boots a fresh cluster, preloads the keyspace, runs one measured
+// window through per-node clients, and tears everything down.
+func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Config, clientsPerNode int) bench.Result {
+	hc, err := harness.Start(harness.Config{Nodes: nodes, Replication: degree, BinPath: bin})
+	if err != nil {
+		log.Fatalf("tcp bench: start cluster: %v", err)
+	}
+	defer func() { _ = hc.Stop() }()
+
+	conns := make([]*client.Client, nodes)
+	for i, addr := range hc.ClientAddrs() {
+		conns[i], err = client.Dial(addr, client.Options{Conns: 2})
+		if err != nil {
+			log.Fatalf("tcp bench: dial node %d: %v", i, err)
+		}
+		defer func(c *client.Client) { _ = c.Close() }(conns[i])
+	}
+	if err := preloadTCP(conns[0], w.Keys); err != nil {
+		log.Fatalf("tcp bench: preload: %v", err)
+	}
+
+	hn := make([]bench.Node, nodes)
+	for i := range conns {
+		hn[i] = &tcpNode{c: conns[i], stats: &metrics.Engine{}}
+	}
+	res := bench.Run(hn, bench.Options{
+		Workload:       w,
+		ClientsPerNode: clientsPerNode,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		Seed:           *seed,
+		Lookup:         cluster.NewLookup(nodes, degree),
+	})
+	// The closed loop discards transaction errors, and on the TCP path
+	// errors are realistic (node death, poisoned connections): a partially
+	// failed run would record a silently deflated number. Refuse to emit
+	// such a point.
+	var errCount uint64
+	for i := range hn {
+		errCount += hn[i].(*tcpNode).errs.Load()
+	}
+	for i := 0; i < nodes; i++ {
+		if !hc.Alive(i) {
+			log.Fatalf("tcp bench: node %d died during the measurement:\n%s", i, hc.LogTail(i, 2048))
+		}
+	}
+	if errCount > 0 {
+		log.Fatalf("tcp bench: %d transaction errors during the point (cluster unhealthy; node 0 log tail):\n%s",
+			errCount, hc.LogTail(0, 2048))
+	}
+	if rep != nil {
+		rep.points = append(rep.points, benchPoint{
+			Series:            series,
+			Engine:            "sss-tcp",
+			Nodes:             nodes,
+			ReplicationDegree: degree,
+			ClientsPerNode:    clientsPerNode,
+			Keys:              w.Keys,
+			ReadOnlyPct:       w.ReadOnlyPct,
+			ThroughputTxnS:    res.Throughput,
+			AbortRate:         res.AbortRate,
+			Commits:           res.Commits,
+			ReadOnly:          res.ReadOnly,
+			Aborts:            res.Aborts,
+			UpdateLatency:     res.UpdateLatency,
+			ReadOnlyLatency:   res.ReadOnlyLatency,
+		})
+	}
+	return res
+}
+
+// preloadTCP installs the initial keyspace through the client path, batching
+// writes so a 10k keyspace costs ~50 commits instead of 10k.
+func preloadTCP(c *client.Client, keys int) error {
+	const batch = 200
+	space := ycsb.Keyspace(keys)
+	for start := 0; start < len(space); start += batch {
+		end := start + batch
+		if end > len(space) {
+			end = len(space)
+		}
+		tx := c.Begin(false)
+		for _, k := range space[start:end] {
+			if err := tx.Write(k, []byte("init")); err != nil {
+				_ = tx.Abort()
+				return fmt.Errorf("write %s: %w", k, err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return fmt.Errorf("commit batch at %d: %w", start, err)
+		}
+	}
+	return nil
+}
+
+// tcpNode adapts a TCP client to the bench harness. Engine-internal
+// histograms live in the server processes; the client side measures what a
+// deployment sees — begin-to-commit-return latency — into its own
+// histograms (commit/abort *counts* come from bench.Run's per-client
+// outcome tally, not from these stats). errs counts non-abort transaction
+// failures, which on this path mean the cluster is unhealthy.
+type tcpNode struct {
+	c     *client.Client
+	stats *metrics.Engine
+	errs  atomic.Uint64
+}
+
+func (n *tcpNode) Begin(readOnly bool) kv.Txn {
+	start := time.Now() // before Begin's round trip: it's part of the latency
+	return &timedTxn{Txn: n.c.Begin(readOnly), node: n, ro: readOnly, start: start}
+}
+
+func (n *tcpNode) Stats() *metrics.Engine { return n.stats }
+
+type timedTxn struct {
+	kv.Txn
+	node  *tcpNode
+	ro    bool
+	start time.Time
+}
+
+func (t *timedTxn) Read(key string) ([]byte, bool, error) {
+	v, ok, err := t.Txn.Read(key)
+	if err != nil {
+		t.node.errs.Add(1)
+	}
+	return v, ok, err
+}
+
+func (t *timedTxn) Write(key string, val []byte) error {
+	err := t.Txn.Write(key, val)
+	if err != nil {
+		t.node.errs.Add(1)
+	}
+	return err
+}
+
+func (t *timedTxn) Commit() error {
+	err := t.Txn.Commit()
+	d := time.Since(t.start)
+	switch {
+	case err == nil && t.ro:
+		t.node.stats.ReadOnlyLatency.Observe(d)
+	case err == nil:
+		t.node.stats.CommitLatency.Observe(d)
+	case !errors.Is(err, kv.ErrAborted):
+		t.node.errs.Add(1)
+	}
+	return err
+}

@@ -1,19 +1,18 @@
-// Command sss-client is a tiny interactive/one-shot client for sss-server's
-// line protocol.
+// Command sss-client is a small one-shot client for sss-server, built on
+// the client package (the same tested codepath external programs use).
 //
 //	sss-client -addr 127.0.0.1:8000 set greeting hello
 //	sss-client -addr 127.0.0.1:8000 get greeting
 //	sss-client -addr 127.0.0.1:8000 snapshot k1 k2 k3   # one read-only txn
+//	sss-client -addr 127.0.0.1:8000 ping
 package main
 
 import (
-	"bufio"
-	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"strings"
+
+	"github.com/sss-paper/sss/client"
 )
 
 var addr = flag.String("addr", "127.0.0.1:8000", "sss-server client address")
@@ -22,23 +21,32 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: sss-client [-addr host:port] get <key> | set <key> <value> | snapshot <key>...")
+		log.Fatal("usage: sss-client [-addr host:port] get <key> | set <key> <value> | snapshot <key>... | ping")
 	}
-	conn, err := net.Dial("tcp", *addr)
+	c, err := client.Dial(*addr, client.Options{Conns: 1})
 	if err != nil {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
-	defer func() { _ = conn.Close() }()
-	c := &client{r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}
+	defer func() { _ = c.Close() }()
 
 	switch args[0] {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			log.Fatalf("ping: %v", err)
+		}
+		fmt.Println("OK")
 	case "get":
 		if len(args) != 2 {
 			log.Fatal("usage: get <key>")
 		}
-		txn := c.begin(true)
-		val, exists := c.read(txn, args[1])
-		c.commitOK(txn)
+		tx := c.Begin(true)
+		val, exists, err := tx.Read(args[1])
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatalf("commit: %v", err)
+		}
 		if !exists {
 			fmt.Println("(nil)")
 			return
@@ -48,85 +56,37 @@ func main() {
 		if len(args) != 3 {
 			log.Fatal("usage: set <key> <value>")
 		}
-		txn := c.begin(false)
-		c.must(c.send("READ %s %s", txn, args[1])) // establish the snapshot
-		c.must(c.send("WRITE %s %s %s", txn, args[1],
-			base64.StdEncoding.EncodeToString([]byte(args[2]))))
-		resp := c.send("COMMIT %s", txn)
-		fmt.Println(resp)
+		tx := c.Begin(false)
+		if _, _, err := tx.Read(args[1]); err != nil { // establish the snapshot
+			log.Fatalf("read: %v", err)
+		}
+		if err := tx.Write(args[1], []byte(args[2])); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatalf("commit: %v", err)
+		}
+		fmt.Println("OK")
 	case "snapshot":
 		if len(args) < 2 {
 			log.Fatal("usage: snapshot <key>...")
 		}
-		txn := c.begin(true)
+		tx := c.Begin(true)
 		for _, k := range args[1:] {
-			val, exists := c.read(txn, k)
+			val, exists, err := tx.Read(k)
+			if err != nil {
+				log.Fatalf("read %s: %v", k, err)
+			}
 			if exists {
 				fmt.Printf("%s = %s\n", k, val)
 			} else {
 				fmt.Printf("%s = (nil)\n", k)
 			}
 		}
-		c.commitOK(txn)
+		if err := tx.Commit(); err != nil {
+			log.Fatalf("commit: %v", err)
+		}
 	default:
 		log.Fatalf("unknown command %q", args[0])
-	}
-}
-
-type client struct {
-	r *bufio.Scanner
-	w *bufio.Writer
-}
-
-func (c *client) send(format string, args ...any) string {
-	fmt.Fprintf(c.w, format+"\n", args...)
-	if err := c.w.Flush(); err != nil {
-		log.Fatalf("send: %v", err)
-	}
-	if !c.r.Scan() {
-		log.Fatal("server closed connection")
-	}
-	return c.r.Text()
-}
-
-func (c *client) must(resp string) {
-	if strings.HasPrefix(resp, "ERR") {
-		log.Fatalf("server: %s", resp)
-	}
-}
-
-func (c *client) begin(readOnly bool) string {
-	mode := "rw"
-	if readOnly {
-		mode = "ro"
-	}
-	resp := c.send("BEGIN %s", mode)
-	fields := strings.Fields(resp)
-	if len(fields) != 2 || fields[0] != "OK" {
-		log.Fatalf("begin: %s", resp)
-	}
-	return fields[1]
-}
-
-func (c *client) read(txn, key string) ([]byte, bool) {
-	resp := c.send("READ %s %s", txn, key)
-	switch {
-	case resp == "NIL":
-		return nil, false
-	case strings.HasPrefix(resp, "VAL "):
-		val, err := base64.StdEncoding.DecodeString(resp[4:])
-		if err != nil {
-			log.Fatalf("bad value from server: %v", err)
-		}
-		return val, true
-	default:
-		log.Fatalf("read: %s", resp)
-		return nil, false
-	}
-}
-
-func (c *client) commitOK(txn string) {
-	if resp := c.send("COMMIT %s", txn); resp != "OK" {
-		log.Fatalf("commit: %s", resp)
 	}
 }

@@ -1,56 +1,64 @@
 // Command sss-server runs one SSS node over real TCP, for multi-process
 // deployments. The cluster address book is given as a comma-separated list
 // of host:port pairs (index = node ID); -id selects which entry this
-// process serves. A small line-oriented client protocol is exposed on
-// -client-addr for sss-client:
+// process serves.
 //
-//	BEGIN ro|rw          -> OK <txn>
-//	READ <txn> <key>     -> VAL <base64> | NIL
-//	WRITE <txn> <key> <base64>
-//	COMMIT <txn>         -> OK | ABORTED
-//	ABORT <txn>          -> OK
+// Clients speak the binary protocol of internal/clientproto on
+// -client-addr, served by a concurrent session manager: one connection
+// multiplexes many interleaved transactions, requests are pipelined and
+// answered out of order by request ID, and a dropped connection aborts
+// every transaction still open on it. Use the client package
+// (github.com/sss-paper/sss/client) or cmd/sss-client to talk to it.
 //
 // Example 3-node cluster on one machine:
 //
 //	sss-server -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client-addr :8000
 //	sss-server -id 1 -peers ...                                          -client-addr :8001
 //	sss-server -id 2 -peers ...                                          -client-addr :8002
+//
+// On SIGINT/SIGTERM the server drains client sessions (aborting open
+// transactions), prints the session-manager counters, flushes any requested
+// profiles, and exits.
 package main
 
 import (
-	"bufio"
-	"encoding/base64"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
-	"sync"
 	"syscall"
+	"time"
 
+	"github.com/sss-paper/sss/internal/clientproto"
 	"github.com/sss-paper/sss/internal/cluster"
 	"github.com/sss-paper/sss/internal/engine"
 	"github.com/sss-paper/sss/internal/profiling"
 	"github.com/sss-paper/sss/internal/transport"
 	"github.com/sss-paper/sss/internal/wire"
+	"github.com/sss-paper/sss/kv"
 )
 
 var (
-	id         = flag.Int("id", 0, "this node's ID (index into -peers)")
-	peers      = flag.String("peers", "127.0.0.1:7000", "comma-separated node addresses")
-	clientAddr = flag.String("client-addr", ":8000", "listen address for the client protocol")
-	degree     = flag.Int("replication", 2, "replication degree")
-	batchMax   = flag.Int("batch-max", 0, "max envelopes per transport batch frame (0 = default 64)")
-	batchWin   = flag.Duration("batch-window", 0, "flush window per-peer senders wait to accumulate batches (0 = flush immediately)")
-	workers    = flag.Int("inbound-workers", 0, "inbound dispatch pool size (0 = 8×GOMAXPROCS, clamped to [32, 256])")
+	id            = flag.Int("id", 0, "this node's ID (index into -peers)")
+	peers         = flag.String("peers", "127.0.0.1:7000", "comma-separated node addresses")
+	clientAddr    = flag.String("client-addr", ":8000", "listen address for the client protocol")
+	degree        = flag.Int("replication", 2, "replication degree")
+	batchMax      = flag.Int("batch-max", 0, "max envelopes per transport batch frame (0 = default 64)")
+	batchWin      = flag.Duration("batch-window", 0, "flush window per-peer senders wait to accumulate batches (0 = flush immediately)")
+	workers       = flag.Int("inbound-workers", 0, "inbound dispatch pool size (0 = 8×GOMAXPROCS, clamped to [32, 256])")
+	clientWorkers = flag.Int("client-workers", 0, "client request handler pool size (0 = same default)")
 
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file on SIGINT/SIGTERM")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on SIGINT/SIGTERM")
 	blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file on SIGINT/SIGTERM")
 )
+
+// engineStore adapts the engine node to kv.Store for the session manager.
+type engineStore struct{ node *engine.Node }
+
+func (s engineStore) Begin(readOnly bool) kv.Txn { return s.node.Begin(readOnly) }
 
 func main() {
 	flag.Parse()
@@ -59,23 +67,13 @@ func main() {
 		log.Fatalf("-id %d out of range for %d peers", *id, len(addrs))
 	}
 	profCfg := profiling.Config{CPU: *cpuProfile, Mutex: *mutexProfile, Block: *blockProfile}
+	stopProf := func() error { return nil }
 	if profCfg.Enabled() {
-		stopProf, err := profiling.Start(profCfg)
+		var err error
+		stopProf, err = profiling.Start(profCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Profiles are flushed on SIGINT/SIGTERM, then the process exits.
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-		go func() {
-			<-sigs
-			if err := stopProf(); err != nil {
-				log.Printf("profiling: %v", err)
-			} else {
-				log.Printf("profiles written (cpu=%q mutex=%q block=%q)", *cpuProfile, *mutexProfile, *blockProfile)
-			}
-			os.Exit(0)
-		}()
 	}
 	book := make(map[wire.NodeID]string, len(addrs))
 	for i, a := range addrs {
@@ -98,125 +96,49 @@ func main() {
 		log.Fatalf("client listener: %v", err)
 	}
 	log.Printf("client protocol on %s", ln.Addr())
-	srv := &clientServer{node: node, txns: make(map[uint64]*engine.Txn)}
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatalf("accept: %v", err)
+	srv := clientproto.NewServer(engineStore{node}, clientproto.ServerOptions{
+		Workers: *clientWorkers,
+		Logf:    log.Printf,
+	})
+
+	// Graceful shutdown: drain sessions (aborting open transactions) so a
+	// killed server never strands snapshot-queue entries at its peers,
+	// then flush profiles. The drain is bounded: an in-flight Commit parks
+	// until external commit, which can never arrive if the peers were
+	// SIGTERMed in the same sweep (a whole-cluster shutdown), so after the
+	// bound we abandon the stuck handlers rather than hang forever.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-sigs
+		log.Printf("shutting down: %s", srv.Metrics().Snapshot())
+		drained := make(chan struct{})
+		go func() {
+			_ = srv.Close()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+			_ = node.Close()
+			_ = net_.Close()
+		case <-time.After(5 * time.Second):
+			log.Printf("session drain timed out (in-flight commits waiting on dead peers?); exiting anyway")
 		}
-		go srv.serve(conn)
-	}
-}
-
-type clientServer struct {
-	node *engine.Node
-
-	mu     sync.Mutex
-	nextID uint64
-	txns   map[uint64]*engine.Txn
-}
-
-func (s *clientServer) serve(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
-	reply := func(format string, args ...any) {
-		fmt.Fprintf(w, format+"\n", args...)
-		_ = w.Flush()
-	}
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
+		if err := stopProf(); err != nil {
+			log.Printf("profiling: %v", err)
+		} else if profCfg.Enabled() {
+			log.Printf("profiles written (cpu=%q mutex=%q block=%q)", *cpuProfile, *mutexProfile, *blockProfile)
 		}
-		switch strings.ToUpper(fields[0]) {
-		case "BEGIN":
-			readOnly := len(fields) > 1 && strings.EqualFold(fields[1], "ro")
-			s.mu.Lock()
-			s.nextID++
-			handle := s.nextID
-			s.txns[handle] = s.node.Begin(readOnly)
-			s.mu.Unlock()
-			reply("OK %d", handle)
-		case "READ":
-			tx, ok := s.txn(fields, 3)
-			if !ok {
-				reply("ERR bad txn")
-				continue
-			}
-			val, exists, err := tx.Read(fields[2])
-			switch {
-			case err != nil:
-				reply("ERR %v", err)
-			case !exists:
-				reply("NIL")
-			default:
-				reply("VAL %s", base64.StdEncoding.EncodeToString(val))
-			}
-		case "WRITE":
-			tx, ok := s.txn(fields, 4)
-			if !ok {
-				reply("ERR bad txn")
-				continue
-			}
-			val, err := base64.StdEncoding.DecodeString(fields[3])
-			if err != nil {
-				reply("ERR bad value encoding")
-				continue
-			}
-			if err := tx.Write(fields[2], val); err != nil {
-				reply("ERR %v", err)
-				continue
-			}
-			reply("OK")
-		case "COMMIT":
-			tx, ok := s.txn(fields, 2)
-			if !ok {
-				reply("ERR bad txn")
-				continue
-			}
-			s.drop(fields[1])
-			if err := tx.Commit(); err != nil {
-				reply("ABORTED")
-				continue
-			}
-			reply("OK")
-		case "ABORT":
-			tx, ok := s.txn(fields, 2)
-			if !ok {
-				reply("ERR bad txn")
-				continue
-			}
-			s.drop(fields[1])
-			_ = tx.Abort()
-			reply("OK")
-		default:
-			reply("ERR unknown command %q", fields[0])
-		}
-	}
-}
+	}()
 
-func (s *clientServer) txn(fields []string, minLen int) (*engine.Txn, bool) {
-	if len(fields) < minLen {
-		return nil, false
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
 	}
-	handle, err := strconv.ParseUint(fields[1], 10, 64)
-	if err != nil {
-		return nil, false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tx, ok := s.txns[handle]
-	return tx, ok
-}
-
-func (s *clientServer) drop(handleStr string) {
-	handle, err := strconv.ParseUint(handleStr, 10, 64)
-	if err != nil {
-		return
-	}
-	s.mu.Lock()
-	delete(s.txns, handle)
-	s.mu.Unlock()
+	// Serve returns once srv.Close() shuts the listener — i.e. mid-way
+	// through the signal goroutine's drain sequence. Falling off main here
+	// would kill the process before open transactions are aborted and
+	// profiles flushed; wait for the shutdown to actually finish.
+	<-shutdownDone
 }

@@ -1,0 +1,398 @@
+// Package clientproto defines the binary client-facing protocol of
+// sss-server and its session-manager implementation.
+//
+// Unlike internal/wire — the inter-node vocabulary of the replication
+// protocol — clientproto frames the five transactional verbs a client
+// program needs (Begin, Read, Write, Commit, Abort, plus Ping for health
+// probes) over a single multiplexed TCP connection. Frames are
+// length-prefixed and ride the same pooled codec buffers as the node-to-node
+// transport, so the steady-state encode/decode path allocates nothing
+// beyond the decoded payloads.
+//
+// Framing (all integers uvarint, strings/bytes length-prefixed):
+//
+//	frame   := len(uvarint) body
+//	request := op(1) reqID txn ...op-specific
+//	reply   := kind(1) reqID ...kind-specific
+//
+// Every request carries a client-chosen request ID; replies echo it, so a
+// client may pipeline arbitrarily many requests on one connection and match
+// replies out of order. Transaction handles are allocated by the server on
+// Begin and are scoped to the connection: when the connection drops, the
+// server aborts every transaction still open on it.
+package clientproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// MaxFrame bounds a single client-protocol frame; larger frames indicate a
+// corrupt or hostile peer and close the connection.
+const MaxFrame = 16 << 20
+
+// Op tags a client request.
+type Op uint8
+
+// Request operations.
+const (
+	OpBegin Op = iota + 1
+	OpRead
+	OpWrite
+	OpCommit
+	OpAbort
+	// OpPing is a no-op round trip: the readiness/health probe used by the
+	// harness and client keep-alive checks.
+	OpPing
+)
+
+// String names the op for error messages.
+func (o Op) String() string {
+	switch o {
+	case OpBegin:
+		return "BEGIN"
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ABORT"
+	case OpPing:
+		return "PING"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ReplyKind tags a server reply.
+type ReplyKind uint8
+
+// Reply kinds.
+const (
+	// ReplyOK acknowledges Begin (carrying the new handle), Write, Commit,
+	// Abort and Ping.
+	ReplyOK ReplyKind = iota + 1
+	// ReplyValue answers a Read: Exists + Val.
+	ReplyValue
+	// ReplyErr reports a typed failure for the request it echoes.
+	ReplyErr
+)
+
+// ErrCode is the typed error vocabulary of ReplyErr. The client package
+// maps these back onto the kv sentinel errors.
+type ErrCode uint8
+
+// Error codes.
+const (
+	CodeAborted ErrCode = iota + 1 // kv.ErrAborted: validation/lock conflict
+	CodeReadOnlyWrite
+	CodeTxnDone
+	CodeUnavailable
+	CodeUnknownTxn // handle not open on this connection
+	CodeBadRequest // malformed or out-of-contract request
+	CodeInternal   // engine error outside the kv vocabulary
+)
+
+// String names the code.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeAborted:
+		return "aborted"
+	case CodeReadOnlyWrite:
+		return "read-only-write"
+	case CodeTxnDone:
+		return "txn-done"
+	case CodeUnavailable:
+		return "unavailable"
+	case CodeUnknownTxn:
+		return "unknown-txn"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// Request is one client frame. Fields beyond Op/ReqID are op-specific:
+// Begin uses ReadOnly; Read/Write/Commit/Abort use Txn; Read and Write use
+// Key; Write uses Val.
+type Request struct {
+	Op       Op
+	ReqID    uint64
+	Txn      uint64
+	ReadOnly bool
+	Key      string
+	Val      []byte
+}
+
+// Reply is one server frame, echoing the request's ReqID.
+type Reply struct {
+	Kind  ReplyKind
+	ReqID uint64
+	// Txn carries the new handle on a Begin ack.
+	Txn uint64
+	// Exists/Val answer a Read.
+	Exists bool
+	Val    []byte
+	// Code/Msg describe a ReplyErr.
+	Code ErrCode
+	Msg  string
+}
+
+// AppendRequest appends the body encoding of req to buf.
+func AppendRequest(buf []byte, req *Request) []byte {
+	buf = append(buf, byte(req.Op))
+	buf = binary.AppendUvarint(buf, req.ReqID)
+	switch req.Op {
+	case OpBegin:
+		buf = appendBool(buf, req.ReadOnly)
+	case OpRead:
+		buf = binary.AppendUvarint(buf, req.Txn)
+		buf = appendString(buf, req.Key)
+	case OpWrite:
+		buf = binary.AppendUvarint(buf, req.Txn)
+		buf = appendString(buf, req.Key)
+		buf = appendBytes(buf, req.Val)
+	case OpCommit, OpAbort:
+		buf = binary.AppendUvarint(buf, req.Txn)
+	case OpPing:
+	}
+	return buf
+}
+
+// DecodeRequest parses one request body. The returned request does not
+// retain buf.
+func DecodeRequest(buf []byte) (Request, error) {
+	c := cursor{buf: buf}
+	req := Request{Op: Op(c.byte()), ReqID: c.uvarint()}
+	switch req.Op {
+	case OpBegin:
+		req.ReadOnly = c.bool()
+	case OpRead:
+		req.Txn = c.uvarint()
+		req.Key = c.str()
+	case OpWrite:
+		req.Txn = c.uvarint()
+		req.Key = c.str()
+		req.Val = c.bytes()
+	case OpCommit, OpAbort:
+		req.Txn = c.uvarint()
+	case OpPing:
+	default:
+		return Request{}, fmt.Errorf("clientproto: unknown op %d", uint8(req.Op))
+	}
+	if c.err != nil {
+		return Request{}, c.err
+	}
+	if c.off != len(buf) {
+		return Request{}, fmt.Errorf("clientproto: %d trailing bytes after %v", len(buf)-c.off, req.Op)
+	}
+	return req, nil
+}
+
+// AppendReply appends the body encoding of rep to buf.
+func AppendReply(buf []byte, rep *Reply) []byte {
+	buf = append(buf, byte(rep.Kind))
+	buf = binary.AppendUvarint(buf, rep.ReqID)
+	switch rep.Kind {
+	case ReplyOK:
+		buf = binary.AppendUvarint(buf, rep.Txn)
+	case ReplyValue:
+		buf = appendBool(buf, rep.Exists)
+		buf = appendBytes(buf, rep.Val)
+	case ReplyErr:
+		buf = append(buf, byte(rep.Code))
+		buf = appendString(buf, rep.Msg)
+	}
+	return buf
+}
+
+// DecodeReply parses one reply body. The returned reply does not retain buf.
+func DecodeReply(buf []byte) (Reply, error) {
+	c := cursor{buf: buf}
+	rep := Reply{Kind: ReplyKind(c.byte()), ReqID: c.uvarint()}
+	switch rep.Kind {
+	case ReplyOK:
+		rep.Txn = c.uvarint()
+	case ReplyValue:
+		rep.Exists = c.bool()
+		rep.Val = c.bytes()
+	case ReplyErr:
+		rep.Code = ErrCode(c.byte())
+		rep.Msg = c.str()
+	default:
+		return Reply{}, fmt.Errorf("clientproto: unknown reply kind %d", uint8(rep.Kind))
+	}
+	if c.err != nil {
+		return Reply{}, c.err
+	}
+	if c.off != len(buf) {
+		return Reply{}, fmt.Errorf("clientproto: %d trailing bytes after reply", len(buf)-c.off)
+	}
+	return rep, nil
+}
+
+// WriteRequest frames and writes req to w (not flushed). The encode buffer
+// is pooled; steady-state writes allocate nothing.
+func WriteRequest(w *bufio.Writer, req *Request) error {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	*bp = AppendRequest(*bp, req)
+	return writeFrame(w, *bp)
+}
+
+// WriteReply frames and writes rep to w (not flushed).
+func WriteReply(w *bufio.Writer, rep *Reply) error {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	*bp = AppendReply(*bp, rep)
+	return writeFrame(w, *bp)
+}
+
+func writeFrame(w *bufio.Writer, body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadRequest reads one framed request from r.
+func ReadRequest(r *bufio.Reader) (Request, error) {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	if err := readFrame(r, bp); err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(*bp)
+}
+
+// ReadReply reads one framed reply from r.
+func ReadReply(r *bufio.Reader) (Reply, error) {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	if err := readFrame(r, bp); err != nil {
+		return Reply{}, err
+	}
+	return DecodeReply(*bp)
+}
+
+// readFrame reads one length-prefixed frame into *bp (resized as needed).
+func readFrame(r *bufio.Reader, bp *[]byte) error {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	if size > MaxFrame {
+		return fmt.Errorf("clientproto: frame of %d bytes exceeds limit", size)
+	}
+	buf := *bp
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	*bp = buf
+	_, err = io.ReadFull(r, buf)
+	return err
+}
+
+// --- codec helpers (mirroring internal/wire's cursor idiom) ---
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// cursor walks a buffer accumulating the first error; reads after an error
+// return zero values, keeping decode paths linear.
+type cursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("clientproto: truncated %s at offset %d", what, c.off)
+	}
+}
+
+func (c *cursor) byte() byte {
+	if c.err != nil || c.off >= len(c.buf) {
+		c.fail("byte")
+		return 0
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b
+}
+
+func (c *cursor) bool() bool { return c.byte() != 0 }
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		c.fail("uvarint")
+		return 0
+	}
+	c.off += n
+	return x
+}
+
+func (c *cursor) str() string {
+	n := int(c.uvarint())
+	if c.err != nil {
+		return ""
+	}
+	if n < 0 || c.off+n > len(c.buf) || c.off+n < 0 {
+		c.fail("string")
+		return ""
+	}
+	s := string(c.buf[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+func (c *cursor) bytes() []byte {
+	n := int(c.uvarint())
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.buf) || c.off+n < 0 {
+		c.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, c.buf[c.off:c.off+n])
+	c.off += n
+	return b
+}

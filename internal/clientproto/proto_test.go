@@ -1,0 +1,201 @@
+package clientproto
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomRequest(rng *rand.Rand) Request {
+	ops := []Op{OpBegin, OpRead, OpWrite, OpCommit, OpAbort, OpPing}
+	req := Request{Op: ops[rng.Intn(len(ops))], ReqID: rng.Uint64() >> uint(rng.Intn(64))}
+	switch req.Op {
+	case OpBegin:
+		req.ReadOnly = rng.Intn(2) == 0
+	case OpRead:
+		req.Txn = rng.Uint64() >> uint(rng.Intn(64))
+		req.Key = randString(rng, rng.Intn(64))
+	case OpWrite:
+		req.Txn = rng.Uint64() >> uint(rng.Intn(64))
+		req.Key = randString(rng, rng.Intn(64))
+		req.Val = randBytes(rng, rng.Intn(1024))
+	case OpCommit, OpAbort:
+		req.Txn = rng.Uint64() >> uint(rng.Intn(64))
+	}
+	return req
+}
+
+func randomReply(rng *rand.Rand) Reply {
+	kinds := []ReplyKind{ReplyOK, ReplyValue, ReplyErr}
+	rep := Reply{Kind: kinds[rng.Intn(len(kinds))], ReqID: rng.Uint64() >> uint(rng.Intn(64))}
+	switch rep.Kind {
+	case ReplyOK:
+		rep.Txn = rng.Uint64() >> uint(rng.Intn(64))
+	case ReplyValue:
+		rep.Exists = rng.Intn(2) == 0
+		rep.Val = randBytes(rng, rng.Intn(1024))
+	case ReplyErr:
+		rep.Code = ErrCode(rng.Intn(int(CodeInternal)) + 1)
+		rep.Msg = randString(rng, rng.Intn(128))
+	}
+	return rep
+}
+
+func randString(rng *rand.Rand, n int) string {
+	return string(randBytes(rng, n))
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := randomRequest(rng)
+		buf := AppendRequest(nil, &in)
+		out, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		in := randomReply(rng)
+		buf := AppendReply(nil, &in)
+		out, err := DecodeReply(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+// TestFramedRoundTrip pushes a pipelined stream of framed requests and
+// replies through one buffer and decodes them in order.
+func TestFramedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var reqs []Request
+	var reps []Reply
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for i := 0; i < 200; i++ {
+		req := randomRequest(rng)
+		rep := randomReply(rng)
+		reqs = append(reqs, req)
+		reps = append(reps, rep)
+		if err := WriteRequest(w, &req); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteReply(w, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	for i := range reqs {
+		req, err := ReadRequest(r)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(req, reqs[i]) {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, req, reqs[i])
+		}
+		rep, err := ReadReply(r)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(rep, reps[i]) {
+			t.Fatalf("reply %d mismatch: %+v vs %+v", i, rep, reps[i])
+		}
+	}
+}
+
+// TestDecodeTruncation checks every proper prefix of valid encodings fails
+// cleanly instead of panicking or succeeding.
+func TestDecodeTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		req := randomRequest(rng)
+		buf := AppendRequest(nil, &req)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := DecodeRequest(buf[:cut]); err == nil {
+				// A prefix may itself be a valid shorter encoding only if
+				// it decodes to something different — but our encodings are
+				// self-delimiting, so any true prefix must error.
+				t.Fatalf("truncated request decode succeeded at %d/%d (%+v)", cut, len(buf), req)
+			}
+		}
+		rep := randomReply(rng)
+		buf = AppendReply(nil, &rep)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := DecodeReply(buf[:cut]); err == nil {
+				t.Fatalf("truncated reply decode succeeded at %d/%d (%+v)", cut, len(buf), rep)
+			}
+		}
+	}
+}
+
+// TestDecodeGarbage feeds random bytes to the decoders: they must reject or
+// accept without panicking, and anything accepted must round-trip stably
+// through re-encode (uvarints admit non-minimal encodings, so only the
+// decoded structure — not the raw bytes — is required to be canonical).
+func TestDecodeGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		buf := randBytes(rng, rng.Intn(64)+1)
+		if req, err := DecodeRequest(buf); err == nil {
+			re, err := DecodeRequest(AppendRequest(nil, &req))
+			if err != nil || !reflect.DeepEqual(req, re) {
+				t.Fatalf("accepted garbage unstable: % x -> %+v -> %+v (%v)", buf, req, re, err)
+			}
+		}
+		if rep, err := DecodeReply(buf); err == nil {
+			re, err := DecodeReply(AppendReply(nil, &rep))
+			if err != nil || !reflect.DeepEqual(rep, re) {
+				t.Fatalf("accepted garbage reply unstable: % x -> %+v -> %+v (%v)", buf, rep, re, err)
+			}
+		}
+	}
+}
+
+// TestReadFrameLimit rejects frames above MaxFrame without allocating them.
+func TestReadFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	// Header declaring a huge frame with no body.
+	hdr := make([]byte, 0, 16)
+	hdr = appendUvarintForTest(hdr, MaxFrame+1)
+	if _, err := w.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	if _, err := ReadRequest(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func appendUvarintForTest(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}

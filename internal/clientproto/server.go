@@ -1,0 +1,451 @@
+package clientproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/kv"
+)
+
+// ServerOptions tunes a Server. The zero value selects defaults.
+type ServerOptions struct {
+	// Workers bounds the request-handler pool shared by all sessions
+	// (0 = 8×GOMAXPROCS clamped to [32, 256], matching the transport's
+	// inbound dispatcher). Requests that find the pool saturated spill to
+	// dedicated goroutines — handlers may block indefinitely (a Commit
+	// parks until external commit), so a hard bound could deadlock the
+	// Remove traffic that unblocks them.
+	Workers int
+	// Logf, when non-nil, receives session-level diagnostics (accept and
+	// teardown errors). Protocol-level errors are answered in-band, not
+	// logged.
+	Logf func(format string, args ...any)
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers <= 0 {
+		o.Workers = 8 * runtime.GOMAXPROCS(0)
+		if o.Workers < 32 {
+			o.Workers = 32
+		}
+		if o.Workers > 256 {
+			o.Workers = 256
+		}
+	}
+	return o
+}
+
+// Server is the session manager behind sss-server's client port: it accepts
+// connections, decodes pipelined binary-protocol requests, serves them on a
+// bounded goroutine pool (spilling under saturation), and multiplexes many
+// interleaved transactions per connection.
+//
+// Contract kept per session:
+//   - Requests on distinct transaction handles run concurrently; requests
+//     on the same handle are serialized in arrival order (kv.Txn handles
+//     are single-goroutine objects).
+//   - Every request is acknowledged — including Write — either with its
+//     success reply or with a typed ReplyErr.
+//   - When the connection drops (EOF, reset, or a failed reply write),
+//     every transaction still open on it is aborted, so a vanished client
+//     can never leave locks or snapshot-queue entries behind.
+type Server struct {
+	store kv.Store
+	opts  ServerOptions
+	stats metrics.ClientNet
+
+	sem chan struct{} // handler pool slots
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+
+	wg sync.WaitGroup // accept loop + session read loops + handlers
+}
+
+// NewServer builds a session manager serving transactions from store.
+func NewServer(store kv.Store, opts ServerOptions) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		store:    store,
+		opts:     opts,
+		sem:      make(chan struct{}, opts.Workers),
+		sessions: make(map[*session]struct{}),
+	}
+}
+
+// Metrics exposes the server's counters.
+func (s *Server) Metrics() *metrics.ClientNet { return &s.stats }
+
+// Serve accepts connections on ln until Close. It returns after the accept
+// loop stops; sessions drain in the background until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("clientproto: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+// ServeConn runs one session on an already-accepted connection (tests and
+// in-process harnesses). It returns when the session ends.
+func (s *Server) ServeConn(conn net.Conn) {
+	if sess := s.startSession(conn); sess != nil {
+		<-sess.done
+	}
+}
+
+func (s *Server) startSession(conn net.Conn) *session {
+	sess := &session{
+		srv:  s,
+		conn: conn,
+		bw:   newReplyWriter(conn),
+		txns: make(map[uint64]*sessTxn),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.stats.Sessions.Add(1)
+	s.stats.ActiveSessions.Add(1)
+	go sess.readLoop()
+	return sess
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting, tears down every live session (aborting its open
+// transactions), and waits for all handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, sess := range sessions {
+		_ = sess.conn.Close()
+	}
+	s.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// session is one client connection: a read loop decoding frames, a locked
+// reply writer, and the open transaction table.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	bw   *replyWriter
+	done chan struct{}
+
+	mu     sync.Mutex
+	nextID uint64
+	txns   map[uint64]*sessTxn
+	dead   bool // reply path failed or conn closed: stop writing
+}
+
+// sessTxn serializes requests targeting one transaction handle via a FIFO
+// ticket chain: the read loop (which sees requests in arrival order) links
+// each handle-targeted request behind the previous one's completion
+// channel, so pipelined requests on the same handle execute in arrival
+// order even though each runs on its own pooled goroutine, while other
+// handles proceed concurrently. tail is guarded by session.mu.
+type sessTxn struct {
+	tx   kv.Txn
+	tail chan struct{} // completion of the last enqueued op; nil when idle
+}
+
+func (ss *session) readLoop() {
+	defer ss.srv.wg.Done()
+	defer ss.teardown()
+	// Handlers outlive individual requests but not the server: each one
+	// registers on srv.wg via dispatch.
+	br := newRequestReader(ss.conn)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			// Distinguish a clean disconnect from garbage: decode errors
+			// (not I/O errors) are answered before closing, so a confused
+			// client sees *why* the server hung up.
+			var ne net.Error
+			if !errors.Is(err, net.ErrClosed) && !isEOF(err) && !errors.As(err, &ne) {
+				ss.srv.stats.ProtocolErrors.Add(1)
+				ss.reply(&Reply{Kind: ReplyErr, Code: CodeBadRequest, Msg: err.Error()})
+			}
+			return
+		}
+		ss.srv.stats.Requests.Add(1)
+		ss.route(req)
+	}
+}
+
+// route assigns req its execution slot. It runs on the read loop, so the
+// per-handle ordering decisions — the txn-table lookup, the removal of
+// terminal (Commit/Abort) handles, and the FIFO ticket linking the request
+// behind the handle's previous one — are all made in arrival order; only
+// the engine call itself runs on the pool.
+func (ss *session) route(req Request) {
+	switch req.Op {
+	case OpRead, OpWrite, OpCommit, OpAbort:
+		ss.mu.Lock()
+		st, ok := ss.txns[req.Txn]
+		var wait, done chan struct{}
+		if ok {
+			if req.Op == OpCommit || req.Op == OpAbort {
+				// The handle is dropped before the engine call: a request
+				// arriving after the commit sees unknown-txn, never a
+				// half-finished handle.
+				delete(ss.txns, req.Txn)
+			}
+			wait, done = st.tail, make(chan struct{})
+			st.tail = done
+		}
+		ss.mu.Unlock()
+		if !ok {
+			ss.dispatch(func() {
+				ss.replyErr(req.ReqID, CodeUnknownTxn, fmt.Sprintf("no open transaction %d", req.Txn))
+			})
+			return
+		}
+		tx := st.tx
+		ss.dispatch(func() {
+			if wait != nil {
+				<-wait
+			}
+			defer close(done)
+			ss.handleTxnOp(req, tx)
+		})
+	default:
+		ss.dispatch(func() { ss.handle(req) })
+	}
+}
+
+// dispatch runs fn on a pool slot, or on a dedicated goroutine when the
+// pool is saturated (handlers may block indefinitely; see ServerOptions).
+func (ss *session) dispatch(fn func()) {
+	ss.srv.wg.Add(1)
+	select {
+	case ss.srv.sem <- struct{}{}:
+		go func() {
+			defer ss.srv.wg.Done()
+			defer func() { <-ss.srv.sem }()
+			fn()
+		}()
+	default:
+		ss.srv.stats.Spills.Add(1)
+		go func() {
+			defer ss.srv.wg.Done()
+			fn()
+		}()
+	}
+}
+
+// handleTxnOp executes one handle-targeted op. The caller holds the
+// handle's FIFO turn, so tx is never entered concurrently.
+func (ss *session) handleTxnOp(req Request, tx kv.Txn) {
+	switch req.Op {
+	case OpRead:
+		val, exists, err := tx.Read(req.Key)
+		if err != nil {
+			ss.replyKvErr(req.ReqID, err)
+			return
+		}
+		ss.reply(&Reply{Kind: ReplyValue, ReqID: req.ReqID, Exists: exists, Val: val})
+	case OpWrite:
+		if err := tx.Write(req.Key, req.Val); err != nil {
+			ss.replyKvErr(req.ReqID, err)
+			return
+		}
+		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID})
+	case OpCommit, OpAbort:
+		var err error
+		if req.Op == OpCommit {
+			err = tx.Commit()
+		} else {
+			err = tx.Abort()
+		}
+		if err != nil {
+			ss.replyKvErr(req.ReqID, err)
+			return
+		}
+		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID})
+	}
+}
+
+func (ss *session) handle(req Request) {
+	switch req.Op {
+	case OpPing:
+		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID})
+	case OpBegin:
+		tx := ss.srv.store.Begin(req.ReadOnly)
+		ss.mu.Lock()
+		if ss.dead {
+			ss.mu.Unlock()
+			_ = tx.Abort()
+			return
+		}
+		ss.nextID++
+		handle := ss.nextID
+		ss.txns[handle] = &sessTxn{tx: tx}
+		ss.mu.Unlock()
+		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID, Txn: handle})
+	default:
+		ss.srv.stats.ProtocolErrors.Add(1)
+		ss.replyErr(req.ReqID, CodeBadRequest, fmt.Sprintf("unknown op %d", uint8(req.Op)))
+	}
+}
+
+func (ss *session) replyErr(reqID uint64, code ErrCode, msg string) {
+	ss.reply(&Reply{Kind: ReplyErr, ReqID: reqID, Code: code, Msg: msg})
+}
+
+// replyKvErr maps an engine error onto the typed wire vocabulary.
+func (ss *session) replyKvErr(reqID uint64, err error) {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, kv.ErrAborted):
+		code = CodeAborted
+	case errors.Is(err, kv.ErrReadOnlyWrite):
+		code = CodeReadOnlyWrite
+	case errors.Is(err, kv.ErrTxnDone):
+		code = CodeTxnDone
+	case errors.Is(err, kv.ErrUnavailable):
+		code = CodeUnavailable
+	}
+	ss.replyErr(reqID, code, err.Error())
+}
+
+// reply writes rep; a write failure (client gone, full buffers) marks the
+// session dead and closes the connection, which unblocks the read loop and
+// triggers teardown — reply errors are never silently swallowed.
+func (ss *session) reply(rep *Reply) {
+	ss.mu.Lock()
+	if ss.dead {
+		ss.mu.Unlock()
+		return
+	}
+	ss.mu.Unlock()
+	if err := ss.bw.write(rep); err != nil {
+		ss.srv.stats.WriteErrors.Add(1)
+		ss.mu.Lock()
+		ss.dead = true
+		ss.mu.Unlock()
+		_ = ss.conn.Close()
+	}
+}
+
+// teardown runs when the read loop exits: it closes the connection,
+// unregisters the session, and aborts every transaction still open —
+// in-flight handlers finish their engine call first (per-txn mutex), then
+// the abort observes kv.ErrTxnDone or succeeds.
+func (ss *session) teardown() {
+	_ = ss.conn.Close()
+	ss.srv.mu.Lock()
+	delete(ss.srv.sessions, ss)
+	ss.srv.mu.Unlock()
+	ss.srv.stats.ActiveSessions.Add(-1)
+
+	ss.mu.Lock()
+	ss.dead = true
+	type openTxn struct {
+		tx   kv.Txn
+		wait chan struct{}
+	}
+	open := make([]openTxn, 0, len(ss.txns))
+	for _, st := range ss.txns {
+		open = append(open, openTxn{tx: st.tx, wait: st.tail})
+	}
+	ss.txns = make(map[uint64]*sessTxn)
+	ss.mu.Unlock()
+	for _, ot := range open {
+		ot := ot
+		// Each abort chains behind the handle's last in-flight op (its FIFO
+		// ticket); run under the server waitgroup so Close still observes
+		// completion.
+		ss.srv.wg.Add(1)
+		go func() {
+			defer ss.srv.wg.Done()
+			if ot.wait != nil {
+				<-ot.wait
+			}
+			_ = ot.tx.Abort()
+			ss.srv.stats.DisconnectAborts.Add(1)
+		}()
+	}
+	if ss.srv.opts.Logf != nil {
+		ss.srv.opts.Logf("clientproto: session %s closed (%d open txns aborted)",
+			ss.conn.RemoteAddr(), len(open))
+	}
+	close(ss.done)
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// replyWriter serializes reply frames from concurrent handlers onto one
+// buffered connection writer, flushing per reply.
+type replyWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newReplyWriter(conn net.Conn) *replyWriter {
+	return &replyWriter{bw: bufio.NewWriterSize(conn, 64<<10)}
+}
+
+func (w *replyWriter) write(rep *Reply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := WriteReply(w.bw, rep); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func newRequestReader(conn net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(conn, 64<<10)
+}

@@ -1,0 +1,287 @@
+// Package harness spawns, monitors and tears down real multi-process SSS
+// clusters — N sss-server processes on loopback TCP — for end-to-end tests
+// and the distributed benchmark mode of sss-bench.
+//
+// The harness owns the whole process lifecycle: it allocates free ports for
+// the inter-node transport and the client protocol, starts one sss-server
+// per node with its stdout/stderr captured to per-node log files, probes
+// readiness through the binary client protocol (Ping), and shuts the
+// cluster down SIGTERM-first so servers drain sessions and abort open
+// transactions before exiting.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/sss-paper/sss/client"
+)
+
+// Config describes the cluster to start.
+type Config struct {
+	// Nodes is the cluster size (required, >= 1).
+	Nodes int
+	// Replication is the replication degree (default 2).
+	Replication int
+	// BinPath is the sss-server binary. Required: build it once with
+	// BuildServer (tests) or `go build ./cmd/sss-server` (scripts), so a
+	// multi-point benchmark never pays a rebuild per cluster.
+	BinPath string
+	// Dir receives per-node log files (and any server artifacts). Empty =
+	// a fresh temp dir, removed on Stop.
+	Dir string
+	// ExtraArgs are appended to every server's command line.
+	ExtraArgs []string
+	// StartTimeout bounds the wait for every node's readiness probe
+	// (default 30s).
+	StartTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Cluster is a running multi-process deployment.
+type Cluster struct {
+	cfg         Config
+	dir         string
+	removeDir   bool
+	peerAddrs   []string
+	clientAddrs []string
+	procs       []*proc
+}
+
+// proc is one monitored server process.
+type proc struct {
+	cmd  *exec.Cmd
+	log  *os.File
+	done chan struct{} // closed when Wait returns
+	err  error         // exit status, once done
+}
+
+// BuildServer builds the sss-server binary into dir and returns its path.
+// The go build cache makes repeat builds cheap; tests share one binary per
+// run.
+func BuildServer(dir string) (string, error) {
+	bin := filepath.Join(dir, "sss-server")
+	cmd := exec.Command("go", "build", "-o", bin, "github.com/sss-paper/sss/cmd/sss-server")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("harness: build sss-server: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// Start boots the cluster and waits for every node to answer a client-
+// protocol Ping. On any failure the already-started processes are killed.
+func Start(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("harness: Nodes must be >= 1, got %d", cfg.Nodes)
+	}
+	if cfg.BinPath == "" {
+		return nil, errors.New("harness: BinPath required (see BuildServer)")
+	}
+	c := &Cluster{cfg: cfg, dir: cfg.Dir}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "sss-harness-*")
+		if err != nil {
+			return nil, err
+		}
+		c.dir = dir
+		c.removeDir = true
+	}
+
+	// One allocation for both address sets: all 2N listeners are held
+	// simultaneously, so the kernel cannot hand a just-freed peer port
+	// back out as a client port (or vice versa).
+	addrs, err := freeAddrs(2 * cfg.Nodes)
+	if err != nil {
+		c.cleanupDir()
+		return nil, err
+	}
+	c.peerAddrs, c.clientAddrs = addrs[:cfg.Nodes], addrs[cfg.Nodes:]
+
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := c.spawn(i); err != nil {
+			_ = c.Stop()
+			return nil, err
+		}
+	}
+	if err := c.waitReady(cfg.StartTimeout); err != nil {
+		_ = c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
+// spawn starts node i with captured logs and a monitor goroutine.
+func (c *Cluster) spawn(i int) error {
+	logPath := filepath.Join(c.dir, fmt.Sprintf("node%d.log", i))
+	logf, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-id", fmt.Sprint(i),
+		"-peers", strings.Join(c.peerAddrs, ","),
+		"-client-addr", c.clientAddrs[i],
+		"-replication", fmt.Sprint(c.cfg.Replication),
+	}
+	args = append(args, c.cfg.ExtraArgs...)
+	cmd := exec.Command(c.cfg.BinPath, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		_ = logf.Close()
+		return fmt.Errorf("harness: start node %d: %w", i, err)
+	}
+	p := &proc{cmd: cmd, log: logf, done: make(chan struct{})}
+	go func() {
+		p.err = cmd.Wait()
+		close(p.done)
+	}()
+	c.procs = append(c.procs, p)
+	return nil
+}
+
+// waitReady pings every node's client port until it answers or the timeout
+// expires; a node process dying early fails immediately with its log tail.
+func (c *Cluster) waitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i, addr := range c.clientAddrs {
+		for {
+			select {
+			case <-c.procs[i].done:
+				return fmt.Errorf("harness: node %d exited during startup (%v)\n%s",
+					i, c.procs[i].err, c.LogTail(i, 2048))
+			default:
+			}
+			cl, err := client.Dial(addr, client.Options{
+				Conns:          1,
+				DialTimeout:    500 * time.Millisecond,
+				RequestTimeout: 2 * time.Second,
+			})
+			if err == nil {
+				err = cl.Ping()
+				_ = cl.Close()
+				if err == nil {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("harness: node %d (%s) not ready after %v: %v\n%s",
+					i, addr, timeout, err, c.LogTail(i, 2048))
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// ClientAddrs returns the per-node client-protocol addresses.
+func (c *Cluster) ClientAddrs() []string { return append([]string(nil), c.clientAddrs...) }
+
+// PeerAddrs returns the inter-node transport address book.
+func (c *Cluster) PeerAddrs() []string { return append([]string(nil), c.peerAddrs...) }
+
+// Dir returns the directory holding the per-node logs.
+func (c *Cluster) Dir() string { return c.dir }
+
+// LogPath returns node i's log file path.
+func (c *Cluster) LogPath(i int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("node%d.log", i))
+}
+
+// LogTail returns up to n trailing bytes of node i's log, for diagnostics.
+func (c *Cluster) LogTail(i, n int) string {
+	b, err := os.ReadFile(c.LogPath(i))
+	if err != nil {
+		return fmt.Sprintf("(no log: %v)", err)
+	}
+	if len(b) > n {
+		b = b[len(b)-n:]
+	}
+	return string(b)
+}
+
+// Alive reports whether node i's process is still running.
+func (c *Cluster) Alive(i int) bool {
+	select {
+	case <-c.procs[i].done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Stop shuts the cluster down: SIGTERM to every process (graceful session
+// drain), SIGKILL after 10s, then log files close. Safe to call twice.
+func (c *Cluster) Stop() error {
+	var firstErr error
+	for _, p := range c.procs {
+		select {
+		case <-p.done:
+			continue
+		default:
+		}
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for i, p := range c.procs {
+		select {
+		case <-p.done:
+		case <-time.After(10 * time.Second):
+			_ = p.cmd.Process.Kill()
+			<-p.done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("harness: node %d ignored SIGTERM, killed", i)
+			}
+		}
+		_ = p.log.Close()
+	}
+	c.procs = nil
+	c.cleanupDir()
+	return firstErr
+}
+
+func (c *Cluster) cleanupDir() {
+	if c.removeDir {
+		_ = os.RemoveAll(c.dir)
+		c.removeDir = false
+	}
+}
+
+// freeAddrs reserves n distinct loopback ports by listening on :0 and
+// closing. The usual tiny race (another process grabbing the port between
+// close and the server's listen) is acceptable for tests and benchmarks.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

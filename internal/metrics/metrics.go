@@ -373,3 +373,57 @@ func (e *Engine) AbortRate() float64 {
 	}
 	return a / (c + a)
 }
+
+// ClientNet aggregates the counters of the client-facing protocol server
+// (internal/clientproto): session lifecycle, request volume, and the
+// failure modes the session manager must keep bounded.
+type ClientNet struct {
+	// Sessions counts accepted client connections; ActiveSessions the ones
+	// currently open.
+	Sessions       atomic.Uint64
+	ActiveSessions atomic.Int64
+	// Requests counts decoded client requests; ProtocolErrors counts
+	// malformed or out-of-contract requests answered with a typed error.
+	Requests       atomic.Uint64
+	ProtocolErrors atomic.Uint64
+	// DisconnectAborts counts transactions the server aborted because
+	// their connection dropped while they were open.
+	DisconnectAborts atomic.Uint64
+	// WriteErrors counts reply writes that failed (the session is then torn
+	// down rather than silently dropping acknowledgements).
+	WriteErrors atomic.Uint64
+	// Spills counts requests that found every pool worker busy and fell
+	// back to a dedicated goroutine (pool saturation signal, mirroring
+	// Transport.Spills).
+	Spills atomic.Uint64
+}
+
+// ClientNetSnapshot is a point-in-time copy for reporting.
+type ClientNetSnapshot struct {
+	Sessions         uint64 `json:"sessions"`
+	ActiveSessions   int64  `json:"active_sessions"`
+	Requests         uint64 `json:"requests"`
+	ProtocolErrors   uint64 `json:"protocol_errors"`
+	DisconnectAborts uint64 `json:"disconnect_aborts"`
+	WriteErrors      uint64 `json:"write_errors"`
+	Spills           uint64 `json:"spills"`
+}
+
+// Snapshot copies the counters into a plain struct.
+func (c *ClientNet) Snapshot() ClientNetSnapshot {
+	return ClientNetSnapshot{
+		Sessions:         c.Sessions.Load(),
+		ActiveSessions:   c.ActiveSessions.Load(),
+		Requests:         c.Requests.Load(),
+		ProtocolErrors:   c.ProtocolErrors.Load(),
+		DisconnectAborts: c.DisconnectAborts.Load(),
+		WriteErrors:      c.WriteErrors.Load(),
+		Spills:           c.Spills.Load(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s ClientNetSnapshot) String() string {
+	return fmt.Sprintf("sessions=%d (active %d) requests=%d protoErrs=%d disconnectAborts=%d writeErrs=%d spills=%d",
+		s.Sessions, s.ActiveSessions, s.Requests, s.ProtocolErrors, s.DisconnectAborts, s.WriteErrors, s.Spills)
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — the end-to-end deployment gate, shared verbatim by the CI
+# `e2e` job and local development.
+#
+# 1. Builds the sss-server and sss-bench binaries.
+# 2. Runs the multi-process e2e suite (internal/harness): boots a real
+#    3-node TCP cluster, checks cross-node write visibility, read-only
+#    snapshot coherence under concurrent transfers, and that abrupt client
+#    disconnects abort their transactions instead of wedging writers.
+# 3. Runs one short figure-3 point of `sss-bench -transport tcp` against a
+#    3-node cluster and checks the JSON snapshot materializes.
+#
+# Usage: scripts/e2e_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin_dir="$(mktemp -d)"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$bin_dir" "$out_dir"' EXIT
+
+echo "== building binaries =="
+go build -o "$bin_dir/sss-server" ./cmd/sss-server
+go build -o "$bin_dir/sss-bench" ./cmd/sss-bench
+
+echo "== multi-process e2e suite (3-node TCP cluster) =="
+SSS_E2E_BIN="$bin_dir/sss-server" go test -count=1 -v ./internal/harness
+
+echo "== figure-3 TCP bench smoke point =="
+(
+  cd "$out_dir" # the JSON snapshot lands here, not in the checkout
+  "$bin_dir/sss-bench" -transport tcp -server-bin "$bin_dir/sss-server" \
+    -figure 3 -nodes 3 -tcp-keys 500 -tcp-ro 50 \
+    -duration 300ms -warmup 100ms -json
+)
+test -s "$out_dir/BENCH_figure3_tcp.json"
+python3 -c "
+import json, sys
+doc = json.load(open('$out_dir/BENCH_figure3_tcp.json'))
+pts = doc['points']
+assert len(pts) == 1, f'expected 1 point, got {len(pts)}'
+p = pts[0]
+assert p['nodes'] == 3 and p['engine'] == 'sss-tcp', p
+assert p['throughput_txn_s'] > 0, 'cluster served no transactions'
+print(f\"figure-3 tcp point: {p['throughput_txn_s']:.0f} txn/s on {p['nodes']} nodes\")
+"
+echo "e2e smoke passed"
