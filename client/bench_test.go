@@ -1,0 +1,61 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkClientPath measures the client-side cost of one transaction over
+// a real loopback TCP connection — wire encoding, the coalescing send
+// queue, and reply demux. scripts/check_allocs.sh holds the allocs/op
+// ceilings; the time numbers are dominated by loopback round trips and are
+// not regression-gated.
+func BenchmarkClientPath(b *testing.B) {
+	addr, _ := startServer(b)
+	c, err := Dial(addr, Options{Conns: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	b.Run("ro-txn", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx := c.Begin(true)
+			if _, _, err := tx.Read("k00"); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	keys := []string{"k00", "k01", "k02", "k03"}
+	b.Run("snapshot-read", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.SnapshotRead(keys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("update-txn", func(b *testing.B) {
+		b.ReportAllocs()
+		val := []byte("benchval")
+		for i := 0; i < b.N; i++ {
+			tx := c.Begin(false)
+			key := fmt.Sprintf("k%02d", i%8)
+			if _, _, err := tx.Read(key); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Write(key, val); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -18,6 +18,17 @@
 // next use. A transaction is pinned to the connection it began on — its
 // server-side state lives in that session — so a mid-transaction disconnect
 // surfaces kv.ErrUnavailable and the server aborts the transaction.
+//
+// Two mechanisms keep the wire cost of a transaction near its round-trip
+// floor. Every connection runs a coalescing send queue (mirroring the
+// node-to-node transport's per-peer outq): concurrent transactions'
+// frames accumulated while the sender was busy go out as one buffered
+// write with a single flush, tunable via Options.BatchMaxRequests and
+// Options.BatchFlushWindow and observable via Metrics. And a whole
+// read-only transaction can be collapsed into one round trip with
+// SnapshotRead (kv.SnapshotReader), which begins, reads and finishes
+// server-side; within an interactive transaction, Txn.MultiRead
+// (kv.MultiReader) pipelines independent read legs the same way.
 package client
 
 import (
@@ -30,6 +41,7 @@ import (
 	"time"
 
 	"github.com/sss-paper/sss/internal/clientproto"
+	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/kv"
 )
 
@@ -45,6 +57,18 @@ type Options struct {
 	// An expired request marks its transaction broken and its connection
 	// suspect; both surface kv.ErrUnavailable.
 	RequestTimeout time.Duration
+	// BatchMaxRequests caps the request frames the per-connection send
+	// queue coalesces into one wire flush (default 64, the transport's
+	// MaxBatch). Concurrent transactions multiplexed on a connection
+	// batch naturally: an idle connection flushes a lone request
+	// immediately; a busy one amortizes the syscall over whatever
+	// accumulated while the sender was writing.
+	BatchMaxRequests int
+	// BatchFlushWindow, when positive, makes the sender wait this long for
+	// more requests before flushing a non-full batch — trading latency for
+	// larger batches, useful when the network round trip dwarfs the window.
+	// The default (0) flushes immediately.
+	BatchFlushWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 60 * time.Second
 	}
+	if o.BatchMaxRequests <= 0 {
+		o.BatchMaxRequests = 64
+	}
 	return o
 }
 
@@ -65,8 +92,9 @@ func (o Options) withDefaults() Options {
 // distinct transactions may run on distinct goroutines (each individual
 // kv.Txn stays single-goroutine, per the interface contract).
 type Client struct {
-	addr string
-	opts Options
+	addr  string
+	opts  Options
+	stats metrics.ClientNet
 
 	mu     sync.Mutex
 	slots  []*conn // lazily dialed; nil or dead entries redial on next use
@@ -74,7 +102,10 @@ type Client struct {
 	closed bool
 }
 
-var _ kv.Store = (*Client)(nil)
+var (
+	_ kv.Store          = (*Client)(nil)
+	_ kv.SnapshotReader = (*Client)(nil)
+)
 
 // Dial connects to one server. The first connection is established eagerly
 // so misconfiguration fails fast; the rest of the pool dials on demand.
@@ -105,6 +136,42 @@ func (c *Client) Close() error {
 		}
 	}
 	return nil
+}
+
+// Metrics exposes the client's wire counters: connections dialed
+// (Sessions), requests issued, send-queue batching (flushes, requests per
+// flush, enqueue→flush latency) and snapshot reads. Counters accumulate
+// across redials.
+func (c *Client) Metrics() *metrics.ClientNet { return &c.stats }
+
+// SnapshotRead runs one complete read-only transaction — begin, read every
+// key, finish — as a single request/reply round trip: the transaction
+// executes entirely server-side, inheriting SSS's abort-free read-only
+// guarantee, and the client pays 1 RTT where the interactive form pays
+// 2+len(keys). Results align positionally with keys.
+func (c *Client) SnapshotRead(keys []string) ([]kv.ReadResult, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if len(keys) > clientproto.MaxSnapshotKeys {
+		return nil, fmt.Errorf("client: snapshot read of %d keys exceeds the %d-key limit", len(keys), clientproto.MaxSnapshotKeys)
+	}
+	cn, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	c.stats.SnapshotReads.Add(1)
+	rep, err := cn.call(&clientproto.Request{Op: clientproto.OpSnapshotRead, Keys: keys}, c.opts.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Kind != clientproto.ReplyValues {
+		return nil, replyError(rep)
+	}
+	if len(rep.Vals) != len(keys) {
+		return nil, fmt.Errorf("client: snapshot read answered %d values for %d keys", len(rep.Vals), len(keys))
+	}
+	return rep.Vals, nil
 }
 
 // Ping performs one round trip on a pooled connection — the health /
@@ -165,7 +232,7 @@ func (c *Client) slot(i int) (*conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %v: %w", c.addr, err, kv.ErrUnavailable)
 	}
-	cn := newConn(nc)
+	cn := newConn(nc, c.opts, &c.stats)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -191,7 +258,10 @@ type Txn struct {
 	done   bool
 }
 
-var _ kv.Txn = (*Txn)(nil)
+var (
+	_ kv.Txn         = (*Txn)(nil)
+	_ kv.MultiReader = (*Txn)(nil)
+)
 
 // Read implements kv.Txn.
 func (t *Txn) Read(key string) ([]byte, bool, error) {
@@ -206,6 +276,47 @@ func (t *Txn) Read(key string) ([]byte, bool, error) {
 		return nil, false, replyError(rep)
 	}
 	return rep.Val, rep.Exists, nil
+}
+
+// MultiRead implements kv.MultiReader: it issues every read leg before
+// awaiting any reply, so independent reads of one transaction pipeline on
+// the connection — and, via the send queue, typically share a single wire
+// frame — costing ~1 round trip instead of one per key. The server
+// serializes same-handle requests in arrival order, so the results are
+// exactly those of sequential Reads on the same snapshot.
+func (t *Txn) MultiRead(keys []string) ([]kv.ReadResult, error) {
+	if err := t.usable(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	reqs := make([]clientproto.Request, len(keys))
+	chs := make([]chan clientproto.Reply, len(keys))
+	for i, k := range keys {
+		reqs[i] = clientproto.Request{Op: clientproto.OpRead, Txn: t.handle, Key: k}
+		ch, err := t.cn.start(&reqs[i])
+		if err != nil {
+			t.err = err
+			return nil, err
+		}
+		chs[i] = ch
+	}
+	out := make([]kv.ReadResult, len(keys))
+	for i, ch := range chs {
+		rep, err := t.cn.await(ch, t.c.opts.RequestTimeout)
+		if err != nil {
+			t.err = err
+			return nil, err
+		}
+		if rep.Kind != clientproto.ReplyValue {
+			// Later legs' replies, if any, land in their buffered channels
+			// and are dropped with them — no goroutine is left waiting.
+			return nil, replyError(rep)
+		}
+		out[i] = kv.ReadResult{Val: rep.Val, Exists: rep.Exists}
+	}
+	return out, nil
 }
 
 // Write implements kv.Txn. Oversized payloads are rejected client-side: an
@@ -305,24 +416,52 @@ func replyError(rep clientproto.Reply) error {
 	}
 }
 
-// conn is one pooled connection: a locked writer plus a demux goroutine
-// matching pipelined replies to waiting callers by request ID.
+// conn is one pooled connection: a coalescing send queue drained by a
+// sender goroutine, plus a demux goroutine matching pipelined replies to
+// waiting callers by request ID.
+//
+// The send queue mirrors the transport's per-peer outq: callers enqueue and
+// wake the sender; the sender writes whatever accumulated while it was busy
+// as one buffered write with a single flush. An idle connection flushes a
+// lone request immediately — coalescing costs nothing without concurrency —
+// while concurrent transactions multiplexed on the connection share wire
+// frames and syscalls.
 type conn struct {
-	nc net.Conn
-
-	wmu sync.Mutex // serializes frame writes
-	bw  *bufio.Writer
+	nc    net.Conn
+	bw    *bufio.Writer // owned by the sender goroutine
+	opts  Options
+	stats *metrics.ClientNet
 
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan clientproto.Reply
+	queue   []queuedReq
 	dead    bool
 	err     error
+
+	wake     chan struct{} // capacity 1: enqueue/close nudge the sender
+	sendDone chan struct{} // closed when the sender goroutine exits
 }
 
-func newConn(nc net.Conn) *conn {
-	cn := &conn{nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), pending: make(map[uint64]chan clientproto.Reply)}
+type queuedReq struct {
+	req *clientproto.Request
+	at  time.Time
+}
+
+func newConn(nc net.Conn, opts Options, stats *metrics.ClientNet) *conn {
+	cn := &conn{
+		nc:       nc,
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		opts:     opts,
+		stats:    stats,
+		pending:  make(map[uint64]chan clientproto.Reply),
+		wake:     make(chan struct{}, 1),
+		sendDone: make(chan struct{}),
+	}
+	stats.Sessions.Add(1)
+	stats.ActiveSessions.Add(1)
 	go cn.demux()
+	go cn.sender()
 	return cn
 }
 
@@ -332,7 +471,11 @@ func (cn *conn) isDead() bool {
 	return cn.dead
 }
 
-// close marks the connection dead and fails every pending call with cause.
+// close marks the connection dead and fails every pending call with cause —
+// including requests still sitting in the send queue, whose callers
+// registered in pending before enqueueing. The sender and demux goroutines
+// observe the closed connection and exit; redial builds a fresh conn, so a
+// replaced slot leaves nothing behind.
 func (cn *conn) close(cause error) {
 	cn.mu.Lock()
 	if cn.dead {
@@ -343,8 +486,14 @@ func (cn *conn) close(cause error) {
 	cn.err = cause
 	pending := cn.pending
 	cn.pending = make(map[uint64]chan clientproto.Reply)
+	cn.queue = nil
 	cn.mu.Unlock()
+	cn.stats.ActiveSessions.Add(-1)
 	_ = cn.nc.Close()
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
 	for _, ch := range pending {
 		close(ch)
 	}
@@ -369,8 +518,75 @@ func (cn *conn) demux() {
 	}
 }
 
-// call performs one pipelined round trip: register, write, await.
-func (cn *conn) call(req *clientproto.Request, timeout time.Duration) (clientproto.Reply, error) {
+// sender drains the queue, coalescing accumulated requests into one
+// buffered write + flush per batch.
+func (cn *conn) sender() {
+	defer close(cn.sendDone)
+	max := cn.opts.BatchMaxRequests
+	batch := make([]queuedReq, 0, max)
+	for {
+		cn.mu.Lock()
+		for len(cn.queue) == 0 {
+			if cn.dead {
+				cn.mu.Unlock()
+				return
+			}
+			cn.mu.Unlock()
+			<-cn.wake
+			cn.mu.Lock()
+		}
+		full := len(cn.queue) >= max
+		cn.mu.Unlock()
+
+		// A window accumulates a bigger batch, but a full one flushes right
+		// away so the window never caps throughput below max/window.
+		if w := cn.opts.BatchFlushWindow; w > 0 && !full {
+			time.Sleep(w)
+		}
+
+		cn.mu.Lock()
+		if cn.dead {
+			// close() already failed the queued callers; don't write into a
+			// closed socket.
+			cn.mu.Unlock()
+			return
+		}
+		n := len(cn.queue)
+		if n > max {
+			n = max
+		}
+		batch = append(batch[:0], cn.queue[:n]...)
+		rest := copy(cn.queue, cn.queue[n:])
+		for i := rest; i < len(cn.queue); i++ {
+			cn.queue[i] = queuedReq{} // don't retain written requests
+		}
+		cn.queue = cn.queue[:rest]
+		cn.mu.Unlock()
+
+		oldest := batch[0].at
+		var err error
+		for i := range batch {
+			if err = clientproto.WriteRequest(cn.bw, batch[i].req); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = cn.bw.Flush()
+		}
+		if err != nil {
+			cn.close(fmt.Errorf("client: write failed: %v: %w", err, kv.ErrUnavailable))
+			return
+		}
+		cn.stats.BatchFlushes.Add(1)
+		cn.stats.BatchRequests.Add(uint64(len(batch)))
+		cn.stats.BatchFlushLatency.Observe(time.Since(oldest))
+	}
+}
+
+// start registers req and enqueues it for the sender, returning the channel
+// its reply will arrive on. The caller must await the channel (the request
+// memory is retained until written).
+func (cn *conn) start(req *clientproto.Request) (chan clientproto.Reply, error) {
 	ch := make(chan clientproto.Reply, 1)
 	cn.mu.Lock()
 	if cn.dead {
@@ -379,27 +595,23 @@ func (cn *conn) call(req *clientproto.Request, timeout time.Duration) (clientpro
 		if err == nil {
 			err = kv.ErrUnavailable
 		}
-		return clientproto.Reply{}, err
+		return nil, err
 	}
 	cn.nextID++
 	req.ReqID = cn.nextID
 	cn.pending[req.ReqID] = ch
+	cn.queue = append(cn.queue, queuedReq{req: req, at: time.Now()})
 	cn.mu.Unlock()
-
-	cn.wmu.Lock()
-	err := clientproto.WriteRequest(cn.bw, req)
-	if err == nil {
-		err = cn.bw.Flush()
+	cn.stats.Requests.Add(1)
+	select {
+	case cn.wake <- struct{}{}:
+	default:
 	}
-	cn.wmu.Unlock()
-	if err != nil {
-		cn.mu.Lock()
-		delete(cn.pending, req.ReqID)
-		cn.mu.Unlock()
-		cn.close(fmt.Errorf("client: write failed: %v: %w", err, kv.ErrUnavailable))
-		return clientproto.Reply{}, kv.ErrUnavailable
-	}
+	return ch, nil
+}
 
+// await blocks for the reply on ch, bounded by timeout.
+func (cn *conn) await(ch chan clientproto.Reply, timeout time.Duration) (clientproto.Reply, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -422,6 +634,15 @@ func (cn *conn) call(req *clientproto.Request, timeout time.Duration) (clientpro
 	}
 }
 
+// call performs one pipelined round trip: register, enqueue, await.
+func (cn *conn) call(req *clientproto.Request, timeout time.Duration) (clientproto.Reply, error) {
+	ch, err := cn.start(req)
+	if err != nil {
+		return clientproto.Reply{}, err
+	}
+	return cn.await(ch, timeout)
+}
+
 // Cluster is a round-robin facade over one Client per server address: each
 // Begin is coordinated by the next node, mimicking the paper's co-located
 // client placement spread over the whole cluster.
@@ -430,7 +651,10 @@ type Cluster struct {
 	next    uint64
 }
 
-var _ kv.Store = (*Cluster)(nil)
+var (
+	_ kv.Store          = (*Cluster)(nil)
+	_ kv.SnapshotReader = (*Cluster)(nil)
+)
 
 // DialCluster connects to every address. On any failure the already-dialed
 // clients are closed.
@@ -454,6 +678,13 @@ func DialCluster(addrs []string, opts Options) (*Cluster, error) {
 func (cl *Cluster) Begin(readOnly bool) kv.Txn {
 	i := int(atomic.AddUint64(&cl.next, 1)) % len(cl.clients)
 	return cl.clients[i].Begin(readOnly)
+}
+
+// SnapshotRead implements kv.SnapshotReader, rotating coordinators like
+// Begin: the one-round read-only transaction runs on the next node.
+func (cl *Cluster) SnapshotRead(keys []string) ([]kv.ReadResult, error) {
+	i := int(atomic.AddUint64(&cl.next, 1)) % len(cl.clients)
+	return cl.clients[i].SnapshotRead(keys)
 }
 
 // Node returns the i-th node's client.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func (f storeFunc) Begin(readOnly bool) kv.Txn { return f(readOnly) }
 
 // startServer boots a single-node engine behind a clientproto.Server and
 // returns its address plus the server (for metrics assertions).
-func startServer(t *testing.T) (string, *clientproto.Server) {
+func startServer(t testing.TB) (string, *clientproto.Server) {
 	t.Helper()
 	net_ := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
 	nd, err := engine.New(net_, 0, 1, cluster.NewLookup(1, 1), engine.Config{})
@@ -238,5 +239,338 @@ func TestDialCluster(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", Options{DialTimeout: 200 * time.Millisecond}); !errors.Is(err, kv.ErrUnavailable) {
 		t.Fatalf("dial to closed port: %v", err)
+	}
+}
+
+func TestClientSnapshotRead(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Empty key set short-circuits without a round trip.
+	if res, err := c.SnapshotRead(nil); res != nil || err != nil {
+		t.Fatalf("empty snapshot read: %v %v", res, err)
+	}
+	// Over-limit key sets are rejected client-side.
+	if _, err := c.SnapshotRead(make([]string, clientproto.MaxSnapshotKeys+1)); err == nil {
+		t.Fatal("over-limit snapshot read accepted")
+	}
+
+	res, err := c.SnapshotRead([]string{"k00", "nope", "k01"})
+	if err != nil {
+		t.Fatalf("snapshot read: %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("snapshot read returned %d results", len(res))
+	}
+	if !res[0].Exists || string(res[0].Val) != "init" {
+		t.Fatalf("k00: %+v", res[0])
+	}
+	if res[1].Exists {
+		t.Fatalf("missing key reported present: %+v", res[1])
+	}
+	if !res[2].Exists || string(res[2].Val) != "init" {
+		t.Fatalf("k01: %+v", res[2])
+	}
+
+	// A committed write is visible to a later snapshot read.
+	tx := c.Begin(false)
+	if _, _, err := tx.Read("k02"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("k02", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.SnapshotRead([]string{"k02"})
+	if err != nil || !res[0].Exists || string(res[0].Val) != "fresh" {
+		t.Fatalf("snapshot read after commit: %+v %v", res, err)
+	}
+
+	if got := c.Metrics().SnapshotReads.Load(); got != 2 {
+		t.Fatalf("snapshot-read counter: %d", got)
+	}
+}
+
+func TestClientMultiRead(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	tx := c.Begin(true)
+	mr := tx.(kv.MultiReader)
+	if res, err := mr.MultiRead(nil); res != nil || err != nil {
+		t.Fatalf("empty multi-read: %v %v", res, err)
+	}
+	res, err := mr.MultiRead([]string{"k03", "nope", "k04"})
+	if err != nil {
+		t.Fatalf("multi-read: %v", err)
+	}
+	if len(res) != 3 || !res[0].Exists || string(res[0].Val) != "init" || res[1].Exists || !res[2].Exists {
+		t.Fatalf("multi-read results: %+v", res)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Use-after-finish fails like Read does.
+	if _, err := mr.MultiRead([]string{"k03"}); !errors.Is(err, kv.ErrTxnDone) {
+		t.Fatalf("multi-read after commit: %v", err)
+	}
+}
+
+// TestClientBatchCoalescing drives concurrent traffic through a single
+// connection with a flush window and checks the send queue actually
+// coalesces: every request is accounted to a flush, and flushes carry more
+// than one request on average.
+func TestClientBatchCoalescing(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{Conns: 1, BatchMaxRequests: 8, BatchFlushWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				t.Errorf("ping: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	if got := m.Requests.Load(); got != n {
+		t.Fatalf("requests: %d", got)
+	}
+	if flushed := m.BatchRequests.Load(); flushed != n {
+		t.Fatalf("batched requests: %d of %d", flushed, n)
+	}
+	if rpf := m.RequestsPerFlush(); rpf <= 1.5 {
+		t.Fatalf("no coalescing: %.2f requests/flush over %d flushes", rpf, m.BatchFlushes.Load())
+	}
+}
+
+// TestClientBatchCapOne is the batching boundary: with BatchMaxRequests=1
+// every request is its own flush, and everything still completes.
+func TestClientBatchCapOne(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{Conns: 1, BatchMaxRequests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				t.Errorf("ping: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	if m.BatchFlushes.Load() != m.BatchRequests.Load() {
+		t.Fatalf("cap-1 batches coalesced: %d flushes for %d requests",
+			m.BatchFlushes.Load(), m.BatchRequests.Load())
+	}
+}
+
+// TestClientOrderingUnderBatching runs concurrent transactions through an
+// aggressively batched single connection and verifies no reply is lost or
+// misrouted: every transaction reads back exactly what it wrote.
+func TestClientOrderingUnderBatching(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{Conns: 1, BatchMaxRequests: 4, BatchFlushWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%02d", i%32)
+			want := []byte(fmt.Sprintf("w%d", i))
+			for attempt := 0; attempt < 20; attempt++ {
+				tx := c.Begin(false)
+				if _, _, err := tx.Read(key); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if err := tx.Write(key, want); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				v, ok, err := tx.Read(key)
+				if err != nil || !ok || string(v) != string(want) {
+					t.Errorf("read-own-write: %q ok=%v err=%v", v, ok, err)
+					return
+				}
+				err = tx.Commit()
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, kv.ErrAborted) {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestClientDrainOnClose closes the client while requests are in flight and
+// queued: every caller must fail fast with kv.ErrUnavailable instead of
+// hanging on a never-flushed queue entry.
+func TestClientDrainOnClose(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, Options{Conns: 1, BatchMaxRequests: 2, BatchFlushWindow: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := c.Ping(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let traffic build up mid-window
+	_ = c.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending requests did not drain on Close")
+	}
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, kv.ErrUnavailable) {
+			t.Fatalf("drain error: %v", err)
+		}
+	}
+}
+
+// TestClientRedialUnderLoad bounces the server while concurrent workers
+// hammer transactions: in-flight work fails with the kv error vocabulary
+// (never hangs, never misroutes), and after the bounce the pool redials and
+// makes progress again.
+func TestClientRedialUnderLoad(t *testing.T) {
+	addr, srv := startServer(t)
+	c, err := Dial(addr, Options{Conns: 2, BatchFlushWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	stop := make(chan struct{})
+	var after atomic.Uint64 // successful txns after the bounce
+	bounced := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%02d", i%8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := c.Begin(i%2 == 0)
+				_, _, err := tx.Read(key)
+				if err == nil {
+					err = tx.Commit()
+				}
+				switch {
+				case err == nil:
+					select {
+					case <-bounced:
+						after.Add(1)
+					default:
+					}
+				case errors.Is(err, kv.ErrUnavailable),
+					errors.Is(err, kv.ErrAborted),
+					errors.Is(err, kv.ErrTxnDone):
+					// Expected during and right after the bounce.
+				default:
+					t.Errorf("unexpected error under redial: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	_ = srv.Close() // kills the listener and every session
+
+	// Fresh server on the same address; the pool must redial into it.
+	net_ := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+	nd, err := engine.New(net_, 0, 1, cluster.NewLookup(1, 1), engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nd.Close()
+		_ = net_.Close()
+	})
+	for i := 0; i < 8; i++ {
+		nd.Preload(fmt.Sprintf("k%02d", i), []byte("back"))
+	}
+	srv2 := clientproto.NewServer(storeFunc(func(ro bool) kv.Txn { return nd.Begin(ro) }), clientproto.ServerOptions{})
+	var ln net.Listener
+	for attempt := 0; attempt < 100; attempt++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	go func() { _ = srv2.Serve(ln) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+	close(bounced)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for after.Load() < 8 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := after.Load(); got < 8 {
+		t.Fatalf("only %d transactions succeeded after the bounce", got)
 	}
 }

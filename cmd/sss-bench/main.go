@@ -56,6 +56,7 @@ var (
 	serverBin     = flag.String("server-bin", "", "sss-server binary for -transport tcp (empty = build once via go build)")
 	tcpKeys       = flag.String("tcp-keys", "5000,10000", "keyspace sizes for the tcp figure-3 sweep")
 	tcpRO         = flag.String("tcp-ro", "20,50,80", "read-only percentages for the tcp figure-3 sweep")
+	netDelay      = flag.String("net-delay", "", "client-path RTTs to sweep in tcp mode, CSV of durations (e.g. 0,500us,2ms); any nonzero value switches the snapshot to BENCH_figure3_tcp_rtt.json")
 
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
@@ -111,6 +112,27 @@ func main() {
 	}
 }
 
+// parseDurations parses a CSV of time.Duration values; bare "0" is allowed.
+func parseDurations(csv string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("negative delay %v", d)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
 func parseInts(csv string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(csv, ",") {
@@ -134,6 +156,7 @@ type benchPoint struct {
 	ReadOnlyPct       int                          `json:"read_only_pct"`
 	ReadOnlyOps       int                          `json:"read_only_ops,omitempty"`
 	Locality          float64                      `json:"locality,omitempty"`
+	NetDelay          time.Duration                `json:"net_delay_ns,omitempty"`
 	ThroughputTxnS    float64                      `json:"throughput_txn_s"`
 	AbortRate         float64                      `json:"abort_rate"`
 	Commits           uint64                       `json:"commits"`
@@ -148,6 +171,7 @@ type benchPoint struct {
 	Transport         metrics.TransportSnapshot    `json:"transport"`
 	Contention        metrics.ContentionSnapshot   `json:"contention"`
 	CommitRounds      metrics.CommitRoundsSnapshot `json:"commit_rounds"`
+	ClientNet         *metrics.ClientNetSnapshot   `json:"client_net,omitempty"`
 }
 
 // benchReport is the BENCH_<name>.json document: one figure's points plus

@@ -46,33 +46,63 @@ func figure3TCP(nodeCounts []int) {
 	if err != nil {
 		log.Fatalf("-tcp-keys: %v", err)
 	}
+	delays := []time.Duration{0}
+	rttSweep := false
+	if *netDelay != "" {
+		if delays, err = parseDurations(*netDelay); err != nil {
+			log.Fatalf("-net-delay: %v", err)
+		}
+		for _, d := range delays {
+			if d > 0 {
+				rttSweep = true
+			}
+		}
+	}
 
 	header("Figure 3 (TCP): throughput (txn/s) vs node count, replication=2, real processes")
-	rep := newReporter("figure3_tcp")
-	for _, ro := range roPcts {
-		fmt.Printf("\n-- %d%% read-only --\n", ro)
-		fmt.Printf("%-14s", "series")
-		for _, n := range nodeCounts {
-			fmt.Printf("%12s", fmt.Sprintf("n=%d", n))
+	// The RTT sweep is its own trajectory file: the loopback numbers stay the
+	// regression baseline, the delayed numbers track the round-trip economy.
+	name := "figure3_tcp"
+	if rttSweep {
+		name = "figure3_tcp_rtt"
+	}
+	rep := newReporter(name)
+	for _, delay := range delays {
+		if rttSweep {
+			fmt.Printf("\n==== client-path RTT %v ====\n", delay)
 		}
-		fmt.Println()
-		for _, keys := range keySizes {
-			series := fmt.Sprintf("ro%d-sss-%dk-tcp", ro, keys/1000)
-			fmt.Printf("%-14s", fmt.Sprintf("sss-%dk", keys/1000))
+		for _, ro := range roPcts {
+			fmt.Printf("\n-- %d%% read-only --\n", ro)
+			fmt.Printf("%-14s", "series")
 			for _, n := range nodeCounts {
-				res := tcpPoint(rep, series, bin, n, 2, ycsb.Config{Keys: keys, ReadOnlyPct: ro}, *clients)
-				fmt.Printf("%12.0f", res.Throughput)
+				fmt.Printf("%12s", fmt.Sprintf("n=%d", n))
 			}
 			fmt.Println()
+			for _, keys := range keySizes {
+				series := fmt.Sprintf("ro%d-sss-%dk-tcp", ro, keys/1000)
+				if rttSweep {
+					series = fmt.Sprintf("%s-rtt%s", series, delay)
+				}
+				fmt.Printf("%-14s", fmt.Sprintf("sss-%dk", keys/1000))
+				for _, n := range nodeCounts {
+					res := tcpPoint(rep, series, bin, n, 2, ycsb.Config{Keys: keys, ReadOnlyPct: ro}, *clients, delay)
+					fmt.Printf("%12.0f", res.Throughput)
+				}
+				fmt.Println()
+			}
 		}
 	}
 	rep.flush()
 }
 
 // tcpPoint boots a fresh cluster, preloads the keyspace, runs one measured
-// window through per-node clients, and tears everything down.
-func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Config, clientsPerNode int) bench.Result {
-	hc, err := harness.Start(harness.Config{Nodes: nodes, Replication: degree, BinPath: bin})
+// window through per-node clients, and tears everything down. A nonzero
+// delay routes the clients through the harness's RTT shim.
+func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Config, clientsPerNode int, delay time.Duration) bench.Result {
+	hc, err := harness.Start(harness.Config{
+		Nodes: nodes, Replication: degree, BinPath: bin,
+		ClientNetDelay: delay,
+	})
 	if err != nil {
 		log.Fatalf("tcp bench: start cluster: %v", err)
 	}
@@ -80,7 +110,11 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 
 	conns := make([]*client.Client, nodes)
 	for i, addr := range hc.ClientAddrs() {
-		conns[i], err = client.Dial(addr, client.Options{Conns: 2})
+		conns[i], err = client.Dial(addr, client.Options{
+			Conns:            2,
+			BatchMaxRequests: *batchMax,
+			BatchFlushWindow: *batchWin,
+		})
 		if err != nil {
 			log.Fatalf("tcp bench: dial node %d: %v", i, err)
 		}
@@ -119,6 +153,17 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 		log.Fatalf("tcp bench: %d transaction errors during the point (cluster unhealthy; node 0 log tail):\n%s",
 			errCount, hc.LogTail(0, 2048))
 	}
+	// Client-side network counters: one ClientNet per client, merged into the
+	// point's aggregate (requests/flush and snapshot-read volume are the two
+	// numbers that explain a TCP throughput delta).
+	agg := &metrics.ClientNet{}
+	for _, c := range conns {
+		agg.Merge(c.Metrics())
+	}
+	clientNet := agg.Snapshot()
+	if *netStats {
+		fmt.Printf("    [client-net n=%d delay=%v] %s\n", nodes, delay, clientNet)
+	}
 	if rep != nil {
 		rep.points = append(rep.points, benchPoint{
 			Series:            series,
@@ -128,6 +173,7 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 			ClientsPerNode:    clientsPerNode,
 			Keys:              w.Keys,
 			ReadOnlyPct:       w.ReadOnlyPct,
+			NetDelay:          delay,
 			ThroughputTxnS:    res.Throughput,
 			AbortRate:         res.AbortRate,
 			Commits:           res.Commits,
@@ -135,6 +181,7 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 			Aborts:            res.Aborts,
 			UpdateLatency:     res.UpdateLatency,
 			ReadOnlyLatency:   res.ReadOnlyLatency,
+			ClientNet:         &clientNet,
 		})
 	}
 	return res
@@ -181,6 +228,20 @@ func (n *tcpNode) Begin(readOnly bool) kv.Txn {
 	return &timedTxn{Txn: n.c.Begin(readOnly), node: n, ro: readOnly, start: start}
 }
 
+// SnapshotRead implements kv.SnapshotReader: the bench's read-only
+// transactions collapse into the one-round server-side form, timed like
+// their interactive counterparts (call → all values returned).
+func (n *tcpNode) SnapshotRead(keys []string) ([]kv.ReadResult, error) {
+	start := time.Now()
+	vals, err := n.c.SnapshotRead(keys)
+	if err != nil {
+		n.errs.Add(1)
+		return nil, err
+	}
+	n.stats.ReadOnlyLatency.Observe(time.Since(start))
+	return vals, nil
+}
+
 func (n *tcpNode) Stats() *metrics.Engine { return n.stats }
 
 type timedTxn struct {
@@ -196,6 +257,29 @@ func (t *timedTxn) Read(key string) ([]byte, bool, error) {
 		t.node.errs.Add(1)
 	}
 	return v, ok, err
+}
+
+// MultiRead forwards the concurrent-read-legs capability so the closed loop
+// pipelines an update transaction's reads instead of paying one synchronous
+// round trip per key.
+func (t *timedTxn) MultiRead(keys []string) ([]kv.ReadResult, error) {
+	mr, ok := t.Txn.(kv.MultiReader)
+	if !ok { // not reachable with the TCP client, but keep semantics honest
+		out := make([]kv.ReadResult, len(keys))
+		for i, k := range keys {
+			v, exists, err := t.Read(k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = kv.ReadResult{Val: v, Exists: exists}
+		}
+		return out, nil
+	}
+	res, err := mr.MultiRead(keys)
+	if err != nil {
+		t.node.errs.Add(1)
+	}
+	return res, err
 }
 
 func (t *timedTxn) Write(key string, val []byte) error {

@@ -71,20 +71,17 @@ func main() {
 		if len(args) < 2 {
 			log.Fatal("usage: snapshot <key>...")
 		}
-		tx := c.Begin(true)
-		for _, k := range args[1:] {
-			val, exists, err := tx.Read(k)
-			if err != nil {
-				log.Fatalf("read %s: %v", k, err)
-			}
-			if exists {
-				fmt.Printf("%s = %s\n", k, val)
+		// One round trip: the whole read-only transaction runs server-side.
+		res, err := c.SnapshotRead(args[1:])
+		if err != nil {
+			log.Fatalf("snapshot read: %v", err)
+		}
+		for i, k := range args[1:] {
+			if res[i].Exists {
+				fmt.Printf("%s = %s\n", k, res[i].Val)
 			} else {
 				fmt.Printf("%s = (nil)\n", k)
 			}
-		}
-		if err := tx.Commit(); err != nil {
-			log.Fatalf("commit: %v", err)
 		}
 	default:
 		log.Fatalf("unknown command %q", args[0])

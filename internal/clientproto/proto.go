@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"github.com/sss-paper/sss/internal/wire"
+	"github.com/sss-paper/sss/kv"
 )
 
 // MaxFrame bounds a single client-protocol frame; larger frames indicate a
@@ -48,7 +49,18 @@ const (
 	// OpPing is a no-op round trip: the readiness/health probe used by the
 	// harness and client keep-alive checks.
 	OpPing
+	// OpSnapshotRead runs one complete read-only transaction server-side —
+	// begin, read every key in Keys, finish — and answers with ReplyValues
+	// carrying all results. It is the one-round form of the paper's
+	// abort-free read-only transaction: the client pays a single round trip
+	// where the interactive form pays 2+N (begin + each read + commit).
+	OpSnapshotRead
 )
+
+// MaxSnapshotKeys bounds the keys of one SnapshotRead request; beyond it
+// the server answers CodeBadRequest (a snapshot that large should be an
+// interactive read-only transaction).
+const MaxSnapshotKeys = 4096
 
 // String names the op for error messages.
 func (o Op) String() string {
@@ -65,6 +77,8 @@ func (o Op) String() string {
 		return "ABORT"
 	case OpPing:
 		return "PING"
+	case OpSnapshotRead:
+		return "SNAPSHOT_READ"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -82,6 +96,9 @@ const (
 	ReplyValue
 	// ReplyErr reports a typed failure for the request it echoes.
 	ReplyErr
+	// ReplyValues answers a SnapshotRead: one result per requested key, in
+	// request order.
+	ReplyValues
 )
 
 // ErrCode is the typed error vocabulary of ReplyErr. The client package
@@ -123,7 +140,7 @@ func (c ErrCode) String() string {
 
 // Request is one client frame. Fields beyond Op/ReqID are op-specific:
 // Begin uses ReadOnly; Read/Write/Commit/Abort use Txn; Read and Write use
-// Key; Write uses Val.
+// Key; Write uses Val; SnapshotRead uses Keys.
 type Request struct {
 	Op       Op
 	ReqID    uint64
@@ -131,6 +148,7 @@ type Request struct {
 	ReadOnly bool
 	Key      string
 	Val      []byte
+	Keys     []string
 }
 
 // Reply is one server frame, echoing the request's ReqID.
@@ -145,6 +163,8 @@ type Reply struct {
 	// Code/Msg describe a ReplyErr.
 	Code ErrCode
 	Msg  string
+	// Vals answers a SnapshotRead, positionally aligned with Request.Keys.
+	Vals []kv.ReadResult
 }
 
 // AppendRequest appends the body encoding of req to buf.
@@ -164,6 +184,11 @@ func AppendRequest(buf []byte, req *Request) []byte {
 	case OpCommit, OpAbort:
 		buf = binary.AppendUvarint(buf, req.Txn)
 	case OpPing:
+	case OpSnapshotRead:
+		buf = binary.AppendUvarint(buf, uint64(len(req.Keys)))
+		for _, k := range req.Keys {
+			buf = appendString(buf, k)
+		}
 	}
 	return buf
 }
@@ -186,6 +211,19 @@ func DecodeRequest(buf []byte) (Request, error) {
 	case OpCommit, OpAbort:
 		req.Txn = c.uvarint()
 	case OpPing:
+	case OpSnapshotRead:
+		n := int(c.uvarint())
+		// The count bound keeps a hostile frame from forcing a huge
+		// allocation before the per-key cursor checks run.
+		if c.err == nil && (n < 0 || n > MaxSnapshotKeys) {
+			return Request{}, fmt.Errorf("clientproto: snapshot-read of %d keys exceeds limit %d", n, MaxSnapshotKeys)
+		}
+		if c.err == nil && n > 0 {
+			req.Keys = make([]string, n)
+			for i := range req.Keys {
+				req.Keys[i] = c.str()
+			}
+		}
 	default:
 		return Request{}, fmt.Errorf("clientproto: unknown op %d", uint8(req.Op))
 	}
@@ -211,6 +249,12 @@ func AppendReply(buf []byte, rep *Reply) []byte {
 	case ReplyErr:
 		buf = append(buf, byte(rep.Code))
 		buf = appendString(buf, rep.Msg)
+	case ReplyValues:
+		buf = binary.AppendUvarint(buf, uint64(len(rep.Vals)))
+		for _, v := range rep.Vals {
+			buf = appendBool(buf, v.Exists)
+			buf = appendBytes(buf, v.Val)
+		}
 	}
 	return buf
 }
@@ -228,6 +272,18 @@ func DecodeReply(buf []byte) (Reply, error) {
 	case ReplyErr:
 		rep.Code = ErrCode(c.byte())
 		rep.Msg = c.str()
+	case ReplyValues:
+		n := int(c.uvarint())
+		if c.err == nil && (n < 0 || n > MaxSnapshotKeys) {
+			return Reply{}, fmt.Errorf("clientproto: snapshot-read reply of %d values exceeds limit %d", n, MaxSnapshotKeys)
+		}
+		if c.err == nil && n > 0 {
+			rep.Vals = make([]kv.ReadResult, n)
+			for i := range rep.Vals {
+				rep.Vals[i].Exists = c.bool()
+				rep.Vals[i].Val = c.bytes()
+			}
+		}
 	default:
 		return Reply{}, fmt.Errorf("clientproto: unknown reply kind %d", uint8(rep.Kind))
 	}

@@ -3,13 +3,17 @@ package clientproto
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
+
+	"github.com/sss-paper/sss/kv"
 )
 
 func randomRequest(rng *rand.Rand) Request {
-	ops := []Op{OpBegin, OpRead, OpWrite, OpCommit, OpAbort, OpPing}
+	ops := []Op{OpBegin, OpRead, OpWrite, OpCommit, OpAbort, OpPing, OpSnapshotRead}
 	req := Request{Op: ops[rng.Intn(len(ops))], ReqID: rng.Uint64() >> uint(rng.Intn(64))}
 	switch req.Op {
 	case OpBegin:
@@ -23,12 +27,21 @@ func randomRequest(rng *rand.Rand) Request {
 		req.Val = randBytes(rng, rng.Intn(1024))
 	case OpCommit, OpAbort:
 		req.Txn = rng.Uint64() >> uint(rng.Intn(64))
+	case OpSnapshotRead:
+		// A zero count decodes to a nil slice; keep the generator aligned so
+		// DeepEqual round trips.
+		if n := rng.Intn(9); n > 0 {
+			req.Keys = make([]string, n)
+			for i := range req.Keys {
+				req.Keys[i] = randString(rng, rng.Intn(48))
+			}
+		}
 	}
 	return req
 }
 
 func randomReply(rng *rand.Rand) Reply {
-	kinds := []ReplyKind{ReplyOK, ReplyValue, ReplyErr}
+	kinds := []ReplyKind{ReplyOK, ReplyValue, ReplyErr, ReplyValues}
 	rep := Reply{Kind: kinds[rng.Intn(len(kinds))], ReqID: rng.Uint64() >> uint(rng.Intn(64))}
 	switch rep.Kind {
 	case ReplyOK:
@@ -39,6 +52,14 @@ func randomReply(rng *rand.Rand) Reply {
 	case ReplyErr:
 		rep.Code = ErrCode(rng.Intn(int(CodeInternal)) + 1)
 		rep.Msg = randString(rng, rng.Intn(128))
+	case ReplyValues:
+		if n := rng.Intn(9); n > 0 {
+			rep.Vals = make([]kv.ReadResult, n)
+			for i := range rep.Vals {
+				rep.Vals[i].Exists = rng.Intn(2) == 0
+				rep.Vals[i].Val = randBytes(rng, rng.Intn(256))
+			}
+		}
 	}
 	return rep
 }
@@ -173,6 +194,43 @@ func TestDecodeGarbage(t *testing.T) {
 				t.Fatalf("accepted garbage reply unstable: % x -> %+v -> %+v (%v)", buf, rep, re, err)
 			}
 		}
+	}
+}
+
+// TestSnapshotReadKeyBound rejects snapshot-read frames whose declared key
+// count exceeds MaxSnapshotKeys — before allocating the slice — and accepts
+// exactly MaxSnapshotKeys.
+func TestSnapshotReadKeyBound(t *testing.T) {
+	// Hand-build a request header declaring MaxSnapshotKeys+1 keys.
+	buf := []byte{byte(OpSnapshotRead)}
+	buf = binary.AppendUvarint(buf, 7) // ReqID
+	buf = binary.AppendUvarint(buf, MaxSnapshotKeys+1)
+	if _, err := DecodeRequest(buf); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized snapshot-read accepted: %v", err)
+	}
+
+	// Same for a reply declaring too many values.
+	buf = []byte{byte(ReplyValues)}
+	buf = binary.AppendUvarint(buf, 7)
+	buf = binary.AppendUvarint(buf, MaxSnapshotKeys+1)
+	if _, err := DecodeReply(buf); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized snapshot-read reply accepted: %v", err)
+	}
+
+	// Exactly at the bound round-trips.
+	req := Request{Op: OpSnapshotRead, ReqID: 9, Keys: make([]string, MaxSnapshotKeys)}
+	for i := range req.Keys {
+		req.Keys[i] = "k"
+	}
+	out, err := DecodeRequest(AppendRequest(nil, &req))
+	if err != nil || len(out.Keys) != MaxSnapshotKeys {
+		t.Fatalf("at-bound snapshot-read: %d keys, %v", len(out.Keys), err)
+	}
+
+	rep := Reply{Kind: ReplyValues, ReqID: 9, Vals: make([]kv.ReadResult, MaxSnapshotKeys)}
+	outRep, err := DecodeReply(AppendReply(nil, &rep))
+	if err != nil || len(outRep.Vals) != MaxSnapshotKeys {
+		t.Fatalf("at-bound snapshot-read reply: %d vals, %v", len(outRep.Vals), err)
 	}
 }
 

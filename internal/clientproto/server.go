@@ -8,6 +8,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/kv"
@@ -119,7 +120,7 @@ func (s *Server) startSession(conn net.Conn) *session {
 	sess := &session{
 		srv:  s,
 		conn: conn,
-		bw:   newReplyWriter(conn),
+		bw:   newReplyWriter(conn, &s.stats),
 		txns: make(map[uint64]*sessTxn),
 		done: make(chan struct{}),
 	}
@@ -319,6 +320,8 @@ func (ss *session) handle(req Request) {
 	switch req.Op {
 	case OpPing:
 		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID})
+	case OpSnapshotRead:
+		ss.handleSnapshotRead(req)
 	case OpBegin:
 		tx := ss.srv.store.Begin(req.ReadOnly)
 		ss.mu.Lock()
@@ -336,6 +339,33 @@ func (ss *session) handle(req Request) {
 		ss.srv.stats.ProtocolErrors.Add(1)
 		ss.replyErr(req.ReqID, CodeBadRequest, fmt.Sprintf("unknown op %d", uint8(req.Op)))
 	}
+}
+
+// handleSnapshotRead runs one whole read-only transaction — begin, every
+// read, finish — inside a single handler, answering with one ReplyValues
+// frame. The transaction never touches the session's txn table: it has no
+// handle, cannot be targeted by other requests, and needs no disconnect
+// bookkeeping (it completes or aborts right here). The engine's read-only
+// fan-out and merge semantics are untouched — this removes client↔server
+// round trips, not replica round trips.
+func (ss *session) handleSnapshotRead(req Request) {
+	ss.srv.stats.SnapshotReads.Add(1)
+	tx := ss.srv.store.Begin(true)
+	vals := make([]kv.ReadResult, len(req.Keys))
+	for i, k := range req.Keys {
+		v, exists, err := tx.Read(k)
+		if err != nil {
+			_ = tx.Abort()
+			ss.replyKvErr(req.ReqID, err)
+			return
+		}
+		vals[i] = kv.ReadResult{Val: v, Exists: exists}
+	}
+	if err := tx.Commit(); err != nil {
+		ss.replyKvErr(req.ReqID, err)
+		return
+	}
+	ss.reply(&Reply{Kind: ReplyValues, ReqID: req.ReqID, Vals: vals})
 }
 
 func (ss *session) replyErr(reqID uint64, code ErrCode, msg string) {
@@ -427,22 +457,38 @@ func isEOF(err error) bool {
 }
 
 // replyWriter serializes reply frames from concurrent handlers onto one
-// buffered connection writer, flushing per reply.
+// buffered connection writer, coalescing flushes: a writer that can see
+// another handler already waiting for the lock skips its own flush — the
+// later writer's flush carries both frames. An uncontended reply still
+// flushes immediately, so coalescing adds no latency on an idle session
+// (the same natural-batching contract as the transport outq).
 type replyWriter struct {
-	mu sync.Mutex
-	bw *bufio.Writer
+	mu      sync.Mutex
+	waiters atomic.Int32
+	bw      *bufio.Writer
+	stats   *metrics.ClientNet
 }
 
-func newReplyWriter(conn net.Conn) *replyWriter {
-	return &replyWriter{bw: bufio.NewWriterSize(conn, 64<<10)}
+func newReplyWriter(conn net.Conn, stats *metrics.ClientNet) *replyWriter {
+	return &replyWriter{bw: bufio.NewWriterSize(conn, 64<<10), stats: stats}
 }
 
 func (w *replyWriter) write(rep *Reply) error {
+	w.waiters.Add(1)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := WriteReply(w.bw, rep); err != nil {
+		w.waiters.Add(-1)
 		return err
 	}
+	w.stats.BatchRequests.Add(1)
+	if w.waiters.Add(-1) > 0 {
+		// Another handler is queued on the lock: it will write its frame
+		// and flush, carrying ours. The last writer always sees zero
+		// waiters and flushes, so no frame is ever stranded in the buffer.
+		return nil
+	}
+	w.stats.BatchFlushes.Add(1)
 	return w.bw.Flush()
 }
 

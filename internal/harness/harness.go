@@ -42,6 +42,13 @@ type Config struct {
 	// StartTimeout bounds the wait for every node's readiness probe
 	// (default 30s).
 	StartTimeout time.Duration
+	// ClientNetDelay simulates a client↔server network round-trip time.
+	// Zero means direct loopback. Nonzero routes every client connection
+	// through an in-process delay relay adding half the value each way
+	// (see netdelay.go); with SSS_NET_DELAY_TC=1, root, and tc present, a
+	// netem qdisc on loopback is used instead. Inter-node traffic is only
+	// delayed on the netem path.
+	ClientNetDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +69,8 @@ type Cluster struct {
 	peerAddrs   []string
 	clientAddrs []string
 	procs       []*proc
+	relays      []*delayRelay // client-path delay shims, nil entries impossible
+	netemUndo   func()        // removes the loopback netem qdisc, if installed
 }
 
 // proc is one monitored server process.
@@ -125,7 +134,39 @@ func Start(cfg Config) (*Cluster, error) {
 		_ = c.Stop()
 		return nil, err
 	}
+	// Readiness is probed on the direct addresses; only after the cluster is
+	// up does the delay layer go in front, so startup never pays the RTT tax.
+	if cfg.ClientNetDelay > 0 {
+		if err := c.applyNetDelay(cfg.ClientNetDelay); err != nil {
+			_ = c.Stop()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// applyNetDelay interposes the configured client-path RTT: netem when the
+// opt-in environment allows it, one delay relay per node otherwise. On the
+// relay path ClientAddrs is rewritten to the relay listeners.
+func (c *Cluster) applyNetDelay(rtt time.Duration) error {
+	if netemAvailable() {
+		undo, err := netemApply(rtt)
+		if err == nil {
+			c.netemUndo = undo
+			return nil
+		}
+		// Fall through to the relay: netem was requested but unusable.
+		fmt.Fprintf(os.Stderr, "harness: %v; falling back to delay relay\n", err)
+	}
+	for i, addr := range c.clientAddrs {
+		r, err := startDelayRelay(addr, rtt/2)
+		if err != nil {
+			return fmt.Errorf("harness: delay relay for node %d: %w", i, err)
+		}
+		c.relays = append(c.relays, r)
+		c.clientAddrs[i] = r.Addr()
+	}
+	return nil
 }
 
 // spawn starts node i with captured logs and a monitor goroutine.
@@ -232,6 +273,14 @@ func (c *Cluster) Alive(i int) bool {
 // drain), SIGKILL after 10s, then log files close. Safe to call twice.
 func (c *Cluster) Stop() error {
 	var firstErr error
+	for _, r := range c.relays {
+		r.close()
+	}
+	c.relays = nil
+	if c.netemUndo != nil {
+		c.netemUndo()
+		c.netemUndo = nil
+	}
 	for _, p := range c.procs {
 		select {
 		case <-p.done:

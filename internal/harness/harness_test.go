@@ -239,3 +239,102 @@ func TestServerAbortsOnClientDisconnect(t *testing.T) {
 		t.Fatal("writer blocked behind a vanished reader")
 	}
 }
+
+// TestSnapshotReadCoherence is the end-to-end gate for the one-round
+// read-only path: against a real 2-node cluster — reached through the
+// client-path delay relay, so the RTT shim is on the wire too — a
+// SnapshotRead must observe the same torn-state-free snapshots as the
+// interactive read-only form while concurrent transfers run.
+func TestSnapshotReadCoherence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	bin, err := serverBin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Start(Config{Nodes: 2, Replication: 2, BinPath: bin, ClientNetDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Stop() }()
+
+	clients := make([]*client.Client, 2)
+	for i, addr := range c.ClientAddrs() {
+		clients[i], err = client.Dial(addr, client.Options{})
+		if err != nil {
+			t.Fatalf("dial node %d: %v", i, err)
+		}
+		defer func(cl *client.Client) { _ = cl.Close() }(clients[i])
+	}
+
+	init := clients[0].Begin(false)
+	for _, k := range []string{"bal0", "bal1"} {
+		if _, _, err := init.Read(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := init.Write(k, []byte("100")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := init.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // transfer loop keeps bal0+bal1 == 200
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := clients[0].Begin(false)
+			a, _, err1 := tx.Read("bal0")
+			b, _, err2 := tx.Read("bal1")
+			if err1 != nil || err2 != nil {
+				_ = tx.Abort()
+				continue
+			}
+			av, _ := strconv.Atoi(string(a))
+			bv, _ := strconv.Atoi(string(b))
+			amt := 1 + i%7
+			if tx.Write("bal0", []byte(strconv.Itoa(av-amt))) != nil ||
+				tx.Write("bal1", []byte(strconv.Itoa(bv+amt))) != nil {
+				_ = tx.Abort()
+				continue
+			}
+			_ = tx.Commit()
+		}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	reads := 0
+	for time.Now().Before(deadline) {
+		res, err := clients[1].SnapshotRead([]string{"bal0", "bal1"})
+		if err != nil {
+			t.Fatalf("snapshot read: %v", err)
+		}
+		if len(res) != 2 || !res[0].Exists || !res[1].Exists {
+			t.Fatalf("snapshot read results: %+v", res)
+		}
+		av, _ := strconv.Atoi(string(res[0].Val))
+		bv, _ := strconv.Atoi(string(res[1].Val))
+		if av+bv != 200 {
+			t.Fatalf("one-round snapshot torn: bal0=%d bal1=%d (sum %d != 200)", av, bv, av+bv)
+		}
+		reads++
+	}
+	close(stop)
+	wg.Wait()
+	if reads == 0 {
+		t.Fatal("no snapshot reads completed")
+	}
+	if got := clients[1].Metrics().SnapshotReads.Load(); got != uint64(reads) {
+		t.Fatalf("snapshot-read counter %d for %d reads", got, reads)
+	}
+	t.Logf("coherent one-round snapshots through %v RTT: %d", time.Millisecond, reads)
+}

@@ -1,0 +1,179 @@
+// Simulated client-path network latency for the multi-process harness.
+//
+// Loopback TCP hides the cost structure the client protocol actually faces
+// in a deployment: on a real network every client↔server round trip costs
+// hundreds of microseconds to milliseconds, so a protocol that spends 2+N
+// round trips per read-only transaction falls off a cliff that a loopback
+// bench never shows. Two mechanisms make that cliff measurable:
+//
+//   - The default is an in-process delay relay: each client connection is
+//     routed through a TCP proxy that delivers bytes one-way-delayed in both
+//     directions (half the configured RTT each way). Delivery is pipelined —
+//     chunks are timestamped at read and released at stamp+delay — so the
+//     relay adds latency without capping throughput, which is exactly what
+//     netem does for a real NIC.
+//
+//   - When SSS_NET_DELAY_TC=1, the process is root, and the tc binary is
+//     present, the harness instead installs a netem qdisc on the loopback
+//     device (removed on Stop). This shapes *all* loopback traffic —
+//     inter-node rounds too — so it is the whole-cluster-on-a-switch shape;
+//     the relay is the isolate-the-client-path shape. It is opt-in because
+//     it mutates host network state.
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// delayRelay is one listening proxy adding oneWay delay to each direction
+// of every connection it carries.
+type delayRelay struct {
+	ln     net.Listener
+	target string
+	oneWay time.Duration
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// startDelayRelay listens on a fresh loopback port relaying to target.
+func startDelayRelay(target string, oneWay time.Duration) (*delayRelay, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &delayRelay{ln: ln, target: target, oneWay: oneWay, conns: make(map[net.Conn]struct{})}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the relay's listening address — what clients should dial.
+func (r *delayRelay) Addr() string { return r.ln.Addr().String() }
+
+func (r *delayRelay) acceptLoop() {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.serve(conn)
+	}
+}
+
+// serve proxies one client connection to the target with symmetric one-way
+// delay. Either side closing tears both down.
+func (r *delayRelay) serve(client net.Conn) {
+	server, err := net.DialTimeout("tcp", r.target, 5*time.Second)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = client.Close()
+		_ = server.Close()
+		return
+	}
+	r.conns[client] = struct{}{}
+	r.conns[server] = struct{}{}
+	r.mu.Unlock()
+
+	done := make(chan struct{}, 2)
+	go r.pipe(server, client, done)
+	go r.pipe(client, server, done)
+	<-done // first direction failing (EOF/reset) kills the pair
+	_ = client.Close()
+	_ = server.Close()
+	<-done
+	r.mu.Lock()
+	delete(r.conns, client)
+	delete(r.conns, server)
+	r.mu.Unlock()
+}
+
+// pipe copies src→dst, releasing each chunk oneWay after it was read.
+// The read loop never sleeps — chunks queue with their due times — so
+// pipelined traffic keeps full throughput and only gains latency.
+func (r *delayRelay) pipe(dst, src net.Conn, done chan<- struct{}) {
+	type chunk struct {
+		data []byte
+		due  time.Time
+	}
+	ch := make(chan chunk, 4096)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for c := range ch {
+			if d := time.Until(c.due); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := dst.Write(c.data); err != nil {
+				// Drain so the reader never blocks on a dead writer.
+				for range ch {
+				}
+				return
+			}
+		}
+	}()
+	for {
+		buf := make([]byte, 32<<10)
+		n, err := src.Read(buf)
+		if n > 0 {
+			ch <- chunk{data: buf[:n], due: time.Now().Add(r.oneWay)}
+		}
+		if err != nil {
+			close(ch)
+			return
+		}
+	}
+}
+
+// close stops accepting and severs every in-flight connection.
+func (r *delayRelay) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	_ = r.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// netemAvailable reports whether the tc/netem path may be used: explicit
+// opt-in (it mutates host state), root, and a tc binary.
+func netemAvailable() bool {
+	if os.Getenv("SSS_NET_DELAY_TC") != "1" || os.Geteuid() != 0 {
+		return false
+	}
+	_, err := exec.LookPath("tc")
+	return err == nil
+}
+
+// netemApply installs a netem delay qdisc on loopback (half the RTT, since
+// loopback traffic traverses the qdisc in both directions) and returns the
+// remover. Errors surface to the caller, which falls back to the relay.
+func netemApply(rtt time.Duration) (func(), error) {
+	delay := rtt / 2
+	cmd := exec.Command("tc", "qdisc", "replace", "dev", "lo", "root", "netem",
+		"delay", fmt.Sprintf("%dus", delay.Microseconds()))
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("harness: tc netem: %v: %s", err, out)
+	}
+	return func() {
+		_ = exec.Command("tc", "qdisc", "del", "dev", "lo", "root").Run()
+	}, nil
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer func() { _ = conn.Close() }()
+				r := bufio.NewReader(conn)
+				for {
+					line, err := r.ReadBytes('\n')
+					if len(line) > 0 {
+						if _, werr := conn.Write(line); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestDelayRelayAddsRTT checks a request/response through the relay pays at
+// least the configured round trip (one-way delay in each direction), while a
+// direct connection stays far under it.
+func TestDelayRelayAddsRTT(t *testing.T) {
+	target := echoServer(t)
+	const oneWay = 5 * time.Millisecond
+	r, err := startDelayRelay(target, oneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := fmt.Fprintf(conn, "ping %d\n", i); err != nil {
+			t.Fatal(err)
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtt := time.Since(start)
+		if line != fmt.Sprintf("ping %d\n", i) {
+			t.Fatalf("echo corrupted: %q", line)
+		}
+		if rtt < 2*oneWay {
+			t.Fatalf("round trip %v under the %v floor", rtt, 2*oneWay)
+		}
+	}
+}
+
+// TestDelayRelayPipelines sends a burst of messages back-to-back: the relay
+// must deliver them ~one RTT after the burst, not one RTT each — delay, not
+// a throughput cap.
+func TestDelayRelayPipelines(t *testing.T) {
+	target := echoServer(t)
+	const oneWay = 10 * time.Millisecond
+	r, err := startDelayRelay(target, oneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(conn, "m%d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != fmt.Sprintf("m%d\n", i) {
+			t.Fatalf("message %d corrupted or reordered: %q", i, line)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 2*oneWay {
+		t.Fatalf("burst beat the RTT floor: %v", elapsed)
+	}
+	// Serialized delivery would cost n RTTs (400ms); allow generous slack
+	// for scheduling while still catching a per-message sleep.
+	if elapsed > time.Duration(n)*oneWay {
+		t.Fatalf("burst of %d took %v: relay serializes instead of pipelining", n, elapsed)
+	}
+}
+
+// TestDelayRelayClose severs in-flight connections so clients see EOF
+// instead of hanging.
+func TestDelayRelayClose(t *testing.T) {
+	target := echoServer(t)
+	r, err := startDelayRelay(target, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	if _, err := fmt.Fprintln(conn, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	r.close()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("read on a severed relay connection succeeded")
+	}
+}

@@ -396,17 +396,58 @@ type ClientNet struct {
 	// back to a dedicated goroutine (pool saturation signal, mirroring
 	// Transport.Spills).
 	Spills atomic.Uint64
+	// SnapshotReads counts one-round read-only transactions: server-side,
+	// SnapshotRead requests served; client-side, SnapshotRead calls issued.
+	SnapshotReads atomic.Uint64
+	// BatchFlushes/BatchRequests count coalesced wire flushes and the
+	// request (or reply) frames they carried: the client-path analogue of
+	// Transport.Flushes/Envelopes. Client-side they are fed by the per-conn
+	// send queue; requests/flush is the auto-batching amortization factor.
+	BatchFlushes  atomic.Uint64
+	BatchRequests atomic.Uint64
+	// BatchFlushLatency observes enqueue→flush time per batch: the latency
+	// price of coalescing.
+	BatchFlushLatency Histogram
+}
+
+// RequestsPerFlush returns the mean batch size so far (0 when idle).
+func (c *ClientNet) RequestsPerFlush() float64 {
+	f := c.BatchFlushes.Load()
+	if f == 0 {
+		return 0
+	}
+	return float64(c.BatchRequests.Load()) / float64(f)
+}
+
+// Merge folds other's counters into c.
+func (c *ClientNet) Merge(other *ClientNet) {
+	c.Sessions.Add(other.Sessions.Load())
+	c.ActiveSessions.Add(other.ActiveSessions.Load())
+	c.Requests.Add(other.Requests.Load())
+	c.ProtocolErrors.Add(other.ProtocolErrors.Load())
+	c.DisconnectAborts.Add(other.DisconnectAborts.Load())
+	c.WriteErrors.Add(other.WriteErrors.Load())
+	c.Spills.Add(other.Spills.Load())
+	c.SnapshotReads.Add(other.SnapshotReads.Load())
+	c.BatchFlushes.Add(other.BatchFlushes.Load())
+	c.BatchRequests.Add(other.BatchRequests.Load())
+	c.BatchFlushLatency.Merge(&other.BatchFlushLatency)
 }
 
 // ClientNetSnapshot is a point-in-time copy for reporting.
 type ClientNetSnapshot struct {
-	Sessions         uint64 `json:"sessions"`
-	ActiveSessions   int64  `json:"active_sessions"`
-	Requests         uint64 `json:"requests"`
-	ProtocolErrors   uint64 `json:"protocol_errors"`
-	DisconnectAborts uint64 `json:"disconnect_aborts"`
-	WriteErrors      uint64 `json:"write_errors"`
-	Spills           uint64 `json:"spills"`
+	Sessions         uint64            `json:"sessions"`
+	ActiveSessions   int64             `json:"active_sessions"`
+	Requests         uint64            `json:"requests"`
+	ProtocolErrors   uint64            `json:"protocol_errors"`
+	DisconnectAborts uint64            `json:"disconnect_aborts"`
+	WriteErrors      uint64            `json:"write_errors"`
+	Spills           uint64            `json:"spills"`
+	SnapshotReads    uint64            `json:"snapshot_reads"`
+	BatchFlushes     uint64            `json:"batch_flushes"`
+	BatchRequests    uint64            `json:"batch_requests"`
+	RequestsPerFlush float64           `json:"requests_per_flush"`
+	FlushLatency     HistogramSnapshot `json:"flush_latency"`
 }
 
 // Snapshot copies the counters into a plain struct.
@@ -419,11 +460,17 @@ func (c *ClientNet) Snapshot() ClientNetSnapshot {
 		DisconnectAborts: c.DisconnectAborts.Load(),
 		WriteErrors:      c.WriteErrors.Load(),
 		Spills:           c.Spills.Load(),
+		SnapshotReads:    c.SnapshotReads.Load(),
+		BatchFlushes:     c.BatchFlushes.Load(),
+		BatchRequests:    c.BatchRequests.Load(),
+		RequestsPerFlush: c.RequestsPerFlush(),
+		FlushLatency:     c.BatchFlushLatency.Snapshot(),
 	}
 }
 
 // String renders the snapshot compactly.
 func (s ClientNetSnapshot) String() string {
-	return fmt.Sprintf("sessions=%d (active %d) requests=%d protoErrs=%d disconnectAborts=%d writeErrs=%d spills=%d",
-		s.Sessions, s.ActiveSessions, s.Requests, s.ProtocolErrors, s.DisconnectAborts, s.WriteErrors, s.Spills)
+	return fmt.Sprintf("sessions=%d (active %d) requests=%d protoErrs=%d disconnectAborts=%d writeErrs=%d spills=%d snapReads=%d batches=%d (%.2f req/flush) flushLat{%v}",
+		s.Sessions, s.ActiveSessions, s.Requests, s.ProtocolErrors, s.DisconnectAborts, s.WriteErrors, s.Spills,
+		s.SnapshotReads, s.BatchFlushes, s.RequestsPerFlush, s.FlushLatency)
 }

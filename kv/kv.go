@@ -39,6 +39,33 @@ type Txn interface {
 	Abort() error
 }
 
+// ReadResult is one key's outcome in a multi-key read (MultiReader,
+// SnapshotReader): the visible value and whether the key exists.
+type ReadResult struct {
+	Val    []byte
+	Exists bool
+}
+
+// MultiReader is an optional Txn capability: read several independent keys
+// as one operation. Implementations that multiplex a network connection
+// (the TCP client) issue the reads concurrently over it, so a transaction's
+// independent read legs cost one round trip instead of one per key; results
+// are positionally aligned with keys. Semantically it is exactly the
+// sequence of Txn.Read calls — same snapshot, same errors.
+type MultiReader interface {
+	MultiRead(keys []string) ([]ReadResult, error)
+}
+
+// SnapshotReader is an optional Store capability: run one complete
+// read-only transaction — begin, read every key, finish — as a single
+// operation. On SSS this inherits the abort-free guarantee of declared
+// read-only transactions; on the TCP client it collapses the whole
+// transaction into one client↔server round trip (the begin, reads and
+// finish run server-side). Results are positionally aligned with keys.
+type SnapshotReader interface {
+	SnapshotRead(keys []string) ([]ReadResult, error)
+}
+
 // Errors shared by all engines.
 var (
 	// ErrAborted reports that the transaction lost a conflict (failed

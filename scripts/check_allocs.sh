@@ -56,6 +56,15 @@ check ./internal/engine 'BenchmarkUpdateTxnCommit' 2000x \
   'BenchmarkUpdateTxnCommit/ops=2' 105 \
   'BenchmarkUpdateTxnCommitRemote' 130
 
+# Client path over loopback TCP (wire codec, coalescing send queue, reply
+# demux; the server side of the connection is included). Measured 60/73/130
+# allocs/op when the lane was added (PR-6: auto-batching + one-round
+# SnapshotRead).
+check ./client 'BenchmarkClientPath' 2000x \
+  'BenchmarkClientPath/ro-txn' 70 \
+  'BenchmarkClientPath/snapshot-read' 85 \
+  'BenchmarkClientPath/update-txn' 150
+
 # Lock table: the single-key and canonicalizing acquire paths and release
 # are allocation-free (pooled scratch, recycled lock states, waiter-gated
 # broadcasts).

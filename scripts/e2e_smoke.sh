@@ -41,6 +41,31 @@ assert len(pts) == 1, f'expected 1 point, got {len(pts)}'
 p = pts[0]
 assert p['nodes'] == 3 and p['engine'] == 'sss-tcp', p
 assert p['throughput_txn_s'] > 0, 'cluster served no transactions'
-print(f\"figure-3 tcp point: {p['throughput_txn_s']:.0f} txn/s on {p['nodes']} nodes\")
+cn = p['client_net']
+assert cn['snapshot_reads'] > 0, 'read-only fraction never used SnapshotRead'
+assert cn['batch_requests'] == cn['requests'], \
+    f\"send queue lost frames: {cn['batch_requests']} flushed of {cn['requests']}\"
+print(f\"figure-3 tcp point: {p['throughput_txn_s']:.0f} txn/s on {p['nodes']} nodes, \"
+      f\"{cn['snapshot_reads']} snapshot reads, {cn['requests_per_flush']:.2f} req/flush\")
+"
+
+echo "== figure-3 TCP RTT smoke point (-net-delay through the harness relay) =="
+(
+  cd "$out_dir"
+  "$bin_dir/sss-bench" -transport tcp -server-bin "$bin_dir/sss-server" \
+    -figure 3 -nodes 2 -tcp-keys 500 -tcp-ro 50 \
+    -duration 300ms -warmup 100ms -net-delay 1ms -json
+)
+test -s "$out_dir/BENCH_figure3_tcp_rtt.json"
+python3 -c "
+import json, sys
+doc = json.load(open('$out_dir/BENCH_figure3_tcp_rtt.json'))
+pts = doc['points']
+assert len(pts) == 1, f'expected 1 point, got {len(pts)}'
+p = pts[0]
+assert p['net_delay_ns'] == 1_000_000, p.get('net_delay_ns')
+assert p['throughput_txn_s'] > 0, 'delayed cluster served no transactions'
+assert p['client_net']['snapshot_reads'] > 0, 'RTT point never used SnapshotRead'
+print(f\"figure-3 tcp rtt point: {p['throughput_txn_s']:.0f} txn/s through 1ms RTT\")
 "
 echo "e2e smoke passed"
