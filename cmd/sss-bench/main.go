@@ -57,6 +57,7 @@ var (
 	tcpKeys       = flag.String("tcp-keys", "5000,10000", "keyspace sizes for the tcp figure-3 sweep")
 	tcpRO         = flag.String("tcp-ro", "20,50,80", "read-only percentages for the tcp figure-3 sweep")
 	netDelay      = flag.String("net-delay", "", "client-path RTTs to sweep in tcp mode, CSV of durations (e.g. 0,500us,2ms); any nonzero value switches the snapshot to BENCH_figure3_tcp_rtt.json")
+	durability    = flag.String("durability", "off", "tcp mode: off (in-memory servers) | wal (per-node data dirs, group-committed WAL); wal appends -wal to series names")
 
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
@@ -76,6 +77,12 @@ func main() {
 		log.Fatal(err)
 	}
 	run := func(f string) bool { return *figure == "all" || *figure == f }
+	if *durability != "off" && *durability != "wal" {
+		log.Fatalf("-durability must be off or wal, got %q", *durability)
+	}
+	if *durability == "wal" && *transportKind != "tcp" {
+		log.Fatalf("-durability wal requires -transport tcp (the WAL lives in the server processes)")
+	}
 	if *transportKind == "tcp" {
 		if !run("3") {
 			log.Fatalf("-transport tcp supports figure 3 only (got -figure %s)", *figure)
@@ -172,6 +179,7 @@ type benchPoint struct {
 	Contention        metrics.ContentionSnapshot   `json:"contention"`
 	CommitRounds      metrics.CommitRoundsSnapshot `json:"commit_rounds"`
 	ClientNet         *metrics.ClientNetSnapshot   `json:"client_net,omitempty"`
+	Durability        []string                     `json:"durability,omitempty"`
 }
 
 // benchReport is the BENCH_<name>.json document: one figure's points plus

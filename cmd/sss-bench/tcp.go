@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -83,6 +84,9 @@ func figure3TCP(nodeCounts []int) {
 				if rttSweep {
 					series = fmt.Sprintf("%s-rtt%s", series, delay)
 				}
+				if *durability == "wal" {
+					series += "-wal"
+				}
 				fmt.Printf("%-14s", fmt.Sprintf("sss-%dk", keys/1000))
 				for _, n := range nodeCounts {
 					res := tcpPoint(rep, series, bin, n, 2, ycsb.Config{Keys: keys, ReadOnlyPct: ro}, *clients, delay)
@@ -102,6 +106,7 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 	hc, err := harness.Start(harness.Config{
 		Nodes: nodes, Replication: degree, BinPath: bin,
 		ClientNetDelay: delay,
+		Durable:        *durability == "wal",
 	})
 	if err != nil {
 		log.Fatalf("tcp bench: start cluster: %v", err)
@@ -164,6 +169,26 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 	if *netStats {
 		fmt.Printf("    [client-net n=%d delay=%v] %s\n", nodes, delay, clientNet)
 	}
+	// In durable mode the WAL counters live in the server processes and are
+	// only dumped on SIGTERM, so shut the cluster down (keeping its logs
+	// readable — the deferred Stop still cleans up) and harvest the last
+	// "durability:" line from each node's log.
+	var durabilityLines []string
+	if *durability == "wal" {
+		if err := hc.Shutdown(); err != nil {
+			log.Fatalf("tcp bench: shutdown: %v", err)
+		}
+		for i := 0; i < nodes; i++ {
+			line := lastDurabilityLine(hc.LogTail(i, 8192))
+			if line == "" {
+				log.Fatalf("tcp bench: node %d logged no durability dump:\n%s", i, hc.LogTail(i, 2048))
+			}
+			durabilityLines = append(durabilityLines, line)
+			if *netStats {
+				fmt.Printf("    [durability n%d] %s\n", i, line)
+			}
+		}
+	}
 	if rep != nil {
 		rep.points = append(rep.points, benchPoint{
 			Series:            series,
@@ -182,9 +207,26 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 			UpdateLatency:     res.UpdateLatency,
 			ReadOnlyLatency:   res.ReadOnlyLatency,
 			ClientNet:         &clientNet,
+			Durability:        durabilityLines,
 		})
 	}
 	return res
+}
+
+// lastDurabilityLine extracts the payload of the final "durability: " log
+// line from a node's log tail (the server dumps its WAL/checkpoint counters
+// once, on SIGTERM).
+func lastDurabilityLine(tail string) string {
+	const marker = "durability: "
+	idx := strings.LastIndex(tail, marker)
+	if idx < 0 {
+		return ""
+	}
+	line := tail[idx+len(marker):]
+	if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+		line = line[:nl]
+	}
+	return strings.TrimSpace(line)
 }
 
 // preloadTCP installs the initial keyspace through the client path, batching

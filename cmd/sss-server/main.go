@@ -36,6 +36,7 @@ import (
 	"github.com/sss-paper/sss/internal/engine"
 	"github.com/sss-paper/sss/internal/profiling"
 	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/wal"
 	"github.com/sss-paper/sss/internal/wire"
 	"github.com/sss-paper/sss/kv"
 )
@@ -49,6 +50,9 @@ var (
 	batchWin      = flag.Duration("batch-window", 0, "flush window per-peer senders wait to accumulate batches (0 = flush immediately)")
 	workers       = flag.Int("inbound-workers", 0, "inbound dispatch pool size (0 = 8×GOMAXPROCS, clamped to [32, 256])")
 	clientWorkers = flag.Int("client-workers", 0, "client request handler pool size (0 = same default)")
+
+	dataDir  = flag.String("data-dir", "", "WAL/checkpoint directory; enables durability and crash recovery (must exist)")
+	ckptIntv = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval bounding WAL replay (0 disables; needs -data-dir)")
 
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file on SIGINT/SIGTERM")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on SIGINT/SIGTERM")
@@ -85,11 +89,39 @@ func main() {
 		Workers:     *workers,
 	})
 	lookup := cluster.NewLookup(len(addrs), *degree)
-	node, err := engine.New(net_, wire.NodeID(*id), len(addrs), lookup, engine.Config{})
+	cfg := engine.Config{}
+	var wlog *wal.Log
+	if *dataDir != "" {
+		// Fail fast, before joining the cluster: wal.Open rejects a missing
+		// or non-directory path, an unwritable one, and a directory still
+		// flock-held by another live server — each with a specific error.
+		var err error
+		wlog, err = wal.Open(*dataDir, wal.Options{})
+		if err != nil {
+			log.Fatalf("data directory: %v", err)
+		}
+		cfg.WAL = wlog
+		cfg.CheckpointInterval = *ckptIntv
+	}
+	node, err := engine.New(net_, wire.NodeID(*id), len(addrs), lookup, cfg)
 	if err != nil {
 		log.Fatalf("start node: %v", err)
 	}
-	log.Printf("sss-server node %d up; peers=%v replication=%d", *id, addrs, *degree)
+	if wlog != nil {
+		// Replay the checkpoint and WAL, resolving in-doubt transactions
+		// against the peers, before the client listener opens: nothing may
+		// observe pre-recovery state. The node drops cluster traffic (other
+		// than serving peers' recovery queries) until Recover returns.
+		start := time.Now()
+		if err := node.Recover(); err != nil {
+			log.Fatalf("recover from %s: %v", *dataDir, err)
+		}
+		d := node.Durability().Snapshot()
+		log.Printf("recovered from %s in %v: %d records scanned, %d commits replayed, %d in-doubt (%d committed, %d aborted)",
+			*dataDir, time.Since(start).Round(time.Millisecond),
+			d.ReplayRecords, d.ReplayedCommits, d.InDoubt, d.InDoubtCommitted, d.InDoubtAborted)
+	}
+	log.Printf("sss-server node %d up; peers=%v replication=%d durability=%v", *id, addrs, *degree, wlog != nil)
 
 	ln, err := net.Listen("tcp", *clientAddr)
 	if err != nil {
@@ -114,6 +146,9 @@ func main() {
 		defer close(shutdownDone)
 		<-sigs
 		log.Printf("shutting down: %s", srv.Metrics().Snapshot())
+		if wlog != nil {
+			log.Printf("durability: %s", node.Durability().Snapshot())
+		}
 		drained := make(chan struct{})
 		go func() {
 			_ = srv.Close()
@@ -123,6 +158,11 @@ func main() {
 		case <-drained:
 			_ = node.Close()
 			_ = net_.Close()
+			if wlog != nil {
+				// After node.Close: no appender is left, so this flushes the
+				// tail and releases the directory lock for the next boot.
+				_ = wlog.Close()
+			}
 		case <-time.After(5 * time.Second):
 			log.Printf("session drain timed out (in-flight commits waiting on dead peers?); exiting anyway")
 		}

@@ -672,6 +672,43 @@ func visible(vc vclock.VC, hasRead []bool, bound vclock.VC) bool {
 	return true
 }
 
+// Bootstrap seeds a fresh Log with recovered clock state before WAL replay
+// (recovery only; the Log must not yet be serving traffic). mostRecent is
+// the checkpoint's apply-frontier clock and external its externally-
+// committed knowledge clock. A synthetic "checkpoint barrier" NLog entry
+// carrying mostRecent stands in for every pre-checkpoint entry the
+// checkpoint compacted away, so VisibleMax over the restored log still
+// covers the checkpointed history; its zero TxnID never matches an
+// exclusion set. The single joined entry is a valid summary because the
+// apply frontier advances only in CommitQ order — every transaction it
+// covers had applied before the checkpoint cut.
+func (l *Log) Bootstrap(mostRecent, external vclock.VC) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nodeVC.MaxInto(mostRecent)
+	l.nodeVC.MaxInto(external)
+	l.external.MaxInto(external)
+	barrier := mostRecent.Clone()
+	barrier.MaxInto(l.mostRecent)
+	l.appendLocked(Entry{VC: barrier})
+	l.publishLocked()
+}
+
+// CommitClock returns the commit clock of a retained applied transaction.
+// ok is false when txn is unknown or its NLog entry has been evicted.
+// Recovery uses it as a secondary source when answering peers' in-doubt
+// TxnStatus queries.
+func (l *Log) CommitClock(txn wire.TxnID) (vclock.VC, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq, ok := l.txnSeq[txn]
+	if !ok {
+		return nil, false
+	}
+	e := &l.entries[(seq-1)%uint64(l.capacity)]
+	return e.VC.Clone(), true
+}
+
 // QueueLen returns the current CommitQ length (for tests and stats).
 func (l *Log) QueueLen() int {
 	l.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wal"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -284,6 +285,21 @@ func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
 			}
 		}
 	}
+	if nd.wal != nil {
+		// The WAL ride-along: one freeze record per transaction in the
+		// batch, one Sync for the whole envelope — the fsync amortizes over
+		// exactly the same group the wire batch coalesced. Durable before
+		// the ExtBatchAck below, so a coordinator's client reply never
+		// outruns this replica's stamp record.
+		for i, f := range freezes {
+			if len(parked[i].keys) == 0 {
+				continue // duplicate freeze or non-replica; nothing to re-stamp
+			}
+			nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: f.Txn, Stamp: stamps[i],
+				Keys: parked[i].keys, VC: parked[i].vc})
+		}
+		_ = nd.wal.Sync()
+	}
 	for {
 		cur := nd.extFrontier.Load()
 		if maxStamp <= cur || nd.extFrontier.CompareAndSwap(cur, maxStamp) {
@@ -344,7 +360,17 @@ func (nd *Node) purgeParked(txn wire.TxnID) {
 	st.mu.Lock()
 	ps := st.parked[txn]
 	delete(st.parked, txn)
+	hadWAL := false
+	if nd.wal != nil {
+		_, hadWAL = st.walTxns[txn]
+		delete(st.walTxns, txn)
+	}
 	st.mu.Unlock()
+	if hadWAL {
+		// Unsynced: a purge record only mirrors the commit path's last
+		// stage; replay never rebuilds queue entries, so losing it is free.
+		nd.wal.Append(&wal.Record{Type: wal.RecPurge, Txn: txn})
+	}
 	for _, k := range ps.keys {
 		nd.store.SQRemoveWrite(k, txn)
 	}

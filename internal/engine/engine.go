@@ -50,6 +50,7 @@ import (
 	"github.com/sss-paper/sss/internal/mvstore"
 	"github.com/sss-paper/sss/internal/transport"
 	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wal"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	NLogCapacity int
 	// MaxVersions bounds per-key version chains (0 = default).
 	MaxVersions int
+	// WAL, when non-nil, attaches a write-ahead log: commit-relevant records
+	// are appended at the 2PC/freeze sync points and the node boots in a
+	// recovering state until Recover is called (every message but the
+	// recovery protocol's is dropped until then). nil disables durability.
+	WAL *wal.Log
+	// CheckpointInterval starts a background checkpoint loop bounding WAL
+	// replay (0 = no periodic checkpoints; Checkpoint can still be called
+	// explicitly). Only meaningful with WAL set.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +168,25 @@ type Node struct {
 	// reader always covers every transaction already externally committed
 	// here, even when the reader's coordinator has not heard of them.
 	extFrontier atomic.Uint64
+
+	// wal is the optional write-ahead log (Config.WAL); dstats its
+	// durability counters. recovering gates serve: a durable node drops
+	// inbound traffic between New and the end of Recover, so no handler can
+	// touch half-restored state. ckptStop ends the checkpoint loop.
+	wal        *wal.Log
+	dstats     *metrics.Durability
+	recovering atomic.Bool
+	ckptStop   chan struct{}
+	ckptDone   chan struct{}
+
+	// coordStatus answers peers' in-doubt TxnStatus queries (presumed-abort
+	// 2PC): transactions this node coordinated to a commit decision, with
+	// their commit and (once known) freeze vectors. Bounded FIFO; evicted
+	// entries fall back to the NLog, then to presumed abort. Maintained only
+	// when a WAL is attached.
+	coordMu     sync.Mutex
+	coordStatus map[wire.TxnID]coordRecord
+	coordFIFO   []wire.TxnID
 
 	// Per-transaction engine state is striped by TxnID so prepare, decide,
 	// propagate and remove paths for distinct transactions never contend on
@@ -234,6 +263,11 @@ type stripe struct {
 	// inflight maps a locally-coordinated update transaction to a channel
 	// closed at its external commit; WaitExternal subscribers block on it.
 	inflight map[wire.TxnID]chan struct{}
+	// walTxns (WAL mode only, nil otherwise) tracks write-replica
+	// transactions from prepare until purge, so a checkpoint can re-log the
+	// records of anything still in flight into the fresh segment before the
+	// old segments are reclaimed.
+	walTxns map[wire.TxnID]*walTxn
 }
 
 type tombstone struct {
@@ -314,6 +348,17 @@ func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cf
 	}
 	nd.log.SetContention(&nd.stats.Contention)
 	nd.store.SetContention(&nd.stats.Contention)
+	if cfg.WAL != nil {
+		nd.wal = cfg.WAL
+		nd.dstats = cfg.WAL.Stats()
+		nd.coordStatus = make(map[wire.TxnID]coordRecord)
+		// A durable node boots recovering: handlers must not run against
+		// half-restored state, so serve drops traffic until Recover (which
+		// is a no-op replay on a fresh data dir) flips the gate.
+		nd.recovering.Store(true)
+	} else {
+		nd.dstats = &metrics.Durability{}
+	}
 	for i := range nd.stripes {
 		st := &nd.stripes[i]
 		st.pending = make(map[wire.TxnID]*participantTxn)
@@ -322,6 +367,9 @@ func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cf
 		st.removedROs = make(map[wire.TxnID]time.Time)
 		st.parked = make(map[wire.TxnID]parkedState)
 		st.inflight = make(map[wire.TxnID]chan struct{})
+		if cfg.WAL != nil {
+			st.walTxns = make(map[wire.TxnID]*walTxn)
+		}
 	}
 	nd.readScratch.New = func() any { return newROScratch() }
 	nd.commitScratch.New = func() any { return newCommitScratch(n) }
@@ -336,6 +384,11 @@ func New(net transport.Network, id wire.NodeID, n int, lookup cluster.Lookup, cf
 		nd.extSenders.Add(1)
 		go nd.extSender(wire.NodeID(i), nd.extq[i])
 	}
+	if cfg.WAL != nil && cfg.CheckpointInterval > 0 {
+		nd.ckptStop = make(chan struct{})
+		nd.ckptDone = make(chan struct{})
+		go nd.checkpointLoop()
+	}
 	return nd, nil
 }
 
@@ -344,6 +397,10 @@ func (nd *Node) ID() wire.NodeID { return nd.id }
 
 // Stats exposes the node's metrics.
 func (nd *Node) Stats() *metrics.Engine { return nd.stats }
+
+// Durability exposes the node's durability counters (shared with the
+// attached WAL; a private zero-valued sink when durability is off).
+func (nd *Node) Durability() *metrics.Durability { return nd.dstats }
 
 // Preload installs an initial value for key if this node replicates it.
 // Call on every node with the full dataset before starting clients.
@@ -364,6 +421,11 @@ func (nd *Node) VersionWriters(key string) []wire.TxnID {
 // parked freeze waiter), then the RPC endpoint, then in-flight handlers.
 func (nd *Node) Close() error {
 	nd.closed.Store(true)
+	if nd.ckptStop != nil {
+		close(nd.ckptStop)
+		<-nd.ckptDone
+		nd.ckptStop = nil
+	}
 	for _, q := range nd.extq {
 		q.close()
 	}
@@ -380,6 +442,14 @@ func (nd *Node) Close() error {
 // stall dispatch of the messages that would unblock them.
 func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 	if nd.closed.Load() {
+		return
+	}
+	if nd.recovering.Load() {
+		// Mid-recovery state is not servable — not even TxnStatus, whose
+		// coordStatus source may still be mid-populate from the WAL scan
+		// (a premature "unknown → abort" answer could contradict a commit
+		// record about to be replayed). Dropped prepares become coordinator
+		// vote timeouts, i.e. plain aborts; in-doubt peers retry.
 		return
 	}
 	switch m := msg.(type) {
@@ -399,6 +469,8 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 		nd.handleExtBatch(from, rid, m)
 	case *wire.WaitExternal:
 		nd.handleWaitExternal(from, rid, m)
+	case *wire.TxnStatus:
+		nd.handleTxnStatus(from, rid, m)
 	default:
 		// Unknown messages are dropped; the engines never share a network
 		// with a different engine type.

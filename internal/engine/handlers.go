@@ -5,6 +5,7 @@ import (
 
 	"github.com/sss-paper/sss/internal/mvstore"
 	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wal"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -328,12 +329,34 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 		deps:      m.Deps,
 		applied:   make(chan struct{}),
 	}
+	writeReplica := len(localWrites) > 0
 	st := nd.stripeOf(m.Txn)
 	st.mu.Lock()
 	st.pending[m.Txn] = pt
+	if nd.wal != nil && writeReplica {
+		st.walTxns[m.Txn] = &walTxn{writes: m.Writes, deps: m.Deps}
+	}
 	st.mu.Unlock()
 
-	writeReplica := len(localWrites) > 0
+	if nd.wal != nil && writeReplica {
+		// The presumed-abort participant obligation: the prepare record —
+		// write set and dependencies, everything needed to apply the
+		// transaction after a post-crash commit verdict — must be durable
+		// before the yes vote leaves this node. The Sync group-commits with
+		// whatever else is in flight. On a sync failure the vote flips to
+		// no: promising a recoverable yes without the record would be the
+		// exact lie the WAL exists to prevent.
+		nd.wal.Append(&wal.Record{Type: wal.RecPrepare, Txn: m.Txn, Writes: m.Writes, Deps: m.Deps})
+		if err := nd.wal.Sync(); err != nil {
+			st.mu.Lock()
+			delete(st.pending, m.Txn)
+			delete(st.walTxns, m.Txn)
+			st.mu.Unlock()
+			nd.locks.ReleaseAll(m.Txn, localWrites, localReads)
+			_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, VC: m.VC, OK: false})
+			return
+		}
+	}
 	prepVC := nd.log.Prepare(m.Txn, writeReplica, func(commitVC vclock.VC) {
 		// Internal commit (Algorithm 2 lines 29–36): runs when the
 		// transaction reaches the head of the CommitQ as ready.
@@ -407,6 +430,15 @@ func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 
 	writeReplica := len(pt.localWKey) > 0
 	if !m.Commit {
+		if nd.wal != nil && writeReplica {
+			// Abort decides ride later syncs (presumed abort: losing the
+			// record merely leaves the transaction in-doubt, and the
+			// coordinator's answer is abort either way).
+			nd.wal.Append(&wal.Record{Type: wal.RecDecide, Txn: m.Txn})
+			st.mu.Lock()
+			delete(st.walTxns, m.Txn)
+			st.mu.Unlock()
+		}
 		nd.log.Decide(m.Txn, nil, false, writeReplica)
 		nd.locks.ReleaseAll(m.Txn, pt.localWKey, pt.readKeys)
 		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
@@ -414,6 +446,22 @@ func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 	}
 
 	if writeReplica {
+		if nd.wal != nil {
+			// The decide record repeats the write and dependency sets so a
+			// committed transaction replays from this record alone even
+			// after checkpoint reclamation dropped its prepare. Appended
+			// unsynced: it rides the next commit-path sync, and a crash
+			// that loses it just leaves the transaction in-doubt — the
+			// coordinator's durable decision resolves it to the same
+			// outcome.
+			nd.wal.Append(&wal.Record{Type: wal.RecDecide, Txn: m.Txn, Commit: true,
+				VC: m.VC, Writes: pt.writes, Deps: pt.deps})
+			st.mu.Lock()
+			if wt := st.walTxns[m.Txn]; wt != nil {
+				wt.decided, wt.vc = true, m.VC.Clone()
+			}
+			st.mu.Unlock()
+		}
 		// Enqueue the W entry (and the coordinator-collected propagated
 		// R-entries) *before* the internal commit makes the versions
 		// visible: a reader must never observe a provisional version
@@ -574,6 +622,14 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 		// whenever this replica's gated re-drain completes — per-replica
 		// gating was exactly the flag-timing divergence behind the
 		// freeze-skew residue.
+		if nd.wal != nil && len(ps.keys) > 0 {
+			// Singleton freeze (the batched path logs in applyFreezeBatch):
+			// durable before the ack so the coordinator's client reply never
+			// outruns this replica's stamp record.
+			nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: m.Txn, Stamp: stamp,
+				Keys: ps.keys, VC: ps.vc})
+			_ = nd.wal.Sync()
+		}
 		for _, k := range ps.keys {
 			nd.store.SQStampWrite(k, m.Txn, stamp)
 		}

@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/sss-paper/sss/internal/mvstore"
+	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wal"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Crash recovery (WAL mode). The WAL records exactly the commit-relevant
+// state transitions (see internal/wal/record.go); recovery restores the
+// latest checkpoint, replays the surviving segments to the commit frontier,
+// resolves in-doubt prepared transactions against their coordinators with
+// classic presumed-abort 2PC, and re-stamps recovered versions from the
+// logged freeze vectors so post-restart readers keep the replica-independent
+// verdicts of the live protocol.
+
+// walTxn is the per-transaction ledger entry a durable write replica keeps
+// from prepare until purge: everything a checkpoint must re-log into the
+// fresh segment so the transaction stays replayable after the segment
+// holding its original records is reclaimed.
+type walTxn struct {
+	writes  []wire.KV
+	deps    []wire.TxnID
+	decided bool
+	vc      vclock.VC // commit clock, once decided
+}
+
+// coordRecord is one coordinator-side commit decision retained for peers'
+// in-doubt queries.
+type coordRecord struct {
+	commitVC vclock.VC
+	freezeVC vclock.VC // nil until the freeze vector is formed
+}
+
+// maxCoordStatus bounds the coordinator-status table. Eviction is FIFO: an
+// in-doubt peer only queries within its own restart window, so entries far
+// behind the decision stream answer nothing a live query can still need —
+// the NLog lookup, then presumed abort, covers the tail (documented
+// conservatism in docs/ARCHITECTURE.md).
+const maxCoordStatus = 1 << 14
+
+// recordCoordDecision retains a commit decision this node coordinated.
+func (nd *Node) recordCoordDecision(txn wire.TxnID, commitVC vclock.VC) {
+	nd.coordMu.Lock()
+	if _, dup := nd.coordStatus[txn]; !dup {
+		nd.coordFIFO = append(nd.coordFIFO, txn)
+	}
+	nd.coordStatus[txn] = coordRecord{commitVC: commitVC}
+	for len(nd.coordStatus) > maxCoordStatus && len(nd.coordFIFO) > 0 {
+		old := nd.coordFIFO[0]
+		nd.coordFIFO = nd.coordFIFO[1:]
+		delete(nd.coordStatus, old)
+	}
+	nd.coordMu.Unlock()
+}
+
+// recordCoordFreeze attaches the freeze vector to a retained decision.
+func (nd *Node) recordCoordFreeze(txn wire.TxnID, freezeVC vclock.VC) {
+	nd.coordMu.Lock()
+	if cr, ok := nd.coordStatus[txn]; ok {
+		cr.freezeVC = freezeVC
+		nd.coordStatus[txn] = cr
+	}
+	nd.coordMu.Unlock()
+}
+
+// handleTxnStatus answers a recovering peer's in-doubt query: commit with
+// the commit (and, when formed, freeze) vector when this node coordinated
+// txn to a commit decision; otherwise unknown, which the peer treats as
+// presumed abort. The NLog is the fallback source for decisions evicted
+// from the status table but still retained as applied commits.
+func (nd *Node) handleTxnStatus(from wire.NodeID, rid uint64, m *wire.TxnStatus) {
+	rep := &wire.TxnStatusReply{Txn: m.Txn}
+	nd.coordMu.Lock()
+	if cr, ok := nd.coordStatus[m.Txn]; ok {
+		rep.Known, rep.Commit = true, true
+		rep.VC, rep.FreezeVC = cr.commitVC, cr.freezeVC
+	}
+	nd.coordMu.Unlock()
+	if !rep.Known {
+		if vc, ok := nd.log.CommitClock(m.Txn); ok {
+			rep.Known, rep.Commit, rep.VC = true, true, vc
+		}
+	}
+	_ = nd.rpc.Reply(from, rid, rep)
+}
+
+// resolveInDoubt resolves one prepared-but-undecided transaction. Own
+// transactions resolve against the local coordinator ledger; others query
+// the coordinator with bounded retries. No commit evidence means presumed
+// abort — sound because the coordinator syncs its commit decision before
+// any decide leaves it. The unreachable-coordinator presumption is the one
+// documented conservatism: if the coordinator is down past the retry budget
+// its decision cannot be learned, and recovery must not wedge.
+func (nd *Node) resolveInDoubt(txn wire.TxnID) (commitVC, freezeVC vclock.VC, commit bool) {
+	if txn.Node == nd.id {
+		nd.coordMu.Lock()
+		cr, ok := nd.coordStatus[txn]
+		nd.coordMu.Unlock()
+		if ok {
+			return cr.commitVC, cr.freezeVC, true
+		}
+		return nil, nil, false
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+		resp, err := nd.rpc.Call(ctx, txn.Node, &wire.TxnStatus{Txn: txn})
+		cancel()
+		if err != nil {
+			continue
+		}
+		rep, ok := resp.(*wire.TxnStatusReply)
+		if !ok {
+			continue
+		}
+		if rep.Known && rep.Commit {
+			return rep.VC, rep.FreezeVC, true
+		}
+		return nil, nil, false
+	}
+	return nil, nil, false
+}
+
+// Recover restores the node from its WAL and checkpoint, then opens it for
+// traffic. Must be called exactly once after New on a durable node (it is
+// what clears the recovering gate), before any client work; a fresh data
+// directory replays nothing. No-op when durability is off.
+func (nd *Node) Recover() error {
+	if nd.wal == nil {
+		return nil
+	}
+	defer nd.recovering.Store(false)
+
+	// Phase 1: checkpoint — versions into the store, clocks into the
+	// commitlog (with the synthetic barrier entry standing in for the
+	// compacted history).
+	var meta *wal.Record
+	_, err := nd.wal.ReplayCheckpoint(func(r *wal.Record) error {
+		switch r.Type {
+		case wal.RecCheckpointMeta:
+			meta = r
+		case wal.RecVersion:
+			nd.store.RestoreVersion(r.Key, mvstore.VersionRec{
+				Val: r.Val, VC: r.VC, Writer: r.Txn, Deps: r.Deps, ExtSID: r.Stamp,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("engine: recover node %d: %w", nd.id, err)
+	}
+	var frontier, seqFloor uint64
+	if meta != nil {
+		mr, ext := meta.VC, meta.VC2
+		if len(mr) != nd.n || len(ext) != nd.n {
+			return fmt.Errorf("engine: recover node %d: checkpoint clock width %d/%d, want %d",
+				nd.id, len(mr), len(ext), nd.n)
+		}
+		nd.log.Bootstrap(mr, ext)
+		frontier = mr[nd.idx]
+		nd.raiseExtFrontier(meta.Stamp)
+		seqFloor = meta.Seq
+	}
+
+	// Phase 2: scan the surviving segments. Later records win: a decide
+	// supersedes its prepare, the last freeze for a transaction is the one
+	// that counts (they are identical anyway — the vector is assigned once).
+	type decideInfo struct {
+		vc     vclock.VC
+		writes []wire.KV
+		deps   []wire.TxnID
+	}
+	type freezeInfo struct {
+		stamp uint64
+		keys  []string
+		vc    vclock.VC
+	}
+	prepared := make(map[wire.TxnID]*walTxn)
+	decided := make(map[wire.TxnID]*decideInfo)
+	freezes := make(map[wire.TxnID]*freezeInfo)
+	var ownSeqMax uint64
+	err = nd.wal.Replay(func(r *wal.Record) error {
+		if r.Txn.Node == nd.id && r.Txn.Seq > ownSeqMax {
+			ownSeqMax = r.Txn.Seq
+		}
+		switch r.Type {
+		case wal.RecPrepare:
+			if _, done := decided[r.Txn]; !done {
+				prepared[r.Txn] = &walTxn{writes: r.Writes, deps: r.Deps}
+			}
+		case wal.RecDecide:
+			delete(prepared, r.Txn)
+			if r.Commit {
+				if len(r.VC) != nd.n {
+					return fmt.Errorf("wal: decide %v clock width %d, want %d", r.Txn, len(r.VC), nd.n)
+				}
+				decided[r.Txn] = &decideInfo{vc: r.VC, writes: r.Writes, deps: r.Deps}
+			}
+		case wal.RecCoordCommit:
+			nd.recordCoordDecision(r.Txn, r.VC)
+		case wal.RecFreeze:
+			if len(r.Keys) > 0 {
+				freezes[r.Txn] = &freezeInfo{stamp: r.Stamp, keys: r.Keys, vc: r.VC}
+			} else if len(r.VC) == nd.n {
+				// Coordinator freeze: the freeze vector is durable for
+				// in-doubt replies and folds into the node's externally-
+				// committed knowledge.
+				nd.recordCoordFreeze(r.Txn, r.VC)
+				nd.log.RecordExternal(r.VC)
+			}
+		case wal.RecPurge:
+			// Advisory: queue entries are not rebuilt across a restart, so
+			// there is nothing to purge during replay.
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("engine: recover node %d: %w", nd.id, err)
+	}
+
+	// Phase 3: resolve in-doubt transactions — prepared here, no decide
+	// logged — before applying, because a commit verdict's clock decides
+	// its position in the apply order.
+	for txn, p := range prepared {
+		nd.dstats.InDoubt.Add(1)
+		commitVC, freezeVC, commit := nd.resolveInDoubt(txn)
+		if !commit {
+			nd.dstats.InDoubtAborted.Add(1)
+			continue
+		}
+		if len(commitVC) != nd.n {
+			return fmt.Errorf("engine: recover node %d: in-doubt %v commit clock width %d, want %d",
+				nd.id, txn, len(commitVC), nd.n)
+		}
+		nd.dstats.InDoubtCommitted.Add(1)
+		decided[txn] = &decideInfo{vc: commitVC, writes: p.writes, deps: p.deps}
+		if len(freezeVC) == nd.n {
+			var keys []string
+			for _, kvp := range p.writes {
+				if nd.lookup.IsReplica(kvp.Key, nd.id) {
+					keys = append(keys, kvp.Key)
+				}
+			}
+			freezes[txn] = &freezeInfo{stamp: freezeVC[nd.idx], keys: keys, vc: commitVC}
+		}
+	}
+
+	// Phase 4: apply committed transactions above the checkpoint frontier,
+	// ascending by their write slot here — the CommitQ order the live node
+	// applied them in. Each runs through the real Prepare/Decide machinery
+	// so the NLog, visibility index and clock snapshot come out as if the
+	// node had never crashed. Per-key version-identity dedupe absorbs the
+	// fuzzy-checkpoint overlap (a transaction both dumped and re-logged).
+	type applyItem struct {
+		txn wire.TxnID
+		d   *decideInfo
+	}
+	var items []applyItem
+	for txn, d := range decided {
+		if d.vc[nd.idx] > frontier {
+			items = append(items, applyItem{txn: txn, d: d})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.d.vc[nd.idx] != b.d.vc[nd.idx] {
+			return a.d.vc[nd.idx] < b.d.vc[nd.idx]
+		}
+		if a.txn.Node != b.txn.Node {
+			return a.txn.Node < b.txn.Node
+		}
+		return a.txn.Seq < b.txn.Seq
+	})
+	for _, it := range items {
+		d := it.d
+		txn := it.txn
+		var appliedKeys []string
+		nd.log.Prepare(txn, true, func(commitVC vclock.VC) {
+			for _, kvp := range d.writes {
+				if nd.lookup.IsReplica(kvp.Key, nd.id) && !nd.store.HasVersion(kvp.Key, txn) {
+					nd.store.Apply(kvp.Key, kvp.Val, commitVC, txn, d.deps)
+					appliedKeys = append(appliedKeys, kvp.Key)
+				}
+			}
+		})
+		nd.log.Decide(txn, d.vc, true, true)
+		nd.dstats.ReplayedCommits.Add(1)
+		if freezes[txn] == nil {
+			// Committed but with no logged freeze: the coordinator's freeze
+			// vector never (durably) reached this replica. Stamp with the
+			// own-slot floor so the version is not left provisional forever;
+			// the true stamp can only be higher, so this is the conservative
+			// direction for this replica (documented in ARCHITECTURE.md).
+			for _, k := range appliedKeys {
+				nd.store.SQStampWrite(k, txn, d.vc[nd.idx])
+			}
+		}
+	}
+
+	// Phase 5: re-stamp from the logged freeze vectors. Min-wins against
+	// equal checkpoint stamps makes this idempotent; versions restored from
+	// the checkpoint already carry their stamps.
+	for txn, f := range freezes {
+		for _, k := range f.keys {
+			nd.store.SQStampWrite(k, txn, f.stamp)
+		}
+		nd.raiseExtFrontier(f.stamp)
+		if len(f.vc) == nd.n {
+			ext := f.vc.Clone()
+			if f.stamp > ext[nd.idx] {
+				ext[nd.idx] = f.stamp
+			}
+			nd.log.RecordExternal(ext)
+		}
+	}
+
+	// The transaction-sequence epoch bump: recovered Seq values are a floor,
+	// but aborted in-doubt transactions may have handed out IDs no record
+	// survives for, so restart into a fresh epoch well above anything this
+	// node can have issued.
+	if ownSeqMax > seqFloor {
+		seqFloor = ownSeqMax
+	}
+	nd.txnSeq.Store(seqFloor + 1<<32)
+	return nil
+}
+
+func (nd *Node) raiseExtFrontier(stamp uint64) {
+	for {
+		cur := nd.extFrontier.Load()
+		if stamp <= cur || nd.extFrontier.CompareAndSwap(cur, stamp) {
+			return
+		}
+	}
+}
+
+// Checkpoint cuts a durable snapshot bounding WAL replay: the store's
+// version chains plus the clock frontier go to the checkpoint file, while
+// everything still in flight — unpurged write-replica transactions and the
+// coordinator decision ledger — is re-logged into the freshly rotated
+// segment so reclaiming the older segments loses nothing. The re-log runs
+// before the frontier capture: anything purged by then applied before the
+// captured frontier, so its slot is covered by the barrier entry and its
+// version (with stamp) by the dump.
+func (nd *Node) Checkpoint() error {
+	if nd.wal == nil {
+		return nil
+	}
+	return nd.wal.WriteCheckpoint(func(emit func(*wal.Record) error) error {
+		for i := range nd.stripes {
+			st := &nd.stripes[i]
+			st.mu.Lock()
+			for txn, wt := range st.walTxns {
+				if wt.decided {
+					nd.wal.Append(&wal.Record{Type: wal.RecDecide, Txn: txn, Commit: true,
+						VC: wt.vc, Writes: wt.writes, Deps: wt.deps})
+				} else {
+					nd.wal.Append(&wal.Record{Type: wal.RecPrepare, Txn: txn,
+						Writes: wt.writes, Deps: wt.deps})
+				}
+			}
+			st.mu.Unlock()
+		}
+		nd.coordMu.Lock()
+		for txn, cr := range nd.coordStatus {
+			nd.wal.Append(&wal.Record{Type: wal.RecCoordCommit, Txn: txn, VC: cr.commitVC})
+			if cr.freezeVC != nil {
+				nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: txn, VC: cr.freezeVC})
+			}
+		}
+		nd.coordMu.Unlock()
+		meta := &wal.Record{
+			Type:  wal.RecCheckpointMeta,
+			VC:    nd.log.MostRecentVC(),
+			VC2:   nd.log.ExternalVC(),
+			Stamp: nd.extFrontier.Load(),
+			Seq:   nd.txnSeq.Load(),
+		}
+		if err := emit(meta); err != nil {
+			return err
+		}
+		return nd.store.Dump(func(key string, v mvstore.VersionRec) error {
+			return emit(&wal.Record{Type: wal.RecVersion, Key: key, Val: v.Val,
+				VC: v.VC, Txn: v.Writer, Deps: v.Deps, Stamp: v.ExtSID})
+		})
+	})
+}
+
+// checkpointLoop cuts periodic checkpoints until Close.
+func (nd *Node) checkpointLoop() {
+	defer close(nd.ckptDone)
+	t := time.NewTicker(nd.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-nd.ckptStop:
+			return
+		case <-t.C:
+			if nd.recovering.Load() {
+				continue
+			}
+			if err := nd.Checkpoint(); err != nil {
+				nd.dstats.CheckpointErrors.Add(1)
+			}
+		}
+	}
+}

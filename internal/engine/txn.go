@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/sss-paper/sss/internal/vclock"
+	"github.com/sss-paper/sss/internal/wal"
 	"github.com/sss-paper/sss/internal/wire"
 	"github.com/sss-paper/sss/kv"
 )
@@ -654,6 +655,19 @@ func (t *Txn) commitUpdate() error {
 	for _, w := range writeNodes {
 		commitVC[w] = xactVN
 	}
+	if nd.wal != nil {
+		// The presumed-abort coordinator obligation: the commit decision is
+		// durable before any decide leaves this node, so an in-doubt
+		// participant asking after a crash gets the same verdict the
+		// survivors acted on. A failed sync downgrades to abort — nothing
+		// irreversible has been sent yet.
+		nd.wal.Append(&wal.Record{Type: wal.RecCoordCommit, Txn: t.id, Commit: true, VC: commitVC})
+		if err := nd.wal.Sync(); err != nil {
+			t.finishAbort(participants, sc)
+			return kv.ErrAborted
+		}
+		nd.recordCoordDecision(t.id, commitVC)
+	}
 	decided := time.Now()
 
 	// Record where each propagated read-only transaction's entries will
@@ -757,6 +771,15 @@ func (t *Txn) commitUpdate() error {
 	waiters := nd.enqueueFreezes(t.id, writeNodes, freezeVC, sc.waiters[:0])
 	nd.awaitFreezes(waiters)
 	sc.waiters = waiters
+	if nd.wal != nil {
+		// Coordinator freeze record (no keys): makes the freeze vector
+		// durable before the client reply, so an in-doubt participant
+		// recovering later re-stamps with the same replica-independent
+		// values, and replay restores this node's external knowledge.
+		nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: t.id, VC: freezeVC})
+		_ = nd.wal.Sync()
+		nd.recordCoordFreeze(t.id, freezeVC)
+	}
 	// The external-commit point: transactions beginning on this node after
 	// the client reply below must serialize after us, so our commit clock —
 	// raised to each write replica's external-commit stamp, i.e. the

@@ -39,6 +39,11 @@ type Config struct {
 	Dir string
 	// ExtraArgs are appended to every server's command line.
 	ExtraArgs []string
+	// Durable gives every node a data directory (data<i> under Dir) and
+	// starts servers with -data-dir, enabling the WAL and crash recovery.
+	// The directories survive Kill/Restart, so a restarted node replays its
+	// log and rejoins with its pre-crash state.
+	Durable bool
 	// StartTimeout bounds the wait for every node's readiness probe
 	// (default 30s).
 	StartTimeout time.Duration
@@ -124,6 +129,7 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	c.peerAddrs, c.clientAddrs = addrs[:cfg.Nodes], addrs[cfg.Nodes:]
 
+	c.procs = make([]*proc, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		if err := c.spawn(i); err != nil {
 			_ = c.Stop()
@@ -169,10 +175,11 @@ func (c *Cluster) applyNetDelay(rtt time.Duration) error {
 	return nil
 }
 
-// spawn starts node i with captured logs and a monitor goroutine.
+// spawn starts node i with captured logs and a monitor goroutine. Logs are
+// opened append-mode so a restarted incarnation continues the same file.
 func (c *Cluster) spawn(i int) error {
 	logPath := filepath.Join(c.dir, fmt.Sprintf("node%d.log", i))
-	logf, err := os.Create(logPath)
+	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -181,6 +188,14 @@ func (c *Cluster) spawn(i int) error {
 		"-peers", strings.Join(c.peerAddrs, ","),
 		"-client-addr", c.clientAddrs[i],
 		"-replication", fmt.Sprint(c.cfg.Replication),
+	}
+	if c.cfg.Durable {
+		dataDir := filepath.Join(c.dir, fmt.Sprintf("data%d", i))
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			_ = logf.Close()
+			return err
+		}
+		args = append(args, "-data-dir", dataDir)
 	}
 	args = append(args, c.cfg.ExtraArgs...)
 	cmd := exec.Command(c.cfg.BinPath, args...)
@@ -195,42 +210,88 @@ func (c *Cluster) spawn(i int) error {
 		p.err = cmd.Wait()
 		close(p.done)
 	}()
-	c.procs = append(c.procs, p)
+	c.procs[i] = p
 	return nil
+}
+
+// Kill SIGKILLs node i — the unclean crash the WAL exists for — and waits
+// for the process to exit. Its data directory and log survive; Restart
+// brings the node back on the same addresses.
+func (c *Cluster) Kill(i int) error {
+	p := c.procs[i]
+	if p == nil {
+		return fmt.Errorf("harness: kill node %d: never started", i)
+	}
+	select {
+	case <-p.done:
+	default:
+		if err := p.cmd.Process.Kill(); err != nil {
+			return fmt.Errorf("harness: kill node %d: %w", i, err)
+		}
+	}
+	<-p.done
+	_ = p.log.Close()
+	return nil
+}
+
+// Restart respawns a killed (or otherwise exited) node i on its original
+// peer and client addresses and waits until it answers a Ping again — i.e.
+// until recovery finished, since the server opens its client listener only
+// after Recover returns.
+func (c *Cluster) Restart(i int) error {
+	if p := c.procs[i]; p != nil {
+		select {
+		case <-p.done:
+		default:
+			return fmt.Errorf("harness: restart node %d: still running (Kill it first)", i)
+		}
+	}
+	if err := c.spawn(i); err != nil {
+		return err
+	}
+	return c.waitNode(i, time.Now().Add(c.cfg.StartTimeout))
 }
 
 // waitReady pings every node's client port until it answers or the timeout
 // expires; a node process dying early fails immediately with its log tail.
 func (c *Cluster) waitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for i, addr := range c.clientAddrs {
-		for {
-			select {
-			case <-c.procs[i].done:
-				return fmt.Errorf("harness: node %d exited during startup (%v)\n%s",
-					i, c.procs[i].err, c.LogTail(i, 2048))
-			default:
-			}
-			cl, err := client.Dial(addr, client.Options{
-				Conns:          1,
-				DialTimeout:    500 * time.Millisecond,
-				RequestTimeout: 2 * time.Second,
-			})
-			if err == nil {
-				err = cl.Ping()
-				_ = cl.Close()
-				if err == nil {
-					break
-				}
-			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("harness: node %d (%s) not ready after %v: %v\n%s",
-					i, addr, timeout, err, c.LogTail(i, 2048))
-			}
-			time.Sleep(25 * time.Millisecond)
+	for i := range c.clientAddrs {
+		if err := c.waitNode(i, deadline); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// waitNode pings node i's client port until it answers or deadline passes.
+func (c *Cluster) waitNode(i int, deadline time.Time) error {
+	addr := c.clientAddrs[i]
+	for {
+		select {
+		case <-c.procs[i].done:
+			return fmt.Errorf("harness: node %d exited during startup (%v)\n%s",
+				i, c.procs[i].err, c.LogTail(i, 2048))
+		default:
+		}
+		cl, err := client.Dial(addr, client.Options{
+			Conns:          1,
+			DialTimeout:    500 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+		})
+		if err == nil {
+			err = cl.Ping()
+			_ = cl.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: node %d (%s) not ready by deadline: %v\n%s",
+				i, addr, err, c.LogTail(i, 2048))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // ClientAddrs returns the per-node client-protocol addresses.
@@ -261,6 +322,9 @@ func (c *Cluster) LogTail(i, n int) string {
 
 // Alive reports whether node i's process is still running.
 func (c *Cluster) Alive(i int) bool {
+	if c.procs[i] == nil {
+		return false
+	}
 	select {
 	case <-c.procs[i].done:
 		return false
@@ -269,9 +333,12 @@ func (c *Cluster) Alive(i int) bool {
 	}
 }
 
-// Stop shuts the cluster down: SIGTERM to every process (graceful session
-// drain), SIGKILL after 10s, then log files close. Safe to call twice.
-func (c *Cluster) Stop() error {
+// Shutdown SIGTERMs every node (graceful session drain) and waits for the
+// processes to exit — SIGKILL after 10s — but keeps log files and data
+// directories in place, so callers can still read LogTail (the servers'
+// shutdown dumps, e.g. the durability counters, land there). Stop remains
+// responsible for cleanup and is safe to call afterwards.
+func (c *Cluster) Shutdown() error {
 	var firstErr error
 	for _, r := range c.relays {
 		r.close()
@@ -282,6 +349,9 @@ func (c *Cluster) Stop() error {
 		c.netemUndo = nil
 	}
 	for _, p := range c.procs {
+		if p == nil {
+			continue
+		}
 		select {
 		case <-p.done:
 			continue
@@ -290,6 +360,9 @@ func (c *Cluster) Stop() error {
 		_ = p.cmd.Process.Signal(syscall.SIGTERM)
 	}
 	for i, p := range c.procs {
+		if p == nil {
+			continue
+		}
 		select {
 		case <-p.done:
 		case <-time.After(10 * time.Second):
@@ -298,6 +371,19 @@ func (c *Cluster) Stop() error {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("harness: node %d ignored SIGTERM, killed", i)
 			}
+		}
+	}
+	return firstErr
+}
+
+// Stop shuts the cluster down: SIGTERM to every process (graceful session
+// drain), SIGKILL after 10s, then log files close and the work directory is
+// removed. Safe to call twice, and after Shutdown.
+func (c *Cluster) Stop() error {
+	firstErr := c.Shutdown()
+	for _, p := range c.procs {
+		if p == nil {
+			continue
 		}
 		_ = p.log.Close()
 	}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// NemesisConfig schedules a crash-restart fault loop against a running
+// cluster. The schedule is deterministic: victims are visited round-robin,
+// so a failing run reproduces with the same configuration.
+type NemesisConfig struct {
+	// Rounds is the number of kill→restart cycles (default 3).
+	Rounds int
+	// Downtime is how long a victim stays dead before its restart — the
+	// window in which the survivors must keep serving (default 1s).
+	Downtime time.Duration
+	// Gap is the settle window between a victim's rejoin and the next
+	// round's kill (default 2s).
+	Gap time.Duration
+	// Victims restricts the targets (node indexes); empty means every node.
+	Victims []int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (cfg NemesisConfig) withDefaults(nodes int) NemesisConfig {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.Downtime <= 0 {
+		cfg.Downtime = time.Second
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = 2 * time.Second
+	}
+	if len(cfg.Victims) == 0 {
+		cfg.Victims = make([]int, nodes)
+		for i := range cfg.Victims {
+			cfg.Victims[i] = i
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// RunNemesis drives the crash-restart schedule: each round SIGKILLs the
+// next victim, keeps it dead for Downtime, restarts it and waits for its
+// recovery to finish (Restart's readiness probe), then settles for Gap.
+// RunNemesis only injects the faults — the caller keeps client load running
+// in its own goroutines and checks invariants afterwards.
+func (c *Cluster) RunNemesis(cfg NemesisConfig) error {
+	cfg = cfg.withDefaults(c.cfg.Nodes)
+	for round := 0; round < cfg.Rounds; round++ {
+		victim := cfg.Victims[round%len(cfg.Victims)]
+		cfg.Logf("nemesis round %d/%d: SIGKILL node %d", round+1, cfg.Rounds, victim)
+		if err := c.Kill(victim); err != nil {
+			return fmt.Errorf("nemesis round %d: %w", round+1, err)
+		}
+		time.Sleep(cfg.Downtime)
+		cfg.Logf("nemesis round %d/%d: restart node %d", round+1, cfg.Rounds, victim)
+		if err := c.Restart(victim); err != nil {
+			return fmt.Errorf("nemesis round %d: %w", round+1, err)
+		}
+		time.Sleep(cfg.Gap)
+	}
+	return nil
+}

@@ -474,3 +474,111 @@ func (s ClientNetSnapshot) String() string {
 		s.Sessions, s.ActiveSessions, s.Requests, s.ProtocolErrors, s.DisconnectAborts, s.WriteErrors, s.Spills,
 		s.SnapshotReads, s.BatchFlushes, s.RequestsPerFlush, s.FlushLatency)
 }
+
+// Durability aggregates the write-ahead-log and recovery counters of one
+// node (internal/wal + the engine's recovery path): append/fsync volume and
+// the group-commit amortization factor on the write side, checkpoint and
+// replay volume on the recovery side, and the presumed-abort outcomes of
+// in-doubt resolution.
+type Durability struct {
+	// WalAppends counts records appended to the log; WalBytes the encoded
+	// payload volume.
+	WalAppends atomic.Uint64
+	WalBytes   atomic.Uint64
+	// WalSyncs counts fsync calls; WalSyncedRecords the records those
+	// fsyncs made durable. Records/sync is the group-commit amortization
+	// factor — the WAL analogue of Transport.EnvelopesPerFlush.
+	WalSyncs         atomic.Uint64
+	WalSyncedRecords atomic.Uint64
+	// SyncLatency observes the wall time of each fsync (write + sync).
+	SyncLatency Histogram
+	// Checkpoints counts checkpoints cut; CheckpointRecords the records
+	// (meta + versions) they contained; CheckpointErrors the attempts that
+	// failed (the previous checkpoint stays installed).
+	Checkpoints       atomic.Uint64
+	CheckpointRecords atomic.Uint64
+	CheckpointErrors  atomic.Uint64
+	// ReplayRecords counts WAL records scanned during recovery;
+	// ReplayedCommits the committed transactions re-applied from them.
+	ReplayRecords   atomic.Uint64
+	ReplayedCommits atomic.Uint64
+	// InDoubt counts prepared-but-undecided transactions found at recovery;
+	// InDoubtCommitted/InDoubtAborted their resolved outcomes (aborts
+	// include coordinator-unknown presumed aborts).
+	InDoubt          atomic.Uint64
+	InDoubtCommitted atomic.Uint64
+	InDoubtAborted   atomic.Uint64
+}
+
+// RecordsPerSync returns the mean group-commit batch size so far (0 when
+// idle).
+func (d *Durability) RecordsPerSync() float64 {
+	s := d.WalSyncs.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(d.WalSyncedRecords.Load()) / float64(s)
+}
+
+// Merge folds other's counters into d.
+func (d *Durability) Merge(other *Durability) {
+	d.WalAppends.Add(other.WalAppends.Load())
+	d.WalBytes.Add(other.WalBytes.Load())
+	d.WalSyncs.Add(other.WalSyncs.Load())
+	d.WalSyncedRecords.Add(other.WalSyncedRecords.Load())
+	d.SyncLatency.Merge(&other.SyncLatency)
+	d.Checkpoints.Add(other.Checkpoints.Load())
+	d.CheckpointRecords.Add(other.CheckpointRecords.Load())
+	d.CheckpointErrors.Add(other.CheckpointErrors.Load())
+	d.ReplayRecords.Add(other.ReplayRecords.Load())
+	d.ReplayedCommits.Add(other.ReplayedCommits.Load())
+	d.InDoubt.Add(other.InDoubt.Load())
+	d.InDoubtCommitted.Add(other.InDoubtCommitted.Load())
+	d.InDoubtAborted.Add(other.InDoubtAborted.Load())
+}
+
+// DurabilitySnapshot is a point-in-time copy for reporting.
+type DurabilitySnapshot struct {
+	WalAppends        uint64            `json:"wal_appends"`
+	WalBytes          uint64            `json:"wal_bytes"`
+	WalSyncs          uint64            `json:"wal_syncs"`
+	WalSyncedRecords  uint64            `json:"wal_synced_records"`
+	RecordsPerSync    float64           `json:"records_per_sync"`
+	SyncLatency       HistogramSnapshot `json:"sync_latency"`
+	Checkpoints       uint64            `json:"checkpoints"`
+	CheckpointRecords uint64            `json:"checkpoint_records"`
+	CheckpointErrors  uint64            `json:"checkpoint_errors"`
+	ReplayRecords     uint64            `json:"replay_records"`
+	ReplayedCommits   uint64            `json:"replayed_commits"`
+	InDoubt           uint64            `json:"in_doubt"`
+	InDoubtCommitted  uint64            `json:"in_doubt_committed"`
+	InDoubtAborted    uint64            `json:"in_doubt_aborted"`
+}
+
+// Snapshot copies the counters into a plain struct.
+func (d *Durability) Snapshot() DurabilitySnapshot {
+	return DurabilitySnapshot{
+		WalAppends:        d.WalAppends.Load(),
+		WalBytes:          d.WalBytes.Load(),
+		WalSyncs:          d.WalSyncs.Load(),
+		WalSyncedRecords:  d.WalSyncedRecords.Load(),
+		RecordsPerSync:    d.RecordsPerSync(),
+		SyncLatency:       d.SyncLatency.Snapshot(),
+		Checkpoints:       d.Checkpoints.Load(),
+		CheckpointRecords: d.CheckpointRecords.Load(),
+		CheckpointErrors:  d.CheckpointErrors.Load(),
+		ReplayRecords:     d.ReplayRecords.Load(),
+		ReplayedCommits:   d.ReplayedCommits.Load(),
+		InDoubt:           d.InDoubt.Load(),
+		InDoubtCommitted:  d.InDoubtCommitted.Load(),
+		InDoubtAborted:    d.InDoubtAborted.Load(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s DurabilitySnapshot) String() string {
+	return fmt.Sprintf("walAppends=%d (%d B) syncs=%d (%.2f rec/sync) syncLat{%v} checkpoints=%d (%d rec) replay=%d rec/%d commits inDoubt=%d (committed %d, aborted %d)",
+		s.WalAppends, s.WalBytes, s.WalSyncs, s.RecordsPerSync, s.SyncLatency,
+		s.Checkpoints, s.CheckpointRecords, s.ReplayRecords, s.ReplayedCommits,
+		s.InDoubt, s.InDoubtCommitted, s.InDoubtAborted)
+}

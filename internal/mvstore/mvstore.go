@@ -988,6 +988,81 @@ func (s *Store) VersionWriters(key string) []wire.TxnID {
 	return out
 }
 
+// VersionRec is one version in checkpoint form: the stored fields of a
+// Version without the chain link. VC and Deps are shared with the live
+// version during Dump (immutable by convention); Restore installs them as
+// given.
+type VersionRec struct {
+	Val    []byte
+	VC     vclock.VC
+	Writer wire.TxnID
+	Deps   []wire.TxnID
+	ExtSID uint64
+}
+
+// Dump streams every retained version through fn, oldest first per key (the
+// order RestoreVersion rebuilds chains in), for checkpointing. Each shard
+// is walked under its lock, so per-key chains are internally consistent;
+// the dump as a whole is a fuzzy snapshot — transactions applying while it
+// runs may or may not appear, and recovery dedupes replay against it by
+// writer identity.
+func (s *Store) Dump(fn func(key string, v VersionRec) error) error {
+	var rev []*Version
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, ks := range sh.keys {
+			rev = rev[:0]
+			for v := ks.last; v != nil; v = v.Prev {
+				rev = append(rev, v)
+			}
+			for j := len(rev) - 1; j >= 0; j-- {
+				v := rev[j]
+				if err := fn(key, VersionRec{Val: v.Val, VC: v.VC, Writer: v.Writer,
+					Deps: v.Deps, ExtSID: v.ExtSID}); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// RestoreVersion installs one checkpointed version as key's newest.
+// Feeding a key's Dump output back in order rebuilds its chain. Recovery
+// only; not for use on a store serving traffic.
+func (s *Store) RestoreVersion(key string, v VersionRec) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.state(key)
+	ks.last = &Version{Val: v.Val, VC: v.VC, Writer: v.Writer, Deps: v.Deps,
+		ExtSID: v.ExtSID, Prev: ks.last}
+	ks.depth++
+}
+
+// HasVersion reports whether key retains a version written by txn. Recovery
+// uses it to dedupe WAL replay against a fuzzy checkpoint: a transaction
+// that applied while the checkpoint dump was running may already be in the
+// restored chain.
+func (s *Store) HasVersion(key string, txn wire.TxnID) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks := sh.keys[key]
+	if ks == nil {
+		return false
+	}
+	for v := ks.last; v != nil; v = v.Prev {
+		if v.Writer == txn {
+			return true
+		}
+	}
+	return false
+}
+
 // Depth returns the number of retained versions of key.
 func (s *Store) Depth(key string) int {
 	sh := s.shard(key)

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// freePorts reserves n distinct loopback ports by listening and closing.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// TestTCPPeerRestart simulates a peer crash + restart at the transport
+// layer: node 1 lives in its own TCP network value (as it would in its own
+// process), dies, and comes back on the same address. RPCs from node 0 must
+// heal within a few retries once the listener is back — stale outbound
+// connections on either side must not wedge the link.
+func TestTCPPeerRestart(t *testing.T) {
+	addrs := freePorts(t, 2)
+	book := map[wire.NodeID]string{0: addrs[0], 1: addrs[1]}
+
+	echo := func(r **RPC) ServerFunc {
+		return func(from wire.NodeID, rid uint64, msg wire.Msg) {
+			if rid != 0 {
+				_ = (*r).Reply(from, rid, msg)
+			}
+		}
+	}
+
+	net0 := NewTCP(book)
+	defer func() { _ = net0.Close() }()
+	var rpc0 *RPC
+	rpc0, err := NewRPC(net0, 0, echo(&rpc0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot1 := func() (*TCP, *RPC) {
+		n := NewTCP(book)
+		var r *RPC
+		r, err := NewRPC(n, 1, echo(&r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, r
+	}
+	net1, _ := boot1()
+
+	call := func(timeout time.Duration) error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		_, err := rpc0.Call(ctx, 1, &wire.ReadRequest{Key: "k"})
+		return err
+	}
+
+	// Healthy baseline.
+	if err := call(2 * time.Second); err != nil {
+		t.Fatalf("baseline call: %v", err)
+	}
+
+	// Crash node 1 (its whole network value, as a process death would).
+	_ = net1.Close()
+
+	// Calls while it is down fail; that is fine. Issue a few so node 0's
+	// senders burn through their stale connections, like live traffic would.
+	for i := 0; i < 3; i++ {
+		_ = call(200 * time.Millisecond)
+	}
+
+	// Restart node 1 on the same address.
+	net1b, _ := boot1()
+	defer func() { _ = net1b.Close() }()
+
+	// The link must heal: each attempt lets the senders notice dead
+	// connections and redial. Allow a handful of attempts.
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if lastErr = call(500 * time.Millisecond); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("RPC never healed after peer restart: %v", lastErr)
+}
+
+// TestTCPPeerRestartInboundReuse is the harder direction: node 1 holds a
+// stale outbound connection to node 0 from before node 0's death. After
+// node 0 restarts, node 1's replies must reach the new incarnation — the
+// sender must notice the dead connection and redial.
+func TestTCPPeerRestartInboundReuse(t *testing.T) {
+	addrs := freePorts(t, 2)
+	book := map[wire.NodeID]string{0: addrs[0], 1: addrs[1]}
+
+	echo := func(r **RPC) ServerFunc {
+		return func(from wire.NodeID, rid uint64, msg wire.Msg) {
+			if rid != 0 {
+				_ = (*r).Reply(from, rid, msg)
+			}
+		}
+	}
+
+	net1 := NewTCP(book)
+	defer func() { _ = net1.Close() }()
+	var rpc1 *RPC
+	rpc1, err := NewRPC(net1, 1, echo(&rpc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot0 := func() (*TCP, *RPC) {
+		n := NewTCP(book)
+		var r *RPC
+		r, err := NewRPC(n, 0, echo(&r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, r
+	}
+	net0, _ := boot0()
+
+	// Warm the 1→0 sender so node 1 holds an established connection.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if _, err := rpc1.Call(ctx, 0, &wire.ReadRequest{Key: "k"}); err != nil {
+		t.Fatalf("baseline 1->0 call: %v", err)
+	}
+	cancel()
+
+	// Node 0 dies and comes back; node 1's connection to it is now stale.
+	_ = net0.Close()
+	net0b, rpc0b := boot0()
+	defer func() { _ = net0b.Close() }()
+	_ = rpc0b
+
+	// 0(new)->1 requests must get replies even though node 1's sender to 0
+	// still holds the dead connection.
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		_, lastErr = rpc0b.Call(ctx, 1, &wire.ReadRequest{Key: "k"})
+		cancel()
+		if lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("replies never healed after node 0 restart: %v", lastErr)
+}

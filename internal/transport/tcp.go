@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
+	"os"
 	"sync"
 
 	"github.com/sss-paper/sss/internal/metrics"
@@ -324,11 +326,17 @@ func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string) func([]wire.Enve
 		if c == nil {
 			conn, err := net.Dial("tcp", addr)
 			if err != nil {
+				if debugTCP {
+					log.Printf("tcpdebug: node %d dial %d (%s) failed: %v (batch of %d dropped)", e.id, to, addr, err, len(batch))
+				}
 				return // dropped; peers retry via RPC timeouts
 			}
 			c = conn
 			w = bufio.NewWriterSize(c, 64<<10)
 			e.track(c)
+			if debugTCP {
+				log.Printf("tcpdebug: node %d dialed %d (%s)", e.id, to, addr)
+			}
 		}
 		bp := wire.GetBuf()
 		defer wire.PutBuf(bp)
@@ -345,17 +353,26 @@ func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string) func([]wire.Enve
 		}
 		var hdr [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(hdr[:], uint64(len(frame)))
-		if _, err := w.Write(hdr[:n]); err == nil {
+		// Assign, don't declare: a `:=` here would shadow err and swallow
+		// write failures, leaving the sender wedged on a dead connection
+		// forever instead of redialing (a restarted peer would never be
+		// reached again).
+		if _, err = w.Write(hdr[:n]); err == nil {
 			if _, err = w.Write(frame); err == nil {
 				err = w.Flush()
 			}
 		}
 		if err != nil {
+			if debugTCP {
+				log.Printf("tcpdebug: node %d write to %d failed: %v (batch of %d lost)", e.id, to, err, len(batch))
+			}
 			_ = c.Close()
 			c, w = nil, nil
 		}
 	}
 }
+
+var debugTCP = os.Getenv("SSS_TCP_DEBUG") != ""
 
 // track registers an outbound connection for teardown at Close.
 func (e *tcpEndpoint) track(c net.Conn) {

@@ -157,6 +157,12 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 		nd.handlePrepare(from, rid, m)
 	case *wire.Decide:
 		nd.handleDecide(from, rid, m)
+	case *wire.TxnStatus:
+		// The baseline keeps no durable decision ledger, so every status
+		// query gets the classic presumed-abort answer. Replying (rather
+		// than dropping) keeps a recovering peer from burning its whole
+		// retry budget on timeouts.
+		_ = nd.rpc.Reply(from, rid, &wire.TxnStatusReply{Txn: m.Txn})
 	default:
 	}
 }

@@ -1,0 +1,545 @@
+// Package wal implements the per-node write-ahead log and checkpoint store
+// behind SSS's crash recovery. The log is a sequence of segment files of
+// CRC-framed records (see record.go); appends are buffered in memory and
+// made durable by Sync, which group-commits: concurrent Sync callers
+// coalesce behind one write+fsync, so the fsync amortizes across however
+// many commit-path events are in flight — by design the same batching
+// boundary as the engine's per-peer commit-queue envelopes.
+//
+// Durability contract: Append alone promises nothing; a record is durable
+// only once a Sync that started after its Append has returned. The engine
+// syncs at the three points classic presumed-abort 2PC requires (participant
+// prepare before the yes vote, coordinator decision before the decide
+// broadcast, coordinator freeze before the client reply) and rides the
+// freeze/purge batches for everything else.
+//
+// On open, the newest segment's tail is scanned and truncated at the first
+// frame that is short, oversized, or fails its CRC — a torn tail from a
+// crash mid-write. Corruption in older (rotated) segments is not silently
+// truncated: replay fails loudly instead, because a completed segment can
+// only lose records to media damage, not to a torn write.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+const (
+	segPrefix      = "wal-"
+	segSuffix      = ".seg"
+	checkpointName = "checkpoint"
+	lockName       = "LOCK"
+
+	// frameHeader is [payloadLen uint32 LE][crc32c uint32 LE].
+	frameHeader = 8
+	// maxFrame bounds one record's payload so a corrupt length field fails
+	// loudly instead of driving a giant allocation.
+	maxFrame = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrLocked reports that another live process holds the data directory.
+var ErrLocked = errors.New("wal: data directory locked by another process")
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB). Rotation alone never discards data; only a
+	// checkpoint reclaims segments.
+	SegmentBytes int64
+	// NoSync skips the fsync inside Sync (tests on slow filesystems).
+	NoSync bool
+	// Stats receives durability counters; nil means a private sink.
+	Stats *metrics.Durability
+}
+
+// Log is a per-node write-ahead log rooted at one data directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir   string
+	opts  Options
+	stats *metrics.Durability
+	lockF *os.File
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         *os.File // active segment
+	segSeq    uint64   // active segment's sequence number
+	size      int64    // active segment's size on disk
+	buf       []byte   // encoded frames not yet written
+	bufRecs   uint64   // records in buf
+	appendSeq uint64   // records appended ever
+	syncedSeq uint64   // records made durable
+	syncing   bool     // a Sync owner is mid write+fsync
+	closed    bool
+}
+
+// Open opens (or initializes) the write-ahead log in dir. The directory
+// must already exist; Open fails with a descriptive error when it is
+// missing or unwritable, and with ErrLocked when another live process holds
+// its flock. The newest segment's torn tail, if any, is truncated.
+func Open(dir string, opts Options) (*Log, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("wal: data directory %s does not exist (create it first)", dir)
+		}
+		return nil, fmt.Errorf("wal: data directory %s: %w", dir, err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("wal: data path %s is not a directory", dir)
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &metrics.Durability{}
+	}
+	l := &Log{dir: dir, opts: opts, stats: stats}
+	l.cond = sync.NewCond(&l.mu)
+
+	// Exclusive, non-blocking flock: two live servers on one data dir is
+	// silent corruption waiting to happen, so the second one must fail fast.
+	lockPath := filepath.Join(dir, lockName)
+	lockF, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: data directory %s is not writable: %w", dir, err)
+	}
+	if err := syscall.Flock(int(lockF.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = lockF.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	l.lockF = lockF
+
+	segs, err := l.listSegments()
+	if err != nil {
+		l.release()
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			l.release()
+			return nil, err
+		}
+		return l, nil
+	}
+	// Truncate the newest segment at its first invalid frame (torn tail).
+	last := segs[len(segs)-1]
+	valid, err := validPrefix(l.segPath(last))
+	if err != nil {
+		l.release()
+		return nil, err
+	}
+	f, err := os.OpenFile(l.segPath(last), os.O_RDWR, 0o644)
+	if err != nil {
+		l.release()
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			_ = f.Close()
+			l.release()
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", l.segPath(last), err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		l.release()
+		return nil, err
+	}
+	l.f, l.segSeq, l.size = f, last, valid
+	return l, nil
+}
+
+func (l *Log) release() {
+	if l.lockF != nil {
+		_ = syscall.Flock(int(l.lockF.Fd()), syscall.LOCK_UN)
+		_ = l.lockF.Close()
+		l.lockF = nil
+	}
+}
+
+// Dir returns the log's data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns the log's durability counters.
+func (l *Log) Stats() *metrics.Durability { return l.stats }
+
+func (l *Log) segPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix))
+}
+
+func (l *Log) listSegments() ([]uint64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", l.dir, err)
+	}
+	var segs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%016d"+segSuffix, &seq); err != nil {
+			continue
+		}
+		segs = append(segs, seq)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+func (l *Log) openSegment(seq uint64) error {
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.f, l.segSeq, l.size = f, seq, 0
+	return nil
+}
+
+// validPrefix scans path and returns the byte length of its longest valid
+// frame prefix. Anything past it is a torn or corrupt tail.
+func validPrefix(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	for {
+		n, _, err := frameAt(data, off)
+		if err != nil {
+			return off, nil // invalid frame: the valid prefix ends here
+		}
+		if n == 0 {
+			return off, nil // clean EOF
+		}
+		off += n
+	}
+}
+
+// frameAt parses one frame of data at off. It returns the frame's total
+// length and payload, (0, nil, nil) at a clean end of data, or an error for
+// a short/oversized/corrupt frame.
+func frameAt(data []byte, off int64) (int64, []byte, error) {
+	rest := data[off:]
+	if len(rest) == 0 {
+		return 0, nil, nil
+	}
+	if len(rest) < frameHeader {
+		return 0, nil, errors.New("wal: short frame header")
+	}
+	ln := uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24
+	crc := uint32(rest[4]) | uint32(rest[5])<<8 | uint32(rest[6])<<16 | uint32(rest[7])<<24
+	if ln == 0 || ln > maxFrame {
+		return 0, nil, fmt.Errorf("wal: implausible frame length %d", ln)
+	}
+	if int64(len(rest)) < frameHeader+int64(ln) {
+		return 0, nil, errors.New("wal: short frame payload")
+	}
+	payload := rest[frameHeader : frameHeader+int64(ln)]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return 0, nil, errors.New("wal: frame CRC mismatch")
+	}
+	return frameHeader + int64(ln), payload, nil
+}
+
+// Append buffers one record for the next Sync. It never blocks on I/O.
+func (l *Log) Append(r *Record) {
+	// Encode on a pooled wire buffer so the frame assembly allocates
+	// nothing on the steady-state path.
+	bp := wire.GetBuf()
+	payload := appendPayload((*bp)[:0], r)
+	crc := crc32.Checksum(payload, crcTable)
+	ln := uint32(len(payload))
+
+	l.mu.Lock()
+	l.buf = append(l.buf,
+		byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24),
+		byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	l.buf = append(l.buf, payload...)
+	l.bufRecs++
+	l.appendSeq++
+	l.mu.Unlock()
+
+	*bp = payload
+	wire.PutBuf(bp)
+	l.stats.WalAppends.Add(1)
+	l.stats.WalBytes.Add(uint64(len(payload)))
+}
+
+// Sync makes every record appended before this call durable. Concurrent
+// callers group-commit: one owner writes and fsyncs the accumulated buffer
+// while the rest wait on the same barrier, so the fsync cost amortizes over
+// the whole group.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.appendSeq
+	for l.syncedSeq < target {
+		if l.closed {
+			return errors.New("wal: closed")
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		if err := l.syncOnceLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncOnceLocked takes sync ownership, flushes the current buffer outside
+// the lock, and publishes the new durable frontier. Caller holds l.mu.
+func (l *Log) syncOnceLocked() error {
+	l.syncing = true
+	buf, recs, seq := l.buf, l.bufRecs, l.appendSeq
+	l.buf, l.bufRecs = nil, 0
+	f := l.f
+	l.mu.Unlock()
+
+	start := time.Now()
+	var err error
+	if len(buf) > 0 {
+		_, err = f.Write(buf)
+	}
+	if err == nil && !l.opts.NoSync {
+		err = f.Sync()
+	}
+	l.stats.WalSyncs.Add(1)
+	l.stats.WalSyncedRecords.Add(recs)
+	l.stats.SyncLatency.Observe(time.Since(start))
+
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.cond.Broadcast()
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncedSeq = seq
+	l.size += int64(len(buf))
+	if l.size >= l.opts.SegmentBytes {
+		if rerr := l.rotateLocked(); rerr != nil {
+			l.cond.Broadcast()
+			return rerr
+		}
+	}
+	l.cond.Broadcast()
+	return nil
+}
+
+// rotateLocked closes the active segment and starts the next one. Caller
+// holds l.mu with no sync in flight.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return l.openSegment(l.segSeq + 1)
+}
+
+// Replay streams every record in every live segment, oldest first, through
+// fn. A torn tail was already truncated at Open; any remaining invalid
+// frame is corruption in a completed segment and fails loudly.
+func (l *Log) Replay(fn func(*Record) error) error {
+	if err := l.Sync(); err != nil { // flush so the scan sees everything
+		return err
+	}
+	l.mu.Lock()
+	segs, err := l.listSegments()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if err := replayFile(l.segPath(seq), fn, l.stats); err != nil {
+			return fmt.Errorf("wal: segment %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+func replayFile(path string, fn func(*Record) error, stats *metrics.Durability) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var off int64
+	for {
+		n, payload, err := frameAt(data, off)
+		if err != nil {
+			return fmt.Errorf("%w at offset %d", err, off)
+		}
+		if n == 0 {
+			return nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return fmt.Errorf("%w at offset %d", err, off)
+		}
+		if stats != nil {
+			stats.ReplayRecords.Add(1)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += n
+	}
+}
+
+// WriteCheckpoint cuts a checkpoint: it rotates to a fresh segment, runs
+// fill — which both emits checkpoint records (meta, then versions) into the
+// checkpoint file and may Append fresh WAL records (e.g. re-logged pending
+// prepares) that land in the new segment — then syncs the WAL, atomically
+// installs the checkpoint file, and reclaims all segments older than the
+// cut. On any error the previous checkpoint, if any, stays installed.
+func (l *Log) WriteCheckpoint(fill func(emit func(*Record) error) error) error {
+	// The rotation must not race a sync owner mid flush: wait it out, then
+	// cut. Records appended after this point land in the new segment and
+	// survive reclamation.
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: closed")
+	}
+	if err := l.syncOnceLocked(); err != nil { // drain the buffer into the old segment
+		l.mu.Unlock()
+		return err
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	cut := l.segSeq
+	l.mu.Unlock()
+
+	tmp := filepath.Join(l.dir, checkpointName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	defer func() { _ = os.Remove(tmp) }()
+	var recs uint64
+	var wbuf []byte
+	emit := func(r *Record) error {
+		payload := appendPayload(wbuf[:0], r)
+		wbuf = payload
+		crc := crc32.Checksum(payload, crcTable)
+		ln := uint32(len(payload))
+		hdr := [frameHeader]byte{
+			byte(ln), byte(ln >> 8), byte(ln >> 16), byte(ln >> 24),
+			byte(crc), byte(crc >> 8), byte(crc >> 16), byte(crc >> 24)}
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			return err
+		}
+		recs++
+		return nil
+	}
+	if err := fill(emit); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: checkpoint fill: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: checkpoint sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	// Records fill re-logged into the new segment must be durable before
+	// the old segments (holding their previous copies) can go away.
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, checkpointName)); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if !l.opts.NoSync {
+		if d, err := os.Open(l.dir); err == nil {
+			_ = d.Sync()
+			_ = d.Close()
+		}
+	}
+	l.stats.Checkpoints.Add(1)
+	l.stats.CheckpointRecords.Add(recs)
+
+	// Reclaim: every segment strictly older than the cut is covered by the
+	// checkpoint plus the re-logged records. A crash before these removals
+	// only leaves extra segments; replay dedupes against the checkpoint.
+	segs, err := l.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq < cut {
+			_ = os.Remove(l.segPath(seq))
+		}
+	}
+	return nil
+}
+
+// ReplayCheckpoint streams the installed checkpoint's records through fn
+// and reports whether a checkpoint existed. Corruption fails loudly: a
+// checkpoint is installed atomically, so a bad frame is media damage, not a
+// torn write.
+func (l *Log) ReplayCheckpoint(fn func(*Record) error) (bool, error) {
+	path := filepath.Join(l.dir, checkpointName)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := replayFile(path, fn, l.stats); err != nil {
+		return true, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return true, nil
+}
+
+// Close flushes and syncs pending records, closes the active segment, and
+// releases the directory lock. A crash-consistent shutdown path should just
+// not call it — durability never depends on Close.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncOnceLocked()
+	l.closed = true
+	f := l.f
+	l.mu.Unlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	l.release()
+	return err
+}

@@ -165,6 +165,14 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		for _, v := range m.Vals {
 			buf = appendBytes(buf, v)
 		}
+	case *TxnStatus:
+		buf = appendTxnID(buf, m.Txn)
+	case *TxnStatusReply:
+		buf = appendTxnID(buf, m.Txn)
+		buf = appendBool(buf, m.Known)
+		buf = appendBool(buf, m.Commit)
+		buf = m.VC.AppendBinary(buf)
+		buf = m.FreezeVC.AppendBinary(buf)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message type %T", msg)
 	}
@@ -330,6 +338,11 @@ func decodeBody(c *cursor, t MsgType) (Msg, error) {
 			}
 		}
 		return m, c.err
+	case MsgTxnStatus:
+		return &TxnStatus{Txn: c.txnID()}, c.err
+	case MsgTxnStatusReply:
+		return &TxnStatusReply{Txn: c.txnID(), Known: c.bool(), Commit: c.bool(),
+			VC: c.vc(), FreezeVC: c.vc()}, c.err
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

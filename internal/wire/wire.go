@@ -86,6 +86,8 @@ const (
 	MsgRococoCommitReply
 	MsgExtBatch
 	MsgExtBatchAck
+	MsgTxnStatus
+	MsgTxnStatusReply
 )
 
 // Priority is the transport service class of a message, lower is served
@@ -117,6 +119,7 @@ func PriorityOf(t MsgType) Priority {
 		return PrioRemove
 	case MsgPrepare, MsgVote, MsgDecide, MsgDecideAck,
 		MsgWaitExternal, MsgWaitExternalAck,
+		MsgTxnStatus, MsgTxnStatusReply,
 		MsgRococoCommit, MsgRococoCommitReply, MsgWalterPropagate:
 		return PrioCommit
 	default:
@@ -409,6 +412,29 @@ type RococoCommitReply struct {
 	Vals [][]byte
 }
 
+// TxnStatus asks a transaction's coordinator for its 2PC outcome. A
+// restarting node sends it for every in-doubt transaction — prepared in its
+// write-ahead log with no decide record — and resolves by classic
+// presumed-abort: a coordinator that does not know the transaction
+// committed answers abort.
+type TxnStatus struct {
+	Txn TxnID
+}
+
+// TxnStatusReply answers TxnStatus. Known=false means the coordinator has
+// no durable commit decision for Txn (presume abort). On a known commit,
+// VC carries the commit vector clock and FreezeVC — when the freeze round
+// already ran — the coordinator-assigned freeze vector, so the recovering
+// replica re-stamps the transaction's versions with the same
+// replica-independent stamp every live replica recorded.
+type TxnStatusReply struct {
+	Txn      TxnID
+	Known    bool
+	Commit   bool
+	VC       vclock.VC
+	FreezeVC vclock.VC
+}
+
 // Compile-time interface checks.
 var (
 	_ Msg = (*ReadRequest)(nil)
@@ -429,6 +455,8 @@ var (
 	_ Msg = (*RococoCommitReply)(nil)
 	_ Msg = (*ExtBatch)(nil)
 	_ Msg = (*ExtBatchAck)(nil)
+	_ Msg = (*TxnStatus)(nil)
+	_ Msg = (*TxnStatusReply)(nil)
 )
 
 // Type implements Msg.
@@ -484,3 +512,9 @@ func (*ExtBatch) Type() MsgType { return MsgExtBatch }
 
 // Type implements Msg.
 func (*ExtBatchAck) Type() MsgType { return MsgExtBatchAck }
+
+// Type implements Msg.
+func (*TxnStatus) Type() MsgType { return MsgTxnStatus }
+
+// Type implements Msg.
+func (*TxnStatusReply) Type() MsgType { return MsgTxnStatusReply }

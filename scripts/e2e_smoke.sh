@@ -5,10 +5,15 @@
 # 1. Builds the sss-server and sss-bench binaries.
 # 2. Runs the multi-process e2e suite (internal/harness): boots a real
 #    3-node TCP cluster, checks cross-node write visibility, read-only
-#    snapshot coherence under concurrent transfers, and that abrupt client
-#    disconnects abort their transactions instead of wedging writers.
+#    snapshot coherence under concurrent transfers, that abrupt client
+#    disconnects abort their transactions instead of wedging writers, and
+#    kill-and-restart recovery (TestCrashRestartRecovery: SIGKILL a durable
+#    node mid-load, restart it, assert it rejoins with the bank invariant
+#    and snapshot monotonicity intact).
 # 3. Runs one short figure-3 point of `sss-bench -transport tcp` against a
-#    3-node cluster and checks the JSON snapshot materializes.
+#    3-node cluster and checks the JSON snapshot materializes — once
+#    in-memory, once with `-durability wal` (real per-node WALs, durability
+#    counters harvested into the point).
 #
 # Usage: scripts/e2e_smoke.sh
 set -euo pipefail
@@ -47,6 +52,30 @@ assert cn['batch_requests'] == cn['requests'], \
     f\"send queue lost frames: {cn['batch_requests']} flushed of {cn['requests']}\"
 print(f\"figure-3 tcp point: {p['throughput_txn_s']:.0f} txn/s on {p['nodes']} nodes, \"
       f\"{cn['snapshot_reads']} snapshot reads, {cn['requests_per_flush']:.2f} req/flush\")
+"
+
+echo "== figure-3 TCP durable smoke point (-durability wal) =="
+(
+  cd "$out_dir"
+  rm -f BENCH_figure3_tcp.json
+  "$bin_dir/sss-bench" -transport tcp -server-bin "$bin_dir/sss-server" \
+    -figure 3 -nodes 3 -tcp-keys 500 -tcp-ro 50 \
+    -duration 300ms -warmup 100ms -durability wal -json
+)
+test -s "$out_dir/BENCH_figure3_tcp.json"
+python3 -c "
+import json, sys
+doc = json.load(open('$out_dir/BENCH_figure3_tcp.json'))
+pts = doc['points']
+assert len(pts) == 1, f'expected 1 point, got {len(pts)}'
+p = pts[0]
+assert p['series'].endswith('-wal'), p['series']
+assert p['throughput_txn_s'] > 0, 'durable cluster served no transactions'
+dur = p['durability']
+assert len(dur) == 3, f'expected 3 durability dumps, got {len(dur)}'
+assert all('walAppends=' in d and 'syncs=' in d for d in dur), dur
+print(f\"figure-3 tcp wal point: {p['throughput_txn_s']:.0f} txn/s durable on {p['nodes']} nodes\")
+print('  ' + dur[0])
 "
 
 echo "== figure-3 TCP RTT smoke point (-net-delay through the harness relay) =="
