@@ -194,8 +194,9 @@ func (nd *Node) enqueuePurges(txn wire.TxnID, writeNodes []wire.NodeID) {
 // clock with a single republish, the gated re-drains and flags run
 // concurrently, and one ack answers for all freezes. Purges ride behind.
 func (nd *Node) handleExtBatch(from wire.NodeID, rid uint64, m *wire.ExtBatch) {
+	var freezeErr error
 	if len(m.Freezes) > 0 {
-		nd.applyFreezeBatch(m.Freezes)
+		freezeErr = nd.applyFreezeBatch(m.Freezes)
 		nd.stats.CommitRounds.FreezeBatches.Add(1)
 		nd.stats.CommitRounds.FreezeBatchTxns.Add(uint64(len(m.Freezes)))
 	}
@@ -203,7 +204,12 @@ func (nd *Node) handleExtBatch(from wire.NodeID, rid uint64, m *wire.ExtBatch) {
 		nd.applyPurgeBatch(m.Purges)
 		nd.stats.CommitRounds.PurgeBatchTxns.Add(uint64(len(m.Purges)))
 	}
-	if rid != 0 {
+	// No ack without durable freeze records: on a WAL sync failure the
+	// coordinator's batch call must time out instead, the same signal a
+	// crashed replica gives it. (The local stamps above still applied — the
+	// vector is the true one — but this now-poisoned node may not vouch for
+	// having persisted it.)
+	if rid != 0 && freezeErr == nil {
 		_ = nd.rpc.Reply(from, rid, &wire.ExtBatchAck{Freezes: uint64(len(m.Freezes))})
 	}
 }
@@ -237,7 +243,11 @@ func (fs *freezeScratch) sized(n int) ([]parkedState, []uint64, []bool) {
 // handleExtCommit — stamp at arrival, before the gated re-drain — but the
 // batch pays the striped-state walk once per stripe and republishes the
 // node's clock snapshot once instead of once per transaction.
-func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
+//
+// A WAL sync failure is returned (after the local freeze work completes, so
+// no reader is left parked on a half-frozen writer) and the caller must
+// withhold the batch ack: the records were never durable.
+func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) error {
 	fs := freezeScratchPool.Get().(*freezeScratch)
 	defer freezeScratchPool.Put(fs)
 	parked, stamps, visited := fs.sized(len(freezes))
@@ -285,12 +295,14 @@ func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
 			}
 		}
 	}
+	var walErr error
 	if nd.wal != nil {
 		// The WAL ride-along: one freeze record per transaction in the
 		// batch, one Sync for the whole envelope — the fsync amortizes over
 		// exactly the same group the wire batch coalesced. Durable before
-		// the ExtBatchAck below, so a coordinator's client reply never
-		// outruns this replica's stamp record.
+		// the ExtBatchAck (withheld by the caller on failure), so a
+		// coordinator's client reply never outruns this replica's stamp
+		// record.
 		for i, f := range freezes {
 			if len(parked[i].keys) == 0 {
 				continue // duplicate freeze or non-replica; nothing to re-stamp
@@ -298,7 +310,7 @@ func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
 			nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: f.Txn, Stamp: stamps[i],
 				Keys: parked[i].keys, VC: parked[i].vc})
 		}
-		_ = nd.wal.Sync()
+		walErr = nd.wal.Sync()
 	}
 	for {
 		cur := nd.extFrontier.Load()
@@ -317,7 +329,7 @@ func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
 	// single batch ack still waits for the slowest (group commit).
 	if len(freezes) == 1 {
 		nd.redrainAndFlag(freezes[0].Txn, parked[0], stamps[0])
-		return
+		return walErr
 	}
 	var wg sync.WaitGroup
 	for i := range freezes {
@@ -328,6 +340,7 @@ func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) {
 		}(i)
 	}
 	wg.Wait()
+	return walErr
 }
 
 // redrainAndFlag completes one transaction's freeze phase: wait out any

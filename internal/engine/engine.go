@@ -176,8 +176,14 @@ type Node struct {
 	wal        *wal.Log
 	dstats     *metrics.Durability
 	recovering atomic.Bool
-	ckptStop   chan struct{}
-	ckptDone   chan struct{}
+	// statusReady flips once Recover's WAL scan has fully populated
+	// coordStatus: from that point the node answers peers' in-doubt
+	// TxnStatus queries even while its own apply phases are still running,
+	// so concurrently restarting nodes never presume-abort a transaction
+	// this node durably committed just because its replay was slow.
+	statusReady atomic.Bool
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
 
 	// coordStatus answers peers' in-doubt TxnStatus queries (presumed-abort
 	// 2PC): transactions this node coordinated to a commit decision, with
@@ -445,11 +451,17 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 		return
 	}
 	if nd.recovering.Load() {
-		// Mid-recovery state is not servable — not even TxnStatus, whose
-		// coordStatus source may still be mid-populate from the WAL scan
-		// (a premature "unknown → abort" answer could contradict a commit
-		// record about to be replayed). Dropped prepares become coordinator
-		// vote timeouts, i.e. plain aborts; in-doubt peers retry.
+		// Mid-recovery state is not servable, with one exception: once the
+		// WAL scan has populated coordStatus (statusReady), TxnStatus is
+		// answered so a concurrently restarting peer's in-doubt resolution
+		// is not starved into presumed abort by this node's apply phases.
+		// Before that point even TxnStatus is dropped — a premature
+		// "unknown → abort" answer could contradict a commit record about
+		// to be scanned. Dropped prepares become coordinator vote timeouts,
+		// i.e. plain aborts; in-doubt peers retry.
+		if m, ok := msg.(*wire.TxnStatus); ok && nd.statusReady.Load() {
+			nd.handleTxnStatus(from, rid, m)
+		}
 		return
 	}
 	switch m := msg.(type) {

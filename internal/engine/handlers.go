@@ -622,13 +622,18 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 		// whenever this replica's gated re-drain completes — per-replica
 		// gating was exactly the flag-timing divergence behind the
 		// freeze-skew residue.
+		var walErr error
 		if nd.wal != nil && len(ps.keys) > 0 {
 			// Singleton freeze (the batched path logs in applyFreezeBatch):
 			// durable before the ack so the coordinator's client reply never
-			// outruns this replica's stamp record.
+			// outruns this replica's stamp record. On a sync failure the ack
+			// below is withheld — the local freeze still completes (the
+			// vector is the true one; readers must not stay parked), but a
+			// node that could not persist it must look to the coordinator
+			// like a crashed one: a timeout, never a durable-sounding ack.
 			nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: m.Txn, Stamp: stamp,
 				Keys: ps.keys, VC: ps.vc})
-			_ = nd.wal.Sync()
+			walErr = nd.wal.Sync()
 		}
 		for _, k := range ps.keys {
 			nd.store.SQStampWrite(k, m.Txn, stamp)
@@ -664,7 +669,7 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 		for _, k := range ps.keys {
 			nd.store.SQFlagWrite(k, m.Txn, stamp)
 		}
-		if rid != 0 {
+		if rid != 0 && walErr == nil {
 			_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn, Ext: stamp})
 		}
 		return

@@ -75,6 +75,14 @@ func (nd *Node) recordCoordFreeze(txn wire.TxnID, freezeVC vclock.VC) {
 // txn to a commit decision; otherwise unknown, which the peer treats as
 // presumed abort. The NLog is the fallback source for decisions evicted
 // from the status table but still retained as applied commits.
+//
+// While this node is itself mid-recovery (serve routes TxnStatus here once
+// statusReady), commit answers are definitive — coordStatus is fully
+// populated by then — but an unknown is not: the NLog fallback only exists
+// after the apply phases, so an entry FIFO-evicted during the scan would
+// read as a false abort. Unknowns are therefore dropped, not answered,
+// until recovery completes; the peer's timed-out call retries into a
+// definitive reply.
 func (nd *Node) handleTxnStatus(from wire.NodeID, rid uint64, m *wire.TxnStatus) {
 	rep := &wire.TxnStatusReply{Txn: m.Txn}
 	nd.coordMu.Lock()
@@ -88,6 +96,9 @@ func (nd *Node) handleTxnStatus(from wire.NodeID, rid uint64, m *wire.TxnStatus)
 			rep.Known, rep.Commit, rep.VC = true, true, vc
 		}
 	}
+	if !rep.Known && nd.recovering.Load() {
+		return
+	}
 	_ = nd.rpc.Reply(from, rid, rep)
 }
 
@@ -98,6 +109,13 @@ func (nd *Node) handleTxnStatus(from wire.NodeID, rid uint64, m *wire.TxnStatus)
 // any decide leaves it. The unreachable-coordinator presumption is the one
 // documented conservatism: if the coordinator is down past the retry budget
 // its decision cannot be learned, and recovery must not wedge.
+//
+// The budget is sized for the concurrent-restart case, not just a dead
+// coordinator: a coordinator that is itself recovering drops the query
+// (timeout here) until its WAL scan completes rather than answering a
+// premature unknown, so the retries back off exponentially — scaled to
+// VoteTimeout, roughly 30 timeouts' worth in total — to ride out a peer's
+// checkpoint-load and replay before presuming abort.
 func (nd *Node) resolveInDoubt(txn wire.TxnID) (commitVC, freezeVC vclock.VC, commit bool) {
 	if txn.Node == nd.id {
 		nd.coordMu.Lock()
@@ -108,9 +126,14 @@ func (nd *Node) resolveInDoubt(txn wire.TxnID) (commitVC, freezeVC vclock.VC, co
 		}
 		return nil, nil, false
 	}
-	for attempt := 0; attempt < 5; attempt++ {
+	backoff := nd.cfg.VoteTimeout / 4
+	maxBackoff := 4 * nd.cfg.VoteTimeout
+	for attempt := 0; attempt < 12; attempt++ {
 		if attempt > 0 {
-			time.Sleep(200 * time.Millisecond)
+			time.Sleep(backoff)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
 		resp, err := nd.rpc.Call(ctx, txn.Node, &wire.TxnStatus{Txn: txn})
@@ -226,6 +249,14 @@ func (nd *Node) Recover() error {
 	if err != nil {
 		return fmt.Errorf("engine: recover node %d: %w", nd.id, err)
 	}
+
+	// coordStatus now holds every durable commit decision this node ever
+	// coordinated (checkpoint re-log + surviving segments), so peers'
+	// in-doubt queries can be answered from here on — critically, while the
+	// phases below run. Phase 3 may itself block on other restarting
+	// coordinators; gating TxnStatus on full recovery would deadlock
+	// mutually in-doubt restarts into presumed abort.
+	nd.statusReady.Store(true)
 
 	// Phase 3: resolve in-doubt transactions — prepared here, no decide
 	// logged — before applying, because a commit verdict's clock decides

@@ -214,6 +214,80 @@ func TestFullClusterRestartPreservesData(t *testing.T) {
 	}
 }
 
+// TestTxnStatusMidRecovery pins the concurrent-restart contract: a durable
+// node must answer in-doubt TxnStatus queries for commits as soon as its WAL
+// scan has populated the coordinator ledger (statusReady), even though the
+// rest of recovery is still running — otherwise a restarting participant's
+// retry budget can expire into presumed abort while its coordinator is
+// merely slow to replay. Unknowns stay unanswered (the query times out and
+// the peer retries) until recovery completes, because the NLog fallback for
+// evicted entries only exists after the apply phases.
+func TestTxnStatusMidRecovery(t *testing.T) {
+	root := t.TempDir()
+	lookup := cluster.NewLookup(2, 2)
+	net := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+	w := openWAL(t, root, 0)
+	nd, err := New(net, 0, 2, lookup, Config{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := transport.NewRPC(net, 1, func(wire.NodeID, uint64, wire.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nd.Close()
+		_ = peer.Close()
+		_ = net.Close()
+		_ = w.Close()
+	})
+	committed := wire.TxnID{Node: 0, Seq: 3}
+	unknown := wire.TxnID{Node: 0, Seq: 4}
+	query := func(txn wire.TxnID) (*wire.TxnStatusReply, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		resp, err := peer.Call(ctx, 0, &wire.TxnStatus{Txn: txn})
+		if err != nil {
+			return nil, err
+		}
+		return resp.(*wire.TxnStatusReply), nil
+	}
+
+	// New with a WAL boots recovering; before the scan completes even
+	// TxnStatus is dropped (the ledger may be mid-populate).
+	if _, err := query(committed); err == nil {
+		t.Fatal("TxnStatus answered before the WAL scan populated coordStatus")
+	}
+
+	// Simulate the end of Recover's phase 2: ledger populated, gate open,
+	// apply phases (recovering=true) still running.
+	nd.recordCoordDecision(committed, vclock.VC{2, 2})
+	nd.statusReady.Store(true)
+
+	rep, err := query(committed)
+	if err != nil {
+		t.Fatalf("TxnStatus for a scanned commit mid-recovery: %v", err)
+	}
+	if !rep.Known || !rep.Commit || rep.VC[0] != 2 {
+		t.Fatalf("mid-recovery commit reply = %+v, want known commit with VC[0]=2", rep)
+	}
+	// Unknowns mid-recovery are dropped, not answered: a premature unknown
+	// would read as a definitive presumed abort at the peer.
+	if _, err := query(unknown); err == nil {
+		t.Fatal("mid-recovery TxnStatus answered unknown — peer would presume abort early")
+	}
+
+	// Recovery done: unknown is now definitive.
+	nd.recovering.Store(false)
+	rep, err = query(unknown)
+	if err != nil {
+		t.Fatalf("TxnStatus after recovery: %v", err)
+	}
+	if rep.Known {
+		t.Fatalf("post-recovery reply for unknown txn = %+v, want unknown", rep)
+	}
+}
+
 // TestInDoubtResolution is the deterministic puppet-coordinator regression:
 // a real participant votes yes on a prepare, crashes before any decide
 // arrives, and on recovery must resolve the in-doubt transaction to exactly

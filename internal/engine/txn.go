@@ -771,13 +771,19 @@ func (t *Txn) commitUpdate() error {
 	waiters := nd.enqueueFreezes(t.id, writeNodes, freezeVC, sc.waiters[:0])
 	nd.awaitFreezes(waiters)
 	sc.waiters = waiters
+	var freezeSyncErr error
 	if nd.wal != nil {
 		// Coordinator freeze record (no keys): makes the freeze vector
 		// durable before the client reply, so an in-doubt participant
 		// recovering later re-stamps with the same replica-independent
-		// values, and replay restores this node's external knowledge.
+		// values, and replay restores this node's external knowledge. A
+		// sync failure fails the client reply below — the transaction is
+		// committed (the decision was durable before any decide left), but
+		// this node may not acknowledge an external commit whose freeze
+		// record it could not persist. The in-memory bookkeeping still runs:
+		// the vector is the true one and live peers may depend on it.
 		nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: t.id, VC: freezeVC})
-		_ = nd.wal.Sync()
+		freezeSyncErr = nd.wal.Sync()
 		nd.recordCoordFreeze(t.id, freezeVC)
 	}
 	// The external-commit point: transactions beginning on this node after
@@ -795,6 +801,15 @@ func (t *Txn) commitUpdate() error {
 	// Purge is asynchronous, after the reply; it rides the same queue, so
 	// it can never overtake this transaction's own freeze.
 	nd.enqueuePurges(t.id, writeNodes)
+
+	if freezeSyncErr != nil {
+		// Deliberately not kv.ErrAborted: the writes are committed and
+		// visible, the client just may not treat this reply as a durable
+		// external-commit acknowledgement (standard commit ambiguity on
+		// error). All completion bookkeeping above still ran so no waiter
+		// or parked entry leaks.
+		return fmt.Errorf("engine: txn %v committed but freeze record not durable: %w", t.id, freezeSyncErr)
+	}
 
 	now := time.Now()
 	nd.stats.Commits.Add(1)

@@ -490,6 +490,10 @@ type Durability struct {
 	// factor — the WAL analogue of Transport.EnvelopesPerFlush.
 	WalSyncs         atomic.Uint64
 	WalSyncedRecords atomic.Uint64
+	// WalSyncFailures counts write/fsync/rotate failures. The first one
+	// poisons the log (every later Append/Sync refuses), so a non-zero
+	// value means the node stopped accepting durable work.
+	WalSyncFailures atomic.Uint64
 	// SyncLatency observes the wall time of each fsync (write + sync).
 	SyncLatency Histogram
 	// Checkpoints counts checkpoints cut; CheckpointRecords the records
@@ -526,6 +530,7 @@ func (d *Durability) Merge(other *Durability) {
 	d.WalBytes.Add(other.WalBytes.Load())
 	d.WalSyncs.Add(other.WalSyncs.Load())
 	d.WalSyncedRecords.Add(other.WalSyncedRecords.Load())
+	d.WalSyncFailures.Add(other.WalSyncFailures.Load())
 	d.SyncLatency.Merge(&other.SyncLatency)
 	d.Checkpoints.Add(other.Checkpoints.Load())
 	d.CheckpointRecords.Add(other.CheckpointRecords.Load())
@@ -543,6 +548,7 @@ type DurabilitySnapshot struct {
 	WalBytes          uint64            `json:"wal_bytes"`
 	WalSyncs          uint64            `json:"wal_syncs"`
 	WalSyncedRecords  uint64            `json:"wal_synced_records"`
+	WalSyncFailures   uint64            `json:"wal_sync_failures"`
 	RecordsPerSync    float64           `json:"records_per_sync"`
 	SyncLatency       HistogramSnapshot `json:"sync_latency"`
 	Checkpoints       uint64            `json:"checkpoints"`
@@ -562,6 +568,7 @@ func (d *Durability) Snapshot() DurabilitySnapshot {
 		WalBytes:          d.WalBytes.Load(),
 		WalSyncs:          d.WalSyncs.Load(),
 		WalSyncedRecords:  d.WalSyncedRecords.Load(),
+		WalSyncFailures:   d.WalSyncFailures.Load(),
 		RecordsPerSync:    d.RecordsPerSync(),
 		SyncLatency:       d.SyncLatency.Snapshot(),
 		Checkpoints:       d.Checkpoints.Load(),
@@ -577,8 +584,8 @@ func (d *Durability) Snapshot() DurabilitySnapshot {
 
 // String renders the snapshot compactly.
 func (s DurabilitySnapshot) String() string {
-	return fmt.Sprintf("walAppends=%d (%d B) syncs=%d (%.2f rec/sync) syncLat{%v} checkpoints=%d (%d rec) replay=%d rec/%d commits inDoubt=%d (committed %d, aborted %d)",
-		s.WalAppends, s.WalBytes, s.WalSyncs, s.RecordsPerSync, s.SyncLatency,
+	return fmt.Sprintf("walAppends=%d (%d B) syncs=%d (%.2f rec/sync, %d failed) syncLat{%v} checkpoints=%d (%d rec) replay=%d rec/%d commits inDoubt=%d (committed %d, aborted %d)",
+		s.WalAppends, s.WalBytes, s.WalSyncs, s.RecordsPerSync, s.WalSyncFailures, s.SyncLatency,
 		s.Checkpoints, s.CheckpointRecords, s.ReplayRecords, s.ReplayedCommits,
 		s.InDoubt, s.InDoubtCommitted, s.InDoubtAborted)
 }

@@ -18,6 +18,16 @@
 // crash mid-write. Corruption in older (rotated) segments is not silently
 // truncated: replay fails loudly instead, because a completed segment can
 // only lose records to media damage, not to a torn write.
+//
+// A failed write or fsync permanently poisons the log: the error is latched
+// and returned by every later Append-visible Sync (and by WriteCheckpoint
+// and Close), and no further records are buffered. Anything weaker would be
+// unsound twice over — group-commit waiters sharing the failed owner's
+// batch would otherwise re-run against an empty buffer and advance the
+// durable frontier past records that never reached disk, and a partial
+// write can leave a torn frame mid-segment, where any later successful
+// append would strand every subsequent record behind the truncation point
+// on the next open. A poisoned node must stop accepting durable work.
 package wal
 
 import (
@@ -85,6 +95,7 @@ type Log struct {
 	appendSeq uint64   // records appended ever
 	syncedSeq uint64   // records made durable
 	syncing   bool     // a Sync owner is mid write+fsync
+	failed    error    // sticky first write/fsync/rotate error; poisons the log
 	closed    bool
 }
 
@@ -261,6 +272,9 @@ func frameAt(data []byte, off int64) (int64, []byte, error) {
 }
 
 // Append buffers one record for the next Sync. It never blocks on I/O.
+// On a poisoned or closed log the record is dropped — the next Sync (which
+// every durability point in the engine issues before acting on the record)
+// reports the latched failure.
 func (l *Log) Append(r *Record) {
 	// Encode on a pooled wire buffer so the frame assembly allocates
 	// nothing on the steady-state path.
@@ -270,6 +284,12 @@ func (l *Log) Append(r *Record) {
 	ln := uint32(len(payload))
 
 	l.mu.Lock()
+	if l.failed != nil || l.closed {
+		l.mu.Unlock()
+		*bp = payload
+		wire.PutBuf(bp)
+		return
+	}
 	l.buf = append(l.buf,
 		byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24),
 		byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
@@ -287,12 +307,19 @@ func (l *Log) Append(r *Record) {
 // Sync makes every record appended before this call durable. Concurrent
 // callers group-commit: one owner writes and fsyncs the accumulated buffer
 // while the rest wait on the same barrier, so the fsync cost amortizes over
-// the whole group.
+// the whole group. Once the log is poisoned Sync always fails — including
+// for records a poisoned Append silently dropped.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	target := l.appendSeq
-	for l.syncedSeq < target {
+	for {
+		if l.failed != nil {
+			return l.failed
+		}
+		if l.syncedSeq >= target {
+			return nil
+		}
 		if l.closed {
 			return errors.New("wal: closed")
 		}
@@ -304,7 +331,6 @@ func (l *Log) Sync() error {
 			return err
 		}
 	}
-	return nil
 }
 
 // syncOnceLocked takes sync ownership, flushes the current buffer outside
@@ -325,19 +351,35 @@ func (l *Log) syncOnceLocked() error {
 		err = f.Sync()
 	}
 	l.stats.WalSyncs.Add(1)
-	l.stats.WalSyncedRecords.Add(recs)
+	if err == nil {
+		l.stats.WalSyncedRecords.Add(recs)
+	}
 	l.stats.SyncLatency.Observe(time.Since(start))
 
 	l.mu.Lock()
 	l.syncing = false
 	if err != nil {
+		// Latch the failure: the moved-aside records are gone without ever
+		// being durable, and a partial write may have left a torn frame
+		// mid-segment. Neither is recoverable in place — syncedSeq must
+		// never advance past the dropped records (a waiter re-running with
+		// an empty buffer would otherwise report them durable), and nothing
+		// may be appended after a possible torn frame (open-time truncation
+		// would discard everything behind it). The sticky error turns every
+		// future Append/Sync into the refusal that keeps both invariants.
+		l.failed = fmt.Errorf("wal: sync: %w", err)
+		l.stats.WalSyncFailures.Add(1)
 		l.cond.Broadcast()
-		return fmt.Errorf("wal: sync: %w", err)
+		return l.failed
 	}
 	l.syncedSeq = seq
 	l.size += int64(len(buf))
 	if l.size >= l.opts.SegmentBytes {
+		// The synced records are durable, but a failed close/reopen leaves
+		// no usable active segment — poison rather than write into limbo.
 		if rerr := l.rotateLocked(); rerr != nil {
+			l.failed = rerr
+			l.stats.WalSyncFailures.Add(1)
 			l.cond.Broadcast()
 			return rerr
 		}
@@ -417,6 +459,11 @@ func (l *Log) WriteCheckpoint(fill func(emit func(*Record) error) error) error {
 	l.mu.Lock()
 	for l.syncing {
 		l.cond.Wait()
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
 	}
 	if l.closed {
 		l.mu.Unlock()
@@ -533,7 +580,10 @@ func (l *Log) Close() error {
 		l.mu.Unlock()
 		return nil
 	}
-	err := l.syncOnceLocked()
+	err := l.failed
+	if err == nil {
+		err = l.syncOnceLocked()
+	}
 	l.closed = true
 	f := l.f
 	l.mu.Unlock()

@@ -246,6 +246,57 @@ func TestTornTailProperty(t *testing.T) {
 	}
 }
 
+// TestSyncFailurePoisonsLog is the group-commit error-path regression: a
+// failed write/fsync must latch. Before the fix, the owner's moved-aside
+// buffer was silently dropped, and any later Sync re-ran against an empty
+// buffer, advanced the durable frontier past the lost records, and returned
+// nil — reporting records durable that never reached disk.
+func TestSyncFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	stats := &metrics.Durability{}
+	l := openTest(t, dir, Options{Stats: stats})
+	l.Append(testRecord(0))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the active segment underneath the log so the next write fails.
+	l.mu.Lock()
+	_ = l.f.Close()
+	l.mu.Unlock()
+
+	l.Append(testRecord(1))
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync over a severed segment returned nil")
+	}
+	// The failure must be sticky: a Sync with nothing new buffered must NOT
+	// report the dropped record durable (this was the bug — the group
+	// waiter's re-run saw an empty buffer and returned nil).
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync after a failed sync returned nil — dropped record reported durable")
+	}
+	// Post-poison appends are refused outright, and keep failing Sync.
+	l.Append(testRecord(2))
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync of a post-poison append returned nil")
+	}
+	if err := l.WriteCheckpoint(func(emit func(*Record) error) error { return nil }); err == nil {
+		t.Fatal("checkpoint on a poisoned log succeeded")
+	}
+	if got := stats.WalSyncFailures.Load(); got == 0 {
+		t.Fatal("WalSyncFailures = 0 after a failed sync")
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("close of a poisoned log returned nil")
+	}
+
+	// On disk only the pre-failure record exists; nothing was appended after
+	// the failure point, so replay recovers a clean prefix.
+	got := replayAll(t, dir)
+	if len(got) != 1 || !reflect.DeepEqual(got[0], testRecord(0)) {
+		t.Fatalf("replay after poison: got %d records %+v, want just record 0", len(got), got)
+	}
+}
+
 func TestDirLock(t *testing.T) {
 	dir := t.TempDir()
 	l := openTest(t, dir, Options{})
