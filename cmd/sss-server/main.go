@@ -54,6 +54,9 @@ var (
 	dataDir  = flag.String("data-dir", "", "WAL/checkpoint directory; enables durability and crash recovery (must exist)")
 	ckptIntv = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval bounding WAL replay (0 disables; needs -data-dir)")
 
+	voteTimeout  = flag.Duration("vote-timeout", 0, "2PC vote collection timeout (0 = engine default)")
+	drainTimeout = flag.Duration("drain-timeout", 0, "pre-commit snapshot-queue drain timeout (0 = engine default)")
+
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file on SIGINT/SIGTERM")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on SIGINT/SIGTERM")
 	blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file on SIGINT/SIGTERM")
@@ -89,14 +92,31 @@ func main() {
 		Workers:     *workers,
 	})
 	lookup := cluster.NewLookup(len(addrs), *degree)
-	cfg := engine.Config{}
+	cfg := engine.Config{VoteTimeout: *voteTimeout, DrainTimeout: *drainTimeout}
 	var wlog *wal.Log
 	if *dataDir != "" {
+		walOpts := wal.Options{}
+		// SSS_WAL_FAULT routes all WAL file I/O through a fault injector
+		// (chaos harness only): the fault spec is shared cluster-wide via
+		// the environment, but stays dormant until the per-node trigger
+		// file appears — SSS_WAL_FAULT_TRIGGER, default <data-dir>/FAULT.
+		if spec := os.Getenv("SSS_WAL_FAULT"); spec != "" {
+			trigger := os.Getenv("SSS_WAL_FAULT_TRIGGER")
+			if trigger == "" {
+				trigger = *dataDir + "/FAULT"
+			}
+			inj, err := wal.ParseFault(spec, trigger)
+			if err != nil {
+				log.Fatalf("SSS_WAL_FAULT: %v", err)
+			}
+			walOpts.OpenFile = inj.OpenFile
+			log.Printf("WAL fault injector active: %s (trigger %s)", spec, trigger)
+		}
 		// Fail fast, before joining the cluster: wal.Open rejects a missing
 		// or non-directory path, an unwritable one, and a directory still
 		// flock-held by another live server — each with a specific error.
 		var err error
-		wlog, err = wal.Open(*dataDir, wal.Options{})
+		wlog, err = wal.Open(*dataDir, walOpts)
 		if err != nil {
 			log.Fatalf("data directory: %v", err)
 		}
@@ -146,6 +166,7 @@ func main() {
 		defer close(shutdownDone)
 		<-sigs
 		log.Printf("shutting down: %s", srv.Metrics().Snapshot())
+		log.Printf("transport: %s", net_.Metrics().Snapshot())
 		if wlog != nil {
 			log.Printf("durability: %s", node.Durability().Snapshot())
 		}

@@ -1,0 +1,269 @@
+// Client-observed histories. The base checker (checker.go) trusts a
+// replica's version-chain dump for each key's version order — fine on a
+// healthy cluster, circular under faults, where the replicas are exactly
+// what is being doubted. This file adds the Jepsen-style alternative: a
+// history recorded entirely at the clients, with per-key version orders
+// *inferred* from the observations themselves.
+//
+// The inference leans on a workload discipline (see harness/workload.go):
+// every update transaction writes a unique token value per key and reads
+// each key it writes in the same transaction (read-modify-write). Then
+// each committed write carries a client-observable link "I overwrote
+// version P", and chaining those links from the genesis version yields the
+// key's version order without asking any server. The same links expose two
+// violations directly, before any graph is built: two committed writers
+// claiming the same predecessor is a lost update, and a committed read
+// observing an aborted writer's token is a dirty read.
+//
+// Commit ambiguity is resolved soundly: a transaction whose commit failed
+// with anything other than a clean abort may have committed anyway. Such
+// unknown-outcome transactions are promoted to committed iff some
+// committed transaction observed one of their writes; otherwise they are
+// discarded. A promoted transaction's completion instant is unknown — the
+// client never saw it commit — so its End is pushed past every recorded
+// start, which suppresses its real-time-out edges (it keeps rt-in edges:
+// everything that completed before it began still precedes it).
+package checker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// Outcome is what the client knows about a transaction's fate.
+type Outcome uint8
+
+const (
+	// OutcomeCommitted: the client observed a successful commit.
+	OutcomeCommitted Outcome = iota
+	// OutcomeAborted: the commit failed with a clean abort verdict — the
+	// transaction's writes must never be observable.
+	OutcomeAborted
+	// OutcomeUnknown: the commit attempt failed ambiguously (connection
+	// died, timeout); the transaction may or may not have committed.
+	OutcomeUnknown
+)
+
+// ClientTxnObs is one transaction as its client experienced it. ID is a
+// client-fabricated identifier (the workload's token identity), not a
+// server transaction ID; Reads' Writers name other client transactions by
+// the token whose value the read returned (zero = the genesis value).
+type ClientTxnObs struct {
+	ID       wire.TxnID
+	Outcome  Outcome
+	ReadOnly bool
+	Reads    []ReadObs
+	Writes   []string
+	Start    time.Time
+	End      time.Time
+}
+
+// ClientHistory accumulates client-observed transactions from concurrent
+// workers.
+type ClientHistory struct {
+	mu   sync.Mutex
+	txns []ClientTxnObs
+}
+
+// NewClientHistory creates an empty client history.
+func NewClientHistory() *ClientHistory { return &ClientHistory{} }
+
+// Add records one finished transaction attempt. Safe for concurrent use.
+func (h *ClientHistory) Add(obs ClientTxnObs) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.txns = append(h.txns, obs)
+}
+
+// Len returns the number of recorded transaction attempts.
+func (h *ClientHistory) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.txns)
+}
+
+// Counts returns how many recorded attempts committed, aborted, and ended
+// unknown — the workload lanes log these so a vacuous run (everything
+// aborted) is visible.
+func (h *ClientHistory) Counts() (committed, aborted, unknown int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.txns {
+		switch h.txns[i].Outcome {
+		case OutcomeCommitted:
+			committed++
+		case OutcomeAborted:
+			aborted++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// Resolve settles commit ambiguity, infers per-key version orders from the
+// read-modify-write links, and reports the violations visible at this
+// stage (dirty read of an aborted write, lost update, broken version
+// chain). On success it returns the equivalent History, ready for the
+// DSG + real-time acyclicity Check.
+func (h *ClientHistory) Resolve() (*History, error) {
+	h.mu.Lock()
+	txns := append([]ClientTxnObs(nil), h.txns...)
+	h.mu.Unlock()
+
+	byID := make(map[wire.TxnID]*ClientTxnObs, len(txns))
+	aborted := make(map[wire.TxnID]bool)
+	committed := make(map[wire.TxnID]bool)
+	promoted := make(map[wire.TxnID]bool)
+	var queue []*ClientTxnObs
+	for i := range txns {
+		t := &txns[i]
+		if t.ID != (wire.TxnID{}) {
+			byID[t.ID] = t
+		}
+		switch t.Outcome {
+		case OutcomeCommitted:
+			committed[t.ID] = true
+			queue = append(queue, t)
+		case OutcomeAborted:
+			aborted[t.ID] = true
+		}
+	}
+
+	// Promote unknown-outcome transactions observed by a committed one,
+	// to a fixpoint: a promoted transaction's own reads are committed
+	// observations and can promote further. A committed read of an
+	// *aborted* write is a dirty read — aborted writes must be invisible.
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, r := range t.Reads {
+			if r.Writer == (wire.TxnID{}) {
+				continue
+			}
+			if aborted[r.Writer] {
+				return nil, fmt.Errorf("checker: dirty read: committed %v read %q from aborted %v",
+					t.ID, r.Key, r.Writer)
+			}
+			if committed[r.Writer] {
+				continue
+			}
+			w, ok := byID[r.Writer]
+			if !ok {
+				return nil, fmt.Errorf("checker: phantom read: %v read %q from unrecorded writer %v",
+					t.ID, r.Key, r.Writer)
+			}
+			committed[w.ID] = true
+			promoted[w.ID] = true
+			queue = append(queue, w)
+		}
+	}
+
+	// Version-order inference: each committed read-modify-write of key k
+	// links its observed predecessor to its own write. Two committed
+	// writers claiming the same predecessor lost one of the updates.
+	links := make(map[string]map[wire.TxnID]wire.TxnID) // key → parent → successor
+	writers := make(map[string]int)                     // key → committed chained writers
+	for i := range txns {
+		t := &txns[i]
+		if !committed[t.ID] {
+			continue
+		}
+		for _, wkey := range t.Writes {
+			var parent wire.TxnID
+			found := false
+			for _, r := range t.Reads {
+				if r.Key == wkey {
+					parent, found = r.Writer, true
+					break
+				}
+			}
+			if !found {
+				// A blind write has no client-observable predecessor; it
+				// cannot be chained (the workload avoids these).
+				continue
+			}
+			lk := links[wkey]
+			if lk == nil {
+				lk = make(map[wire.TxnID]wire.TxnID)
+				links[wkey] = lk
+			}
+			if prev, dup := lk[parent]; dup {
+				if prev == t.ID {
+					continue // duplicate write entry, already chained
+				}
+				return nil, fmt.Errorf("checker: lost update on %q: %v and %v both overwrote version %v",
+					wkey, prev, t.ID, parent)
+			}
+			lk[parent] = t.ID
+			writers[wkey]++
+		}
+	}
+
+	out := NewHistory()
+	for key, lk := range links {
+		order := []wire.TxnID{{}} // the genesis version heads every chain
+		seen := map[wire.TxnID]bool{{}: true}
+		cur := wire.TxnID{}
+		for {
+			nxt, ok := lk[cur]
+			if !ok {
+				break
+			}
+			if seen[nxt] {
+				return nil, fmt.Errorf("checker: version chain of %q cycles at %v", key, nxt)
+			}
+			seen[nxt] = true
+			order = append(order, nxt)
+			cur = nxt
+		}
+		if len(order)-1 != writers[key] {
+			return nil, fmt.Errorf("checker: version chain of %q reaches %d of %d committed writers (disconnected ww cycle)",
+				key, len(order)-1, writers[key])
+		}
+		out.SetVersionOrder(key, order)
+	}
+
+	// A promoted transaction's completion was never observed: push its End
+	// past every start so it emits no real-time-out edges.
+	var maxStart time.Time
+	for i := range txns {
+		if txns[i].Start.After(maxStart) {
+			maxStart = txns[i].Start
+		}
+	}
+	never := maxStart.Add(time.Hour)
+	for i := range txns {
+		t := &txns[i]
+		if !committed[t.ID] {
+			continue
+		}
+		end := t.End
+		if promoted[t.ID] {
+			end = never
+		}
+		out.Add(TxnObs{
+			ID:       t.ID,
+			ReadOnly: t.ReadOnly,
+			Reads:    t.Reads,
+			Writes:   t.Writes,
+			Start:    t.Start,
+			End:      end,
+		})
+	}
+	return out, nil
+}
+
+// Check resolves the client history and verifies external consistency of
+// the result: first the directly observable violations (dirty read, lost
+// update, broken chains), then DSG + real-time acyclicity.
+func (h *ClientHistory) Check() error {
+	resolved, err := h.Resolve()
+	if err != nil {
+		return err
+	}
+	return resolved.Check()
+}

@@ -1,0 +1,191 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// The completeness smoke tests: histories with injected known violations
+// must all be caught. They guard against the checker going vacuous as the
+// observation plumbing changes — a chaos lane that cannot fail is worse
+// than no lane at all.
+
+// window stamps obs with Start/End at the given millisecond offsets from a
+// shared base instant.
+func window(obs ClientTxnObs, startMS, endMS int) ClientTxnObs {
+	base := time.Unix(1700000000, 0)
+	obs.Start = base.Add(time.Duration(startMS) * time.Millisecond)
+	obs.End = base.Add(time.Duration(endMS) * time.Millisecond)
+	return obs
+}
+
+// rmw builds a committed read-modify-write of key: it read parent's
+// version and overwrote it.
+func rmw(txn, parent wire.TxnID, key string, startMS, endMS int) ClientTxnObs {
+	return window(ClientTxnObs{
+		ID:      txn,
+		Outcome: OutcomeCommitted,
+		Reads:   []ReadObs{{Key: key, Writer: parent}},
+		Writes:  []string{key},
+	}, startMS, endMS)
+}
+
+func roRead(txn wire.TxnID, key string, from wire.TxnID, startMS, endMS int) ClientTxnObs {
+	return window(ClientTxnObs{
+		ID:       txn,
+		Outcome:  OutcomeCommitted,
+		ReadOnly: true,
+		Reads:    []ReadObs{{Key: key, Writer: from}},
+	}, startMS, endMS)
+}
+
+func TestClientHistoryCleanChain(t *testing.T) {
+	h := NewClientHistory()
+	h.Add(rmw(id(1, 1), wire.TxnID{}, "k", 0, 10))
+	h.Add(rmw(id(1, 2), id(1, 1), "k", 20, 30))
+	h.Add(rmw(id(2, 1), id(1, 2), "k", 40, 50))
+	h.Add(roRead(id(3, 1), "k", id(2, 1), 60, 70))
+	if err := h.Check(); err != nil {
+		t.Fatalf("clean chain flagged: %v", err)
+	}
+}
+
+func TestClientHistoryCatchesStaleRead(t *testing.T) {
+	h := NewClientHistory()
+	// T1 overwrote genesis and completed; the reader started strictly
+	// later yet still saw genesis — an external-consistency violation
+	// (rt T1→R plus rw R→T1).
+	h.Add(rmw(id(1, 1), wire.TxnID{}, "k", 0, 10))
+	h.Add(roRead(id(3, 1), "k", wire.TxnID{}, 100, 110))
+	if err := h.Check(); err == nil {
+		t.Fatal("stale read not caught")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("stale read flagged as %v, want a cycle", err)
+	}
+}
+
+func TestClientHistoryCatchesRealTimeInversion(t *testing.T) {
+	h := NewClientHistory()
+	// T2 completed before T3 began, but T3's write sits *before* T2's in
+	// the version chain (T2 overwrote T3's token): rt T2→T3, ww T3→T2.
+	h.Add(rmw(id(2, 1), id(3, 1), "k", 0, 10))
+	h.Add(rmw(id(3, 1), wire.TxnID{}, "k", 100, 110))
+	if err := h.Check(); err == nil {
+		t.Fatal("real-time inversion not caught")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("inversion flagged as %v, want a cycle", err)
+	}
+}
+
+func TestClientHistoryCatchesLostUpdate(t *testing.T) {
+	h := NewClientHistory()
+	h.Add(rmw(id(1, 1), wire.TxnID{}, "k", 0, 10))
+	h.Add(rmw(id(2, 1), wire.TxnID{}, "k", 5, 15)) // also overwrote genesis
+	if err := h.Check(); err == nil {
+		t.Fatal("lost update not caught")
+	} else if !strings.Contains(err.Error(), "lost update") {
+		t.Fatalf("lost update flagged as %v", err)
+	}
+}
+
+func TestClientHistoryCatchesDirtyRead(t *testing.T) {
+	h := NewClientHistory()
+	aborted := rmw(id(1, 1), wire.TxnID{}, "k", 0, 10)
+	aborted.Outcome = OutcomeAborted
+	h.Add(aborted)
+	h.Add(roRead(id(3, 1), "k", id(1, 1), 20, 30))
+	if err := h.Check(); err == nil {
+		t.Fatal("dirty read not caught")
+	} else if !strings.Contains(err.Error(), "dirty read") {
+		t.Fatalf("dirty read flagged as %v", err)
+	}
+}
+
+func TestClientHistoryPromotesObservedUnknown(t *testing.T) {
+	h := NewClientHistory()
+	// T1's commit outcome was lost, but T2 read its token: T1 must count
+	// as committed or T2's read is a phantom.
+	maybe := rmw(id(1, 1), wire.TxnID{}, "k", 0, 10)
+	maybe.Outcome = OutcomeUnknown
+	h.Add(maybe)
+	h.Add(rmw(id(2, 1), id(1, 1), "k", 20, 30))
+	if err := h.Check(); err != nil {
+		t.Fatalf("observed unknown not promoted: %v", err)
+	}
+	resolved, err := h.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Len() != 2 {
+		t.Fatalf("resolved %d txns, want 2 (promotion)", resolved.Len())
+	}
+}
+
+func TestClientHistoryDiscardsUnobservedUnknown(t *testing.T) {
+	h := NewClientHistory()
+	// T1's commit outcome was lost and nobody ever saw its write. Its
+	// recorded End is long past, and a later reader missed it — which
+	// must NOT be a violation: the transaction plausibly never committed,
+	// and its completion was never client-observed either way.
+	maybe := rmw(id(1, 1), wire.TxnID{}, "k", 0, 10)
+	maybe.Outcome = OutcomeUnknown
+	h.Add(maybe)
+	h.Add(roRead(id(3, 1), "k", wire.TxnID{}, 100, 110))
+	if err := h.Check(); err != nil {
+		t.Fatalf("discarded unknown caused a false positive: %v", err)
+	}
+	resolved, err := h.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Len() != 1 {
+		t.Fatalf("resolved %d txns, want 1 (discard)", resolved.Len())
+	}
+}
+
+// TestClientHistoryPromotedUnknownHasNoRTOut: a promoted transaction's
+// recorded End is not a client-observed completion, so it must not emit
+// real-time edges — otherwise a slow commit that eventually landed would
+// read as an inversion against transactions that started after the
+// client's timeout.
+func TestClientHistoryPromotedUnknownHasNoRTOut(t *testing.T) {
+	h := NewClientHistory()
+	// T1's commit attempt "ended" (timed out) at 10ms, but actually
+	// landed much later: T2 started at 100ms, read genesis, wrote over
+	// it; T3 read T1's token at 200ms proving T1 did commit — after T2.
+	maybe := rmw(id(1, 1), id(2, 1), "k", 0, 10)
+	maybe.Outcome = OutcomeUnknown
+	h.Add(maybe)
+	h.Add(rmw(id(2, 1), wire.TxnID{}, "k", 100, 110))
+	h.Add(roRead(id(3, 1), "k", id(1, 1), 200, 210))
+	if err := h.Check(); err != nil {
+		t.Fatalf("promoted unknown's stale End caused a false positive: %v", err)
+	}
+}
+
+func TestClientHistoryCatchesPhantomRead(t *testing.T) {
+	h := NewClientHistory()
+	h.Add(roRead(id(3, 1), "k", id(9, 9), 0, 10)) // writer never recorded
+	if err := h.Check(); err == nil {
+		t.Fatal("phantom read not caught")
+	} else if !strings.Contains(err.Error(), "phantom") {
+		t.Fatalf("phantom read flagged as %v", err)
+	}
+}
+
+func TestClientHistoryCounts(t *testing.T) {
+	h := NewClientHistory()
+	h.Add(rmw(id(1, 1), wire.TxnID{}, "k", 0, 10))
+	ab := rmw(id(1, 2), wire.TxnID{}, "k", 0, 10)
+	ab.Outcome = OutcomeAborted
+	h.Add(ab)
+	un := rmw(id(1, 3), wire.TxnID{}, "k", 0, 10)
+	un.Outcome = OutcomeUnknown
+	h.Add(un)
+	if c, a, u := h.Counts(); c != 1 || a != 1 || u != 1 {
+		t.Fatalf("Counts() = %d,%d,%d, want 1,1,1", c, a, u)
+	}
+}

@@ -289,6 +289,20 @@ func (l *Log) ExternalVC() vclock.VC {
 	return l.clocks.Load().external.Clone()
 }
 
+// FoldKnowledge folds a peer's externally-committed knowledge clock into
+// both this node's external clock and its NodeVC. Recovery's clock
+// catch-up round uses it: raising external keeps post-restart snapshot
+// bounds above everything the cluster already served, and raising NodeVC
+// preserves the Bootstrap invariant NodeVC >= external so fresh write
+// slots are assigned above every externally known stamp of this node.
+func (l *Log) FoldKnowledge(ext vclock.VC) {
+	l.mu.Lock()
+	l.nodeVC.MaxInto(ext)
+	l.external.MaxInto(ext)
+	l.publishLocked()
+	l.mu.Unlock()
+}
+
 // FoldExternalInto folds the externally-committed knowledge clock into vc
 // in place — the allocation- and lock-free form of ExternalVC for hot read
 // paths.

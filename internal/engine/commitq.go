@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"sync"
+	"time"
 
 	"github.com/sss-paper/sss/internal/vclock"
 	"github.com/sss-paper/sss/internal/wal"
@@ -67,6 +68,25 @@ func (q *extQueue) enqueue(it extItem) bool {
 	return true
 }
 
+// requeueFront prepends items for redelivery, ahead of everything enqueued
+// since they were taken. Keeping failed freezes at the front preserves the
+// queue's only ordering contract: a transaction's freeze is delivered
+// before its purge (the purge enqueues after the freeze waiters release,
+// so it can only be behind us).
+func (q *extQueue) requeueFront(items []extItem) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(items, q.items...)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
 // close marks the queue closed and wakes the sender so it can drain and
 // exit. Items still queued are completed without network delivery (the
 // cluster is tearing down; pending Calls could only time out).
@@ -120,7 +140,7 @@ func (nd *Node) extSender(peer wire.NodeID, q *extQueue) {
 
 		msg.Freezes, msg.Purges = msg.Freezes[:0], msg.Purges[:0]
 		for _, it := range batch {
-			if it.done != nil {
+			if it.vc != nil {
 				msg.Freezes = append(msg.Freezes, wire.ExtFreeze{Txn: it.txn, VC: it.vc})
 			} else {
 				msg.Purges = append(msg.Purges, it.txn)
@@ -136,7 +156,35 @@ func (nd *Node) extSender(peer wire.NodeID, q *extQueue) {
 			cancel()
 			if err != nil {
 				nd.stats.DrainTimeouts.Add(1)
+				// The waiters below release regardless (the liveness
+				// tradeoff: a dead replica must not wedge the committer),
+				// but the freezes themselves are NOT abandonable: an
+				// unstamped version at one replica while another replica
+				// carries the stamp means replica-dependent read-only
+				// verdicts — a consistency hole, not a performance loss.
+				// Requeue them (waiter-less) at the queue front and back
+				// off; duplicates after an acked-but-timed-out delivery
+				// are absorbed by applyFreezeBatch's dedupe. Purges are
+				// advisory and can drop. A down replica generates no new
+				// freezes (its prepares fail), so the requeue set is
+				// bounded by the in-flight window at failure time.
+				nd.stats.FreezeRetries.Add(1)
+				retry := make([]extItem, 0, len(batch))
+				for _, it := range batch {
+					if it.vc != nil {
+						retry = append(retry, extItem{txn: it.txn, vc: it.vc})
+					}
+				}
+				q.requeueFront(retry)
 				msg = &wire.ExtBatch{} // in flight somewhere; abandon
+				for i := range batch {
+					if batch[i].done != nil {
+						close(batch[i].done)
+					}
+					batch[i] = extItem{}
+				}
+				time.Sleep(nd.cfg.VoteTimeout / 2)
+				continue
 			}
 		default:
 			_ = nd.rpc.Notify(peer, msg)

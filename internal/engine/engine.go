@@ -459,8 +459,18 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 		// "unknown → abort" answer could contradict a commit record about
 		// to be scanned. Dropped prepares become coordinator vote timeouts,
 		// i.e. plain aborts; in-doubt peers retry.
-		if m, ok := msg.(*wire.TxnStatus); ok && nd.statusReady.Load() {
-			nd.handleTxnStatus(from, rid, m)
+		// ClockSync gets the same treatment: a partial external clock is a
+		// sound (monotone) lower bound, and answering keeps a concurrently
+		// restarting peer's catch-up round from burning its retry budget.
+		switch m := msg.(type) {
+		case *wire.TxnStatus:
+			if nd.statusReady.Load() {
+				nd.handleTxnStatus(from, rid, m)
+			}
+		case *wire.ClockSync:
+			if nd.statusReady.Load() {
+				nd.handleClockSync(from, rid, m)
+			}
 		}
 		return
 	}
@@ -483,6 +493,8 @@ func (nd *Node) serve(from wire.NodeID, rid uint64, msg wire.Msg) {
 		nd.handleWaitExternal(from, rid, m)
 	case *wire.TxnStatus:
 		nd.handleTxnStatus(from, rid, m)
+	case *wire.ClockSync:
+		nd.handleClockSync(from, rid, m)
 	default:
 		// Unknown messages are dropped; the engines never share a network
 		// with a different engine type.

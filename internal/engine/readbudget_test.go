@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/transport"
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+// TestUpdateReadFallsBackInOneVoteSlice is the regression test for the
+// split remote-read budget: an update read whose preferred replica is dead
+// must fall back to the fan-out after ~one VoteTimeout slice instead of
+// burning the whole DrainTimeout on the dead leg. Before the split, a read
+// aimed at a just-killed replica stalled for the full drain budget (30s at
+// defaults) even though a live replica held the answer.
+func TestUpdateReadFallsBackInOneVoteSlice(t *testing.T) {
+	const (
+		voteTimeout  = 150 * time.Millisecond
+		drainTimeout = 10 * time.Second
+	)
+	// Per-node TCP networks, as in separate processes: closing one network
+	// makes that node genuinely unreachable (refused dials, dead conns),
+	// which the shared InProc transport cannot model.
+	ports := make([]string, 3)
+	lns := make([]net.Listener, 3)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	book := map[wire.NodeID]string{0: ports[0], 1: ports[1], 2: ports[2]}
+
+	lookup := cluster.NewLookup(3, 2)
+	cfg := Config{VoteTimeout: voteTimeout, DrainTimeout: drainTimeout}
+	nets := make([]*transport.TCP, 3)
+	nodes := make([]*Node, 3)
+	for i := 0; i < 3; i++ {
+		nets[i] = transport.NewTCP(book)
+		nd, err := New(nets[i], wire.NodeID(i), 3, lookup, cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for i, nd := range nodes {
+			if nd != nil {
+				_ = nd.Close()
+			}
+			_ = nets[i].Close()
+		}
+	})
+
+	// A key not replicated on node 0, so node 0's update reads always go
+	// remote and the preferred-replica choice alternates across both
+	// replicas with the transaction sequence number.
+	var key string
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("away-%d", i)
+		remote := true
+		for _, r := range lookup.Replicas(cand) {
+			if r == 0 {
+				remote = false
+			}
+		}
+		if remote {
+			key = cand
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key with replicas {1,2} found")
+	}
+	preload(nodes, map[string]string{key: "v0"})
+
+	// Healthy baseline: the remote read answers fast.
+	tx := nodes[0].Begin(false)
+	if _, _, err := tx.Read(key); err != nil {
+		t.Fatalf("baseline read: %v", err)
+	}
+	_ = tx.Abort()
+
+	// Kill one replica of key, process-death style.
+	victim := lookup.Replicas(key)[0]
+	_ = nodes[victim].Close()
+	nodes[victim] = nil
+	_ = nets[victim].Close()
+
+	// Consecutive Begins alternate the preferred replica, so two reads are
+	// guaranteed to aim at least one at the dead node. Every read must
+	// still succeed via the fan-out fallback, and none may take anywhere
+	// near the drain budget — the old behavior pinned the dead-preferred
+	// reads at the full DrainTimeout.
+	for i := 0; i < 4; i++ {
+		tx := nodes[0].Begin(false)
+		start := time.Now()
+		_, _, err := tx.Read(key)
+		elapsed := time.Since(start)
+		_ = tx.Abort()
+		if err != nil {
+			t.Fatalf("read %d with dead preferred replica: %v", i, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("read %d took %v; want ~one VoteTimeout slice (%v), not the drain budget", i, elapsed, voteTimeout)
+		}
+	}
+}

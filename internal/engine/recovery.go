@@ -102,6 +102,60 @@ func (nd *Node) handleTxnStatus(from wire.NodeID, rid uint64, m *wire.TxnStatus)
 	_ = nd.rpc.Reply(from, rid, rep)
 }
 
+// handleClockSync answers a recovering peer's clock catch-up query with this
+// node's externally-committed knowledge clock. Served even mid-recovery
+// (once statusReady): a partially rebuilt clock is a sound lower bound —
+// the peer folds a join, and joins are monotone.
+func (nd *Node) handleClockSync(from wire.NodeID, rid uint64, _ *wire.ClockSync) {
+	_ = nd.rpc.Reply(from, rid, &wire.ClockSyncReply{Ext: nd.log.ExternalVC()})
+}
+
+// clockCatchup is the final recovery phase: fold every live peer's
+// external-knowledge clock into this node's. Clock knowledge acquired
+// through reads and votes is volatile — it reaches the WAL only when a
+// freeze touches this node — so after a restart the durable state alone can
+// under-approximate what this node already exposed to clients, and a
+// regressed snapshot bound would serve client-acked writes stale (a
+// real-time cycle in the fault-lane client histories). Any stamp this node
+// ever learned originated from some peer's durable freeze state, so in a
+// single-victim fault regime the join over live peers restores a superset
+// of the pre-crash knowledge. Best-effort with a small per-peer budget:
+// recovery must not wedge on a dead peer, and a missed peer only costs
+// freshness that the first post-restart read re-acquires.
+func (nd *Node) clockCatchup() {
+	for peer := 0; peer < nd.n; peer++ {
+		if wire.NodeID(peer) == nd.id {
+			continue
+		}
+		synced := false
+		backoff := nd.cfg.VoteTimeout / 4
+		for attempt := 0; attempt < 3 && !synced; attempt++ {
+			if attempt > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+			resp, err := nd.rpc.Call(ctx, wire.NodeID(peer), &wire.ClockSync{})
+			cancel()
+			if err != nil {
+				continue
+			}
+			rep, ok := resp.(*wire.ClockSyncReply)
+			if !ok || len(rep.Ext) != nd.n {
+				continue
+			}
+			nd.log.FoldKnowledge(rep.Ext)
+			nd.raiseExtFrontier(rep.Ext[nd.idx])
+			synced = true
+		}
+		if synced {
+			nd.dstats.ClockSyncPeers.Add(1)
+		} else {
+			nd.dstats.ClockSyncMisses.Add(1)
+		}
+	}
+}
+
 // resolveInDoubt resolves one prepared-but-undecided transaction. Own
 // transactions resolve against the local coordinator ledger; others query
 // the coordinator with bounded retries. No commit evidence means presumed
@@ -151,6 +205,46 @@ func (nd *Node) resolveInDoubt(txn wire.TxnID) (commitVC, freezeVC vclock.VC, co
 		return nil, nil, false
 	}
 	return nil, nil, false
+}
+
+// resolveFreeze recovers the freeze vector of a transaction whose commit
+// verdict is already known but whose freeze record never became durable
+// here. Own transactions read the local coordinator ledger; others query
+// the coordinator with a smaller retry budget than resolveInDoubt — a
+// missing vector has a sound local fallback (the phase-4 floor stamp), so
+// recovery must not wedge on a dead coordinator.
+func (nd *Node) resolveFreeze(txn wire.TxnID) vclock.VC {
+	if txn.Node == nd.id {
+		nd.coordMu.Lock()
+		cr, ok := nd.coordStatus[txn]
+		nd.coordMu.Unlock()
+		if ok {
+			return cr.freezeVC
+		}
+		return nil
+	}
+	backoff := nd.cfg.VoteTimeout / 4
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
+		resp, err := nd.rpc.Call(ctx, txn.Node, &wire.TxnStatus{Txn: txn})
+		cancel()
+		if err != nil {
+			continue
+		}
+		rep, ok := resp.(*wire.TxnStatusReply)
+		if !ok {
+			continue
+		}
+		if rep.Known && rep.Commit {
+			return rep.FreezeVC
+		}
+		return nil
+	}
+	return nil
 }
 
 // Recover restores the node from its WAL and checkpoint, then opens it for
@@ -285,6 +379,40 @@ func (nd *Node) Recover() error {
 		}
 	}
 
+	// Phase 3b: recover missing freeze vectors. A transaction can be
+	// decided here with no freeze record durable: the coordinator's freeze
+	// call raced this node's crash — or hit its failing disk and got no
+	// ack — and the commit queue releases its waiters on a freeze-call
+	// error rather than wedging the commit (commitq.go extSender), so the
+	// client was acked anyway. Re-stamping such versions at the local
+	// floor is not enough: the freeze vector would never fold back into
+	// this node's external-knowledge clock, and the restarted node would
+	// coordinate read-only snapshots with a regressed clock — serving
+	// client-acked writes stale (the disk-fault lanes catch this as a
+	// real-time cycle in the client history). Ask the coordinator, exactly
+	// as in-doubt resolution does; the floor stamp in phase 4 remains the
+	// fallback when it is unreachable.
+	for txn, d := range decided {
+		if freezes[txn] != nil || d.vc[nd.idx] <= frontier {
+			continue
+		}
+		var keys []string
+		for _, kvp := range d.writes {
+			if nd.lookup.IsReplica(kvp.Key, nd.id) {
+				keys = append(keys, kvp.Key)
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		if fvc := nd.resolveFreeze(txn); len(fvc) == nd.n {
+			nd.dstats.FreezeResolved.Add(1)
+			freezes[txn] = &freezeInfo{stamp: fvc[nd.idx], keys: keys, vc: d.vc}
+		} else {
+			nd.dstats.FreezeUnresolved.Add(1)
+		}
+	}
+
 	// Phase 4: apply committed transactions above the checkpoint frontier,
 	// ascending by their write slot here — the CommitQ order the live node
 	// applied them in. Each runs through the real Prepare/Decide machinery
@@ -353,6 +481,11 @@ func (nd *Node) Recover() error {
 			nd.log.RecordExternal(ext)
 		}
 	}
+
+	// Phase 5b: clock catch-up round. Phases 1-5 rebuilt everything durable;
+	// this folds in what was volatile (see clockCatchup) before the
+	// recovering gate opens the node to clients.
+	nd.clockCatchup()
 
 	// The transaction-sequence epoch bump: recovered Seq values are a floor,
 	// but aborted in-doubt transactions may have handed out IDs no record

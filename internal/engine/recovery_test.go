@@ -419,3 +419,228 @@ func TestInDoubtResolution(t *testing.T) {
 		})
 	}
 }
+
+// TestFreezeResolution covers the decided-but-unfrozen WAL state: the
+// replica logged prepare AND decide, but crashed before any freeze record
+// became durable (commitq.go's extSender tolerates exactly this — it acks
+// the client even when a replica's freeze call failed). Recovery must not
+// settle for the floor stamp while the coordinator is alive: phase 3b asks
+// it for the freeze vector, so the restarted replica re-stamps with the
+// same replica-independent stamp every live replica recorded. Only when
+// the coordinator is unreachable may the version fall back to the floor.
+func TestFreezeResolution(t *testing.T) {
+	cases := []struct {
+		name      string
+		reply     *wire.TxnStatusReply // nil: coordinator never answers
+		wantStamp uint64
+		resolved  bool
+	}{
+		{
+			name: "coordinator-answers",
+			reply: &wire.TxnStatusReply{
+				Known: true, Commit: true,
+				VC:       vclock.VC{1, 1},
+				FreezeVC: vclock.VC{4, 2},
+			},
+			wantStamp: 4, // FreezeVC[0], not the floor
+			resolved:  true,
+		},
+		{
+			name:      "coordinator-down",
+			reply:     nil,
+			wantStamp: 1, // the commit clock's own slot: the documented floor
+			resolved:  false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			lookup := cluster.NewLookup(2, 2)
+			txn := wire.TxnID{Node: 1, Seq: 7}
+
+			// Pre-crash: node 0 votes yes on the prepare and processes the
+			// commit decide, so both records are durable — but the bare
+			// coordinator endpoint vanishes before any freeze is sent.
+			net1 := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+			w1 := openWAL(t, root, 0)
+			nd1, err := New(net1, 0, 2, lookup, Config{WAL: w1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nd1.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			coord, err := transport.NewRPC(net1, 1, func(wire.NodeID, uint64, wire.Msg) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			resp, err := coord.Call(ctx, 0, &wire.Prepare{
+				Txn:    txn,
+				VC:     vclock.New(2),
+				Writes: []wire.KV{{Key: "k", Val: []byte("frozenless")}},
+			})
+			cancel()
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			if vote, ok := resp.(*wire.Vote); !ok || !vote.OK {
+				t.Fatalf("vote = %#v, want yes", resp)
+			}
+			ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+			if _, err = coord.Call(ctx, 0, &wire.Decide{
+				Txn: txn, Commit: true, VC: vclock.VC{1, 1},
+			}); err != nil {
+				cancel()
+				t.Fatalf("decide: %v", err)
+			}
+			cancel()
+			_ = nd1.Close()
+			_ = coord.Close()
+			_ = net1.Close()
+			_ = w1.Close()
+
+			// Restart against a puppet coordinator scripted to the verdict.
+			net2 := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+			var puppet *transport.RPC
+			puppet, err = transport.NewRPC(net2, 1, func(from wire.NodeID, rid uint64, msg wire.Msg) {
+				if _, ok := msg.(*wire.TxnStatus); ok && tc.reply != nil {
+					rep := *tc.reply
+					rep.Txn = txn
+					_ = puppet.Reply(from, rid, &rep)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2 := openWAL(t, root, 0)
+			nd2, err := New(net2, 0, 2, lookup, Config{WAL: w2, VoteTimeout: 50 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				_ = nd2.Close()
+				_ = puppet.Close()
+				_ = net2.Close()
+				_ = w2.Close()
+			})
+			if err := nd2.Recover(); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+
+			d := nd2.Durability()
+			// The decide is durable, so the transaction must never count as
+			// in-doubt — freeze resolution is a separate, weaker condition.
+			if got := d.InDoubt.Load(); got != 0 {
+				t.Fatalf("InDoubt = %d, want 0 (decide record was durable)", got)
+			}
+			res := nd2.store.Latest("k")
+			if !res.Exists || string(res.Val) != "frozenless" {
+				t.Fatalf("k = %q/%v after restart, want frozenless", res.Val, res.Exists)
+			}
+			var stamp uint64
+			_ = nd2.store.Dump(func(key string, v mvstore.VersionRec) error {
+				if key == "k" && v.Writer == txn {
+					stamp = v.ExtSID
+				}
+				return nil
+			})
+			if stamp != tc.wantStamp {
+				t.Fatalf("recovered stamp = %d, want %d", stamp, tc.wantStamp)
+			}
+			if tc.resolved {
+				if got := d.FreezeResolved.Load(); got != 1 {
+					t.Fatalf("FreezeResolved = %d, want 1", got)
+				}
+				// The resolved freeze must also fold into the node's
+				// external-knowledge clock, or post-restart snapshots would
+				// regress below the recovered stamp.
+				if ext := nd2.log.ExternalVC(); ext[0] < tc.wantStamp {
+					t.Fatalf("ExternalVC = %v after resolution, want own slot >= %d", ext, tc.wantStamp)
+				}
+			} else if got := d.FreezeUnresolved.Load(); got != 1 {
+				t.Fatalf("FreezeUnresolved = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestClockCatchup covers recovery's final phase: a restarted node folds
+// every live peer's external-knowledge clock into its own before taking
+// traffic, because knowledge acquired through reads and votes is volatile
+// and a regressed post-restart clock serves client-acked writes stale.
+func TestClockCatchup(t *testing.T) {
+	cases := []struct {
+		name    string
+		peerExt vclock.VC // nil: peer never answers
+	}{
+		{name: "peer-answers", peerExt: vclock.VC{5, 9}},
+		{name: "peer-down", peerExt: nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			lookup := cluster.NewLookup(2, 2)
+
+			// Seed a durable node so the restart has something to replay.
+			net1 := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+			w1 := openWAL(t, root, 0)
+			nd1, err := New(net1, 0, 2, lookup, Config{WAL: w1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nd1.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			_ = nd1.Close()
+			_ = net1.Close()
+			_ = w1.Close()
+
+			net2 := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+			var puppet *transport.RPC
+			puppet, err = transport.NewRPC(net2, 1, func(from wire.NodeID, rid uint64, msg wire.Msg) {
+				if _, ok := msg.(*wire.ClockSync); ok && tc.peerExt != nil {
+					_ = puppet.Reply(from, rid, &wire.ClockSyncReply{Ext: tc.peerExt.Clone()})
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2 := openWAL(t, root, 0)
+			nd2, err := New(net2, 0, 2, lookup, Config{WAL: w2, VoteTimeout: 50 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				_ = nd2.Close()
+				_ = puppet.Close()
+				_ = net2.Close()
+				_ = w2.Close()
+			})
+			if err := nd2.Recover(); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+
+			d := nd2.Durability()
+			if tc.peerExt == nil {
+				if got := d.ClockSyncMisses.Load(); got != 1 {
+					t.Fatalf("ClockSyncMisses = %d, want 1", got)
+				}
+				return
+			}
+			if got := d.ClockSyncPeers.Load(); got != 1 {
+				t.Fatalf("ClockSyncPeers = %d, want 1", got)
+			}
+			ext := nd2.log.ExternalVC()
+			if ext[0] < tc.peerExt[0] || ext[1] < tc.peerExt[1] {
+				t.Fatalf("ExternalVC = %v after catch-up, want >= %v", ext, tc.peerExt)
+			}
+			// NodeVC must dominate the folded knowledge (the Bootstrap
+			// invariant): fresh write slots are assigned above every
+			// externally known stamp of this node.
+			if nvc := nd2.log.NodeVC(); nvc[0] < tc.peerExt[0] {
+				t.Fatalf("NodeVC = %v after catch-up, want own slot >= %d", nvc, tc.peerExt[0])
+			}
+		})
+	}
+}

@@ -360,7 +360,15 @@ func (t *Txn) readRemote(key string) (*wire.ReadReturn, wire.NodeID, error) {
 			break
 		}
 	}
-	resp, lastErr := t.nd.rpc.Call(ctx, preferred, req)
+	// The preferred call gets one VoteTimeout-scale slice of the budget, not
+	// all of it: against a dead or mid-restart replica the call only ends at
+	// context expiry, and burning the whole DrainTimeout on one dead leg
+	// turns a single restart into a 30s read stall (ROADMAP lever (a)). On
+	// expiry the fan-out below races the remaining replicas with the rest of
+	// the budget.
+	pctx, pcancel := context.WithTimeout(ctx, t.nd.cfg.VoteTimeout)
+	resp, lastErr := t.nd.rpc.Call(pctx, preferred, req)
+	pcancel()
 	if lastErr == nil {
 		rr, ok := resp.(*wire.ReadReturn)
 		if !ok {

@@ -47,6 +47,12 @@ type Config struct {
 	// StartTimeout bounds the wait for every node's readiness probe
 	// (default 30s).
 	StartTimeout time.Duration
+	// PeerLinkControl routes every directed inter-node link through its own
+	// controllable relay (see linkrelay.go), enabling SetLinkBlocked /
+	// SetLinkDelay / IsolateNode / HealLinks — the partition and
+	// asymmetric-delay nemeses. Adds one local TCP hop to peer traffic, so
+	// leave it off for latency-sensitive benchmarks.
+	PeerLinkControl bool
 	// ClientNetDelay simulates a client↔server network round-trip time.
 	// Zero means direct loopback. Nonzero routes every client connection
 	// through an in-process delay relay adding half the value each way
@@ -74,8 +80,9 @@ type Cluster struct {
 	peerAddrs   []string
 	clientAddrs []string
 	procs       []*proc
-	relays      []*delayRelay // client-path delay shims, nil entries impossible
-	netemUndo   func()        // removes the loopback netem qdisc, if installed
+	relays      []*delayRelay  // client-path delay shims, nil entries impossible
+	links       [][]*linkRelay // [from][to] peer-link relays; nil without PeerLinkControl
+	netemUndo   func()         // removes the loopback netem qdisc, if installed
 }
 
 // proc is one monitored server process.
@@ -128,6 +135,25 @@ func Start(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.peerAddrs, c.clientAddrs = addrs[:cfg.Nodes], addrs[cfg.Nodes:]
+
+	if cfg.PeerLinkControl {
+		c.links = make([][]*linkRelay, cfg.Nodes)
+		for i := range c.links {
+			c.links[i] = make([]*linkRelay, cfg.Nodes)
+			for j := range c.links[i] {
+				if j == i {
+					continue
+				}
+				r, err := startLinkRelay(c.peerAddrs[j])
+				if err != nil {
+					c.closeLinks()
+					c.cleanupDir()
+					return nil, fmt.Errorf("harness: link relay %d->%d: %w", i, j, err)
+				}
+				c.links[i][j] = r
+			}
+		}
+	}
 
 	c.procs = make([]*proc, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -183,9 +209,23 @@ func (c *Cluster) spawn(i int) error {
 	if err != nil {
 		return err
 	}
+	// Under PeerLinkControl node i's address book points every outbound
+	// link at its own relay row; slot i stays the real address because that
+	// is where the node itself listens.
+	peers := c.peerAddrs
+	if c.links != nil {
+		peers = make([]string, len(c.peerAddrs))
+		for j := range peers {
+			if j == i {
+				peers[j] = c.peerAddrs[j]
+			} else {
+				peers[j] = c.links[i][j].Addr()
+			}
+		}
+	}
 	args := []string{
 		"-id", fmt.Sprint(i),
-		"-peers", strings.Join(c.peerAddrs, ","),
+		"-peers", strings.Join(peers, ","),
 		"-client-addr", c.clientAddrs[i],
 		"-replication", fmt.Sprint(c.cfg.Replication),
 	}
@@ -250,6 +290,107 @@ func (c *Cluster) Restart(i int) error {
 		return err
 	}
 	return c.waitNode(i, time.Now().Add(c.cfg.StartTimeout))
+}
+
+// Pause SIGSTOPs node i: the process keeps all state but stops scheduling,
+// which exercises every timeout path without losing a byte. Resume
+// continues it.
+func (c *Cluster) Pause(i int) error {
+	if !c.Alive(i) {
+		return fmt.Errorf("harness: pause node %d: not running", i)
+	}
+	return c.procs[i].cmd.Process.Signal(syscall.SIGSTOP)
+}
+
+// Resume SIGCONTs a paused node i.
+func (c *Cluster) Resume(i int) error {
+	if !c.Alive(i) {
+		return fmt.Errorf("harness: resume node %d: not running", i)
+	}
+	return c.procs[i].cmd.Process.Signal(syscall.SIGCONT)
+}
+
+// link returns the from→to relay, or an error when link control is off.
+func (c *Cluster) link(from, to int) (*linkRelay, error) {
+	if c.links == nil {
+		return nil, errors.New("harness: peer-link control not enabled (Config.PeerLinkControl)")
+	}
+	if from < 0 || from >= len(c.links) || to < 0 || to >= len(c.links) || from == to {
+		return nil, fmt.Errorf("harness: no link %d->%d", from, to)
+	}
+	return c.links[from][to], nil
+}
+
+// SetLinkBlocked blocks or heals the directed peer link from→to. Blocked
+// traffic blackholes (connects park unserviced); healing severs the parked
+// connections so both transports redial through the open link.
+func (c *Cluster) SetLinkBlocked(from, to int, blocked bool) error {
+	r, err := c.link(from, to)
+	if err != nil {
+		return err
+	}
+	r.setBlocked(blocked)
+	return nil
+}
+
+// SetLinkDelay sets the one-way delay on the directed peer link from→to.
+func (c *Cluster) SetLinkDelay(from, to int, d time.Duration) error {
+	r, err := c.link(from, to)
+	if err != nil {
+		return err
+	}
+	r.setDelay(d)
+	return nil
+}
+
+// IsolateNode blocks every peer link to and from node i — a full partition
+// of one node. Client connections are untouched: an isolated node still
+// takes client traffic, which is exactly the scenario worth checking.
+func (c *Cluster) IsolateNode(i int) error {
+	if c.links == nil {
+		return errors.New("harness: peer-link control not enabled (Config.PeerLinkControl)")
+	}
+	for j := range c.links {
+		if j == i {
+			continue
+		}
+		c.links[i][j].setBlocked(true)
+		c.links[j][i].setBlocked(true)
+	}
+	return nil
+}
+
+// HealLinks unblocks every peer link and removes all link delays.
+func (c *Cluster) HealLinks() error {
+	if c.links == nil {
+		return errors.New("harness: peer-link control not enabled (Config.PeerLinkControl)")
+	}
+	for i := range c.links {
+		for j, r := range c.links[i] {
+			if j == i {
+				continue
+			}
+			r.setBlocked(false)
+			r.setDelay(0)
+		}
+	}
+	return nil
+}
+
+// DataDir returns node i's data directory (only meaningful with Durable).
+func (c *Cluster) DataDir(i int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("data%d", i))
+}
+
+func (c *Cluster) closeLinks() {
+	for _, row := range c.links {
+		for _, r := range row {
+			if r != nil {
+				r.close()
+			}
+		}
+	}
+	c.links = nil
 }
 
 // waitReady pings every node's client port until it answers or the timeout
@@ -344,6 +485,7 @@ func (c *Cluster) Shutdown() error {
 		r.close()
 	}
 	c.relays = nil
+	c.closeLinks()
 	if c.netemUndo != nil {
 		c.netemUndo()
 		c.netemUndo = nil
@@ -357,6 +499,8 @@ func (c *Cluster) Shutdown() error {
 			continue
 		default:
 		}
+		// A paused node cannot act on SIGTERM; continue it first.
+		_ = p.cmd.Process.Signal(syscall.SIGCONT)
 		_ = p.cmd.Process.Signal(syscall.SIGTERM)
 	}
 	for i, p := range c.procs {

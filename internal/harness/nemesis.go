@@ -1,13 +1,216 @@
+// The nemesis: scheduled fault injection against a running cluster.
+//
+// A Nemesis is one fault shape — crash-restart, partition, pause, a lying
+// disk — expressed as an inject/heal pair. RunSchedule drives any set of
+// them round-robin on a deterministic clock: fault in, hold, heal, gap,
+// next fault. The scheduler only injects; the caller keeps client load
+// running in its own goroutines (see workload.go) and checks invariants
+// afterwards, Jepsen-style.
 package harness
 
 import (
 	"fmt"
+	"os"
 	"time"
 )
 
-// NemesisConfig schedules a crash-restart fault loop against a running
-// cluster. The schedule is deterministic: victims are visited round-robin,
-// so a failing run reproduces with the same configuration.
+// Nemesis is one injectable fault shape. Inject imposes the fault for
+// round (implementations pick their victim from it, keeping schedules
+// deterministic); Heal lifts it and must leave the cluster able to
+// converge — for faults that poison a process (a failed disk), Heal
+// restarts the victim.
+type Nemesis interface {
+	Name() string
+	Inject(c *Cluster, round int) error
+	Heal(c *Cluster, round int) error
+}
+
+// Schedule drives a set of nemeses round-robin against a cluster.
+type Schedule struct {
+	// Faults are visited round-robin, one per round (required).
+	Faults []Nemesis
+	// Rounds is the total number of inject→heal cycles (default one per
+	// fault, so each fault runs at least once).
+	Rounds int
+	// Hold is how long each fault stays injected (default 1s).
+	Hold time.Duration
+	// Gap is the settle window after each heal (default 2s).
+	Gap time.Duration
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (s Schedule) withDefaults() Schedule {
+	if s.Rounds <= 0 {
+		s.Rounds = len(s.Faults)
+	}
+	if s.Hold <= 0 {
+		s.Hold = time.Second
+	}
+	if s.Gap <= 0 {
+		s.Gap = 2 * time.Second
+	}
+	if s.Logf == nil {
+		s.Logf = func(string, ...any) {}
+	}
+	return s
+}
+
+// RunSchedule runs the schedule to completion: round r injects
+// Faults[r%len], holds, heals, settles, and moves on. The first error
+// stops the run (a nemesis failing to inject or heal means the harness
+// lost control of the cluster — later rounds would test nothing).
+func (c *Cluster) RunSchedule(s Schedule) error {
+	if len(s.Faults) == 0 {
+		return fmt.Errorf("harness: schedule has no faults")
+	}
+	s = s.withDefaults()
+	for round := 0; round < s.Rounds; round++ {
+		n := s.Faults[round%len(s.Faults)]
+		s.Logf("nemesis round %d/%d: inject %s", round+1, s.Rounds, n.Name())
+		if err := n.Inject(c, round); err != nil {
+			return fmt.Errorf("nemesis round %d (%s) inject: %w", round+1, n.Name(), err)
+		}
+		time.Sleep(s.Hold)
+		s.Logf("nemesis round %d/%d: heal %s", round+1, s.Rounds, n.Name())
+		if err := n.Heal(c, round); err != nil {
+			return fmt.Errorf("nemesis round %d (%s) heal: %w", round+1, n.Name(), err)
+		}
+		time.Sleep(s.Gap)
+	}
+	return nil
+}
+
+// victim picks the round's target deterministically from victims (all
+// nodes when empty).
+func victim(c *Cluster, victims []int, round int) int {
+	if len(victims) == 0 {
+		return round % c.cfg.Nodes
+	}
+	return victims[round%len(victims)]
+}
+
+// KillRestart is the original crash nemesis: SIGKILL the round's victim,
+// then restart it on Heal and wait for recovery.
+type KillRestart struct {
+	// Victims restricts the targets (node indexes); empty means every node.
+	Victims []int
+}
+
+func (n *KillRestart) Name() string { return "kill-restart" }
+
+func (n *KillRestart) Inject(c *Cluster, round int) error {
+	return c.Kill(victim(c, n.Victims, round))
+}
+
+func (n *KillRestart) Heal(c *Cluster, round int) error {
+	return c.Restart(victim(c, n.Victims, round))
+}
+
+// Pause SIGSTOPs the round's victim for the hold window: the process loses
+// no state but stops responding, exercising VoteTimeout/DrainTimeout and
+// the commit paths that must make progress around a frozen peer.
+type Pause struct {
+	Victims []int
+}
+
+func (n *Pause) Name() string { return "pause" }
+
+func (n *Pause) Inject(c *Cluster, round int) error {
+	return c.Pause(victim(c, n.Victims, round))
+}
+
+func (n *Pause) Heal(c *Cluster, round int) error {
+	return c.Resume(victim(c, n.Victims, round))
+}
+
+// Partition severs every peer link to and from the round's victim, both
+// directions — a full one-node partition. The victim still serves clients;
+// its transactions must block or abort, never violate consistency.
+type Partition struct {
+	Victims []int
+}
+
+func (n *Partition) Name() string { return "partition" }
+
+func (n *Partition) Inject(c *Cluster, round int) error {
+	return c.IsolateNode(victim(c, n.Victims, round))
+}
+
+func (n *Partition) Heal(c *Cluster, round int) error {
+	return c.HealLinks()
+}
+
+// AsymmetricDelay adds Delay to every outbound peer link of the round's
+// victim — its requests arrive late, the replies come back fast — skewing
+// exactly the message orderings the freeze-vector machinery reasons about.
+type AsymmetricDelay struct {
+	Victims []int
+	// Delay is the injected one-way delay (default 100ms).
+	Delay time.Duration
+}
+
+func (n *AsymmetricDelay) Name() string { return "asym-delay" }
+
+func (n *AsymmetricDelay) Inject(c *Cluster, round int) error {
+	d := n.Delay
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	v := victim(c, n.Victims, round)
+	for j := 0; j < c.cfg.Nodes; j++ {
+		if j == v {
+			continue
+		}
+		if err := c.SetLinkDelay(v, j, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *AsymmetricDelay) Heal(c *Cluster, round int) error {
+	return c.HealLinks()
+}
+
+// WALFault arms a disk fault on the round's victim by touching the trigger
+// file its WAL injector watches (the cluster must run Durable with
+// SSS_WAL_FAULT set, see cmd/sss-server). Healing removes the trigger;
+// for the failing modes (disk-full, torn-write) the victim's log is
+// poisoned by design, so Heal also kill-restarts it — the recovery path is
+// half of what the fault exercises.
+type WALFault struct {
+	Victims []int
+	// Mode mirrors the wal fault modes; it decides whether Heal restarts.
+	Mode string
+}
+
+func (n *WALFault) Name() string { return "wal-" + n.Mode }
+
+func (n *WALFault) trigger(c *Cluster, round int) string {
+	return c.DataDir(victim(c, n.Victims, round)) + "/FAULT"
+}
+
+func (n *WALFault) Inject(c *Cluster, round int) error {
+	return os.WriteFile(n.trigger(c, round), nil, 0o644)
+}
+
+func (n *WALFault) Heal(c *Cluster, round int) error {
+	if err := os.Remove(n.trigger(c, round)); err != nil {
+		return err
+	}
+	if n.Mode == "slow-fsync" {
+		return nil // nothing failed; the node healed in place
+	}
+	v := victim(c, n.Victims, round)
+	if err := c.Kill(v); err != nil {
+		return err
+	}
+	return c.Restart(v)
+}
+
+// NemesisConfig schedules the original crash-restart fault loop. It
+// remains as the compatibility surface over Schedule + KillRestart.
 type NemesisConfig struct {
 	// Rounds is the number of kill→restart cycles (default 3).
 	Rounds int
@@ -23,7 +226,10 @@ type NemesisConfig struct {
 	Logf func(format string, args ...any)
 }
 
-func (cfg NemesisConfig) withDefaults(nodes int) NemesisConfig {
+// RunNemesis drives the classic crash-restart schedule through the
+// scheduler: each round SIGKILLs the next victim, keeps it dead for
+// Downtime, restarts it and waits for recovery, then settles for Gap.
+func (c *Cluster) RunNemesis(cfg NemesisConfig) error {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 3
 	}
@@ -33,37 +239,11 @@ func (cfg NemesisConfig) withDefaults(nodes int) NemesisConfig {
 	if cfg.Gap <= 0 {
 		cfg.Gap = 2 * time.Second
 	}
-	if len(cfg.Victims) == 0 {
-		cfg.Victims = make([]int, nodes)
-		for i := range cfg.Victims {
-			cfg.Victims[i] = i
-		}
-	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
-	return cfg
-}
-
-// RunNemesis drives the crash-restart schedule: each round SIGKILLs the
-// next victim, keeps it dead for Downtime, restarts it and waits for its
-// recovery to finish (Restart's readiness probe), then settles for Gap.
-// RunNemesis only injects the faults — the caller keeps client load running
-// in its own goroutines and checks invariants afterwards.
-func (c *Cluster) RunNemesis(cfg NemesisConfig) error {
-	cfg = cfg.withDefaults(c.cfg.Nodes)
-	for round := 0; round < cfg.Rounds; round++ {
-		victim := cfg.Victims[round%len(cfg.Victims)]
-		cfg.Logf("nemesis round %d/%d: SIGKILL node %d", round+1, cfg.Rounds, victim)
-		if err := c.Kill(victim); err != nil {
-			return fmt.Errorf("nemesis round %d: %w", round+1, err)
-		}
-		time.Sleep(cfg.Downtime)
-		cfg.Logf("nemesis round %d/%d: restart node %d", round+1, cfg.Rounds, victim)
-		if err := c.Restart(victim); err != nil {
-			return fmt.Errorf("nemesis round %d: %w", round+1, err)
-		}
-		time.Sleep(cfg.Gap)
-	}
-	return nil
+	return c.RunSchedule(Schedule{
+		Faults: []Nemesis{&KillRestart{Victims: cfg.Victims}},
+		Rounds: cfg.Rounds,
+		Hold:   cfg.Downtime,
+		Gap:    cfg.Gap,
+		Logf:   cfg.Logf,
+	})
 }

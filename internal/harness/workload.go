@@ -1,0 +1,343 @@
+// Client-history workload driver: the load half of the Jepsen-style lane.
+//
+// Workers run transactions against the cluster through the real client
+// protocol and record what each one observed — reads, writes, start and
+// completion instants, and the commit outcome — into a
+// checker.ClientHistory. The discipline that makes client-side checking
+// possible:
+//
+//   - Every written value is a unique token naming the writing attempt, so
+//     any read maps back to a client-side transaction identity.
+//   - Every update is a read-modify-write: each written key is read in the
+//     same transaction, giving the checker the "I overwrote version P"
+//     links it chains into per-key version orders.
+//   - Commit outcomes are recorded honestly: clean aborts as aborted,
+//     anything ambiguous (timeout, dead connection) as unknown, which the
+//     checker resolves soundly.
+//
+// The knobs cover the interesting workload shapes — Zipfian hot keys,
+// large values, read-modify-write heavy, long multi-key transactions —
+// each runnable under any nemesis.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sss-paper/sss/client"
+	"github.com/sss-paper/sss/internal/checker"
+	"github.com/sss-paper/sss/internal/wire"
+	"github.com/sss-paper/sss/kv"
+)
+
+// WorkloadConfig tunes the driver. The zero value selects a small mixed
+// workload.
+type WorkloadConfig struct {
+	// Workers is the number of concurrent client loops (default 4). Worker
+	// i talks to node i modulo the cluster size, so every node — victims
+	// included — keeps taking client traffic.
+	Workers int
+	// Keys is the keyspace size (default 16).
+	Keys int
+	// ROFraction is the probability a transaction is read-only
+	// (default 0.25).
+	ROFraction float64
+	// MultiKey is the number of keys per transaction (default 2).
+	MultiKey int
+	// ValueSize pads every written value to this many bytes (default 32).
+	ValueSize int
+	// ZipfS, when > 1, skews key choice Zipfian with parameter s — hot
+	// keys concentrate contention. 0 = uniform.
+	ZipfS float64
+	// Seed makes key choice deterministic per worker (default 1).
+	Seed int64
+	// RequestTimeout bounds each client request (default 10s; commits
+	// under faults park until it expires, surfacing as unknown outcomes).
+	RequestTimeout time.Duration
+}
+
+func (cfg WorkloadConfig) withDefaults() WorkloadConfig {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	if cfg.ROFraction == 0 {
+		cfg.ROFraction = 0.25
+	}
+	if cfg.MultiKey <= 0 {
+		cfg.MultiKey = 2
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 32
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	return cfg
+}
+
+// Workload shape presets — the fault lanes iterate over these.
+
+// ShapeZipfHot concentrates updates on few hot keys.
+func ShapeZipfHot() WorkloadConfig {
+	return WorkloadConfig{Keys: 32, ZipfS: 1.5, ROFraction: 0.2}
+}
+
+// ShapeLargeValues writes 8 KiB values, stressing batching and the WAL.
+func ShapeLargeValues() WorkloadConfig {
+	return WorkloadConfig{Keys: 16, ValueSize: 8 << 10}
+}
+
+// ShapeRMWHeavy is nearly all read-modify-write updates.
+func ShapeRMWHeavy() WorkloadConfig {
+	return WorkloadConfig{Keys: 16, ROFraction: 0.05}
+}
+
+// ShapeLongTxns runs long multi-key transactions over a wider keyspace.
+func ShapeLongTxns() WorkloadConfig {
+	return WorkloadConfig{Keys: 64, MultiKey: 6, ROFraction: 0.3}
+}
+
+// tokenPrefix heads every workload-written value: "t<node>.<seq>|pad".
+func formatToken(id wire.TxnID, size int) []byte {
+	s := fmt.Sprintf("t%d.%d|", id.Node, id.Seq)
+	if pad := size - len(s); pad > 0 {
+		s += strings.Repeat("x", pad)
+	}
+	return []byte(s)
+}
+
+// parseToken recovers the writer identity from a value. A value that is
+// not a token reports ok=false — the caller records a sentinel writer the
+// checker will flag, because corrupt data must fail the lane loudly.
+func parseToken(val []byte) (wire.TxnID, bool) {
+	s := string(val)
+	if !strings.HasPrefix(s, "t") {
+		return wire.TxnID{}, false
+	}
+	if i := strings.IndexByte(s, '|'); i > 0 {
+		s = s[1:i]
+	} else {
+		return wire.TxnID{}, false
+	}
+	node, seq, ok := strings.Cut(s, ".")
+	if !ok {
+		return wire.TxnID{}, false
+	}
+	n, err1 := strconv.ParseInt(node, 10, 32)
+	q, err2 := strconv.ParseUint(seq, 10, 64)
+	if err1 != nil || err2 != nil {
+		return wire.TxnID{}, false
+	}
+	return wire.TxnID{Node: wire.NodeID(n), Seq: q}, true
+}
+
+// corruptWriter is recorded for an unparseable value: it is never a
+// recorded transaction, so the checker reports it as a phantom read.
+var corruptWriter = wire.TxnID{Node: -1, Seq: 1}
+
+// initNode is the fabricated node ID of the preload transaction; workers
+// use their worker index, so it can never collide.
+const initNode = 1 << 20
+
+// Workload is a running set of workers recording a client history.
+type Workload struct {
+	cfg     WorkloadConfig
+	history *checker.ClientHistory
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	keys    []string
+}
+
+// StartWorkload preloads the keyspace with tokened values through the
+// client protocol (one recorded init transaction), then starts the
+// workers. Stop ends the run and returns the history.
+func StartWorkload(c *Cluster, cfg WorkloadConfig) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	w := &Workload{cfg: cfg, history: checker.NewClientHistory()}
+	for i := 0; i < cfg.Keys; i++ {
+		w.keys = append(w.keys, fmt.Sprintf("wk%03d", i))
+	}
+
+	// Preload: every key gets the init transaction's token, so the first
+	// real read-modify-write of each key observes a parsable predecessor.
+	initID := wire.TxnID{Node: initNode, Seq: 1}
+	cl, err := client.Dial(c.ClientAddrs()[0], client.Options{
+		Conns: 1, RequestTimeout: cfg.RequestTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload preload dial: %w", err)
+	}
+	defer func() { _ = cl.Close() }()
+	obs := checker.ClientTxnObs{ID: initID, Outcome: checker.OutcomeCommitted, Start: time.Now()}
+	tx := cl.Begin(false)
+	for _, key := range w.keys {
+		// The read-modify-write discipline applies to the preload too: its
+		// recorded reads (genesis, on a fresh cluster) are what anchor every
+		// per-key version chain the checker walks.
+		val, found, err := tx.Read(key)
+		if err != nil {
+			return nil, fmt.Errorf("workload preload read %s: %w", key, err)
+		}
+		parent := wire.TxnID{}
+		if found {
+			if p, ok := parseToken(val); ok {
+				parent = p
+			} else {
+				parent = corruptWriter
+			}
+		}
+		obs.Reads = append(obs.Reads, checker.ReadObs{Key: key, Writer: parent})
+		if err := tx.Write(key, formatToken(initID, cfg.ValueSize)); err != nil {
+			return nil, fmt.Errorf("workload preload write %s: %w", key, err)
+		}
+		obs.Writes = append(obs.Writes, key)
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, fmt.Errorf("workload preload commit: %w", err)
+	}
+	obs.End = time.Now()
+	w.history.Add(obs)
+
+	addrs := c.ClientAddrs()
+	for i := 0; i < cfg.Workers; i++ {
+		w.wg.Add(1)
+		go w.worker(i, addrs[i%len(addrs)])
+	}
+	return w, nil
+}
+
+// History exposes the accumulating history (e.g. for progress logging).
+func (w *Workload) History() *checker.ClientHistory { return w.history }
+
+// Stop ends the workers and returns the recorded history. Workers finish
+// their in-flight transaction first, so call it after faults are healed
+// unless you want to wait out the request timeout.
+func (w *Workload) Stop() *checker.ClientHistory {
+	w.stop.Store(true)
+	w.wg.Wait()
+	return w.history
+}
+
+// worker runs transactions against one node until stopped, redialing after
+// errors. Attempt numbering never resets, so token identities stay unique
+// across redials.
+func (w *Workload) worker(idx int, addr string) {
+	defer w.wg.Done()
+	rng := rand.New(rand.NewSource(w.cfg.Seed + int64(idx)))
+	var zipf *rand.Zipf
+	if w.cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, w.cfg.ZipfS, 1, uint64(len(w.keys)-1))
+	}
+	pickKeys := func(n int) []string {
+		seen := make(map[int]bool, n)
+		var out []string
+		for len(out) < n && len(seen) < len(w.keys) {
+			var k int
+			if zipf != nil {
+				k = int(zipf.Uint64())
+			} else {
+				k = rng.Intn(len(w.keys))
+			}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, w.keys[k])
+			}
+		}
+		return out
+	}
+
+	var cl *client.Client
+	defer func() {
+		if cl != nil {
+			_ = cl.Close()
+		}
+	}()
+	var seq uint64
+	for !w.stop.Load() {
+		if cl == nil {
+			var err error
+			cl, err = client.Dial(addr, client.Options{
+				Conns:          1,
+				DialTimeout:    time.Second,
+				RequestTimeout: w.cfg.RequestTimeout,
+			})
+			if err != nil {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+		}
+		seq++
+		readOnly := rng.Float64() < w.cfg.ROFraction
+		obs, connBroken := w.runTxn(cl, wire.TxnID{Node: wire.NodeID(idx), Seq: seq}, readOnly, pickKeys(w.cfg.MultiKey))
+		w.history.Add(obs)
+		if connBroken {
+			// Timeout or drop: the session may hold a wedged transaction;
+			// drop the connection so the server cleans it up, and redial.
+			_ = cl.Close()
+			cl = nil
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+// runTxn executes one transaction attempt and returns its observation,
+// plus whether the connection should be considered broken. Update
+// transactions read-modify-write every key; read-only transactions just
+// read. Outcomes: nil commit = committed; ErrAborted from Commit = aborted;
+// any failure before Commit was issued = aborted too, because an
+// uncommitted transaction cannot have committed (the server aborts open
+// transactions when their session drops); any other Commit error = unknown.
+func (w *Workload) runTxn(cl *client.Client, id wire.TxnID, readOnly bool, keys []string) (checker.ClientTxnObs, bool) {
+	obs := checker.ClientTxnObs{ID: id, ReadOnly: readOnly, Start: time.Now()}
+	tx := cl.Begin(readOnly)
+	for _, key := range keys {
+		val, found, err := tx.Read(key)
+		if err != nil {
+			_ = tx.Abort()
+			obs.Outcome = checker.OutcomeAborted
+			obs.End = time.Now()
+			return obs, !errors.Is(err, kv.ErrAborted)
+		}
+		writer := wire.TxnID{} // genesis: key never written
+		if found {
+			if p, ok := parseToken(val); ok {
+				writer = p
+			} else {
+				writer = corruptWriter
+			}
+		}
+		obs.Reads = append(obs.Reads, checker.ReadObs{Key: key, Writer: writer})
+		if !readOnly {
+			if err := tx.Write(key, formatToken(id, w.cfg.ValueSize)); err != nil {
+				_ = tx.Abort()
+				obs.Outcome = checker.OutcomeAborted
+				obs.End = time.Now()
+				return obs, !errors.Is(err, kv.ErrAborted)
+			}
+			obs.Writes = append(obs.Writes, key)
+		}
+	}
+	err := tx.Commit()
+	obs.End = time.Now()
+	switch {
+	case err == nil:
+		obs.Outcome = checker.OutcomeCommitted
+	case errors.Is(err, kv.ErrAborted):
+		obs.Outcome = checker.OutcomeAborted
+	default:
+		obs.Outcome = checker.OutcomeUnknown
+	}
+	return obs, obs.Outcome == checker.OutcomeUnknown
+}

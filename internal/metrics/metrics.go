@@ -162,6 +162,21 @@ type Transport struct {
 	// Spills counts inbound dispatches that found every pool worker busy
 	// and fell back to a dedicated goroutine (the pool saturation signal).
 	Spills atomic.Uint64
+	// Dials counts outbound connection establishments; Redials the subset
+	// that replaced a connection previously discarded on a write error —
+	// i.e. link healings after a peer death or partition.
+	Dials   atomic.Uint64
+	Redials atomic.Uint64
+	// DiscardedConns counts outbound connections dropped after a failed
+	// write; LostBatches the envelope batches lost with them (plus batches
+	// dropped because the dial itself failed). Each lost batch is the
+	// "one-lost-batch window" of a link transition: its envelopes surface
+	// as RPC timeouts at the caller.
+	DiscardedConns atomic.Uint64
+	LostBatches    atomic.Uint64
+	// HealedWrites counts the first successful flush on a redialed
+	// connection — the moment a (peer, priority) link measurably healed.
+	HealedWrites atomic.Uint64
 	// FlushLatency observes enqueue→flush time per envelope batch: the
 	// price of coalescing.
 	FlushLatency Histogram
@@ -181,6 +196,11 @@ func (t *Transport) Merge(other *Transport) {
 	t.Flushes.Add(other.Flushes.Load())
 	t.Envelopes.Add(other.Envelopes.Load())
 	t.Spills.Add(other.Spills.Load())
+	t.Dials.Add(other.Dials.Load())
+	t.Redials.Add(other.Redials.Load())
+	t.DiscardedConns.Add(other.DiscardedConns.Load())
+	t.LostBatches.Add(other.LostBatches.Load())
+	t.HealedWrites.Add(other.HealedWrites.Load())
 	t.FlushLatency.Merge(&other.FlushLatency)
 }
 
@@ -190,6 +210,11 @@ type TransportSnapshot struct {
 	Envelopes         uint64            `json:"envelopes"`
 	Spills            uint64            `json:"spills"`
 	EnvelopesPerFlush float64           `json:"envelopes_per_flush"`
+	Dials             uint64            `json:"dials"`
+	Redials           uint64            `json:"redials"`
+	DiscardedConns    uint64            `json:"discarded_conns"`
+	LostBatches       uint64            `json:"lost_batches"`
+	HealedWrites      uint64            `json:"healed_writes"`
 	FlushLatency      HistogramSnapshot `json:"flush_latency"`
 }
 
@@ -200,14 +225,20 @@ func (t *Transport) Snapshot() TransportSnapshot {
 		Envelopes:         t.Envelopes.Load(),
 		Spills:            t.Spills.Load(),
 		EnvelopesPerFlush: t.EnvelopesPerFlush(),
+		Dials:             t.Dials.Load(),
+		Redials:           t.Redials.Load(),
+		DiscardedConns:    t.DiscardedConns.Load(),
+		LostBatches:       t.LostBatches.Load(),
+		HealedWrites:      t.HealedWrites.Load(),
 		FlushLatency:      t.FlushLatency.Snapshot(),
 	}
 }
 
 // String renders the snapshot compactly.
 func (s TransportSnapshot) String() string {
-	return fmt.Sprintf("flushes=%d envelopes=%d (%.2f/flush) spills=%d flushLat{%v}",
-		s.Flushes, s.Envelopes, s.EnvelopesPerFlush, s.Spills, s.FlushLatency)
+	return fmt.Sprintf("flushes=%d envelopes=%d (%.2f/flush) spills=%d dials=%d (redials %d) discardedConns=%d lostBatches=%d healedWrites=%d flushLat{%v}",
+		s.Flushes, s.Envelopes, s.EnvelopesPerFlush, s.Spills, s.Dials, s.Redials,
+		s.DiscardedConns, s.LostBatches, s.HealedWrites, s.FlushLatency)
 }
 
 // Contention aggregates lock- and wait-contention counters on the node hot
@@ -290,6 +321,7 @@ type Engine struct {
 	PreCommitHold atomic.Uint64 // update txns that actually waited in a queue
 	DrainTimeouts atomic.Uint64 // pre-commit waits that hit the safety cap
 	ExternalWaits atomic.Uint64 // completions delayed behind a parked writer
+	FreezeRetries atomic.Uint64 // freeze batches requeued after a failed delivery
 
 	// CommitRounds breaks down the update-commit round structure: how many
 	// drain stages rode a decide ack vs paid a standalone round trip, and
@@ -512,6 +544,17 @@ type Durability struct {
 	InDoubt          atomic.Uint64
 	InDoubtCommitted atomic.Uint64
 	InDoubtAborted   atomic.Uint64
+	// FreezeResolved counts decided-but-unfrozen transactions whose freeze
+	// vector was recovered from the coordinator at replay time;
+	// FreezeUnresolved those re-stamped at the local floor because the
+	// coordinator was unreachable (the documented conservatism).
+	FreezeResolved   atomic.Uint64
+	FreezeUnresolved atomic.Uint64
+	// ClockSyncPeers counts peers whose external-knowledge clock was folded
+	// in during recovery's clock catch-up round; ClockSyncMisses the peers
+	// that never answered within the per-peer retry budget.
+	ClockSyncPeers  atomic.Uint64
+	ClockSyncMisses atomic.Uint64
 }
 
 // RecordsPerSync returns the mean group-commit batch size so far (0 when
@@ -540,6 +583,10 @@ func (d *Durability) Merge(other *Durability) {
 	d.InDoubt.Add(other.InDoubt.Load())
 	d.InDoubtCommitted.Add(other.InDoubtCommitted.Load())
 	d.InDoubtAborted.Add(other.InDoubtAborted.Load())
+	d.FreezeResolved.Add(other.FreezeResolved.Load())
+	d.FreezeUnresolved.Add(other.FreezeUnresolved.Load())
+	d.ClockSyncPeers.Add(other.ClockSyncPeers.Load())
+	d.ClockSyncMisses.Add(other.ClockSyncMisses.Load())
 }
 
 // DurabilitySnapshot is a point-in-time copy for reporting.
@@ -559,6 +606,10 @@ type DurabilitySnapshot struct {
 	InDoubt           uint64            `json:"in_doubt"`
 	InDoubtCommitted  uint64            `json:"in_doubt_committed"`
 	InDoubtAborted    uint64            `json:"in_doubt_aborted"`
+	FreezeResolved    uint64            `json:"freeze_resolved"`
+	FreezeUnresolved  uint64            `json:"freeze_unresolved"`
+	ClockSyncPeers    uint64            `json:"clock_sync_peers"`
+	ClockSyncMisses   uint64            `json:"clock_sync_misses"`
 }
 
 // Snapshot copies the counters into a plain struct.
@@ -579,13 +630,19 @@ func (d *Durability) Snapshot() DurabilitySnapshot {
 		InDoubt:           d.InDoubt.Load(),
 		InDoubtCommitted:  d.InDoubtCommitted.Load(),
 		InDoubtAborted:    d.InDoubtAborted.Load(),
+		FreezeResolved:    d.FreezeResolved.Load(),
+		FreezeUnresolved:  d.FreezeUnresolved.Load(),
+		ClockSyncPeers:    d.ClockSyncPeers.Load(),
+		ClockSyncMisses:   d.ClockSyncMisses.Load(),
 	}
 }
 
 // String renders the snapshot compactly.
 func (s DurabilitySnapshot) String() string {
-	return fmt.Sprintf("walAppends=%d (%d B) syncs=%d (%.2f rec/sync, %d failed) syncLat{%v} checkpoints=%d (%d rec) replay=%d rec/%d commits inDoubt=%d (committed %d, aborted %d)",
+	return fmt.Sprintf("walAppends=%d (%d B) syncs=%d (%.2f rec/sync, %d failed) syncLat{%v} checkpoints=%d (%d rec) replay=%d rec/%d commits inDoubt=%d (committed %d, aborted %d) freezeResolve=%d/%d clockSync=%d/%d",
 		s.WalAppends, s.WalBytes, s.WalSyncs, s.RecordsPerSync, s.WalSyncFailures, s.SyncLatency,
 		s.Checkpoints, s.CheckpointRecords, s.ReplayRecords, s.ReplayedCommits,
-		s.InDoubt, s.InDoubtCommitted, s.InDoubtAborted)
+		s.InDoubt, s.InDoubtCommitted, s.InDoubtAborted,
+		s.FreezeResolved, s.FreezeResolved+s.FreezeUnresolved,
+		s.ClockSyncPeers, s.ClockSyncPeers+s.ClockSyncMisses)
 }

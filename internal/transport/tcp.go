@@ -310,7 +310,7 @@ func (e *tcpEndpoint) peer(to wire.NodeID) (*tcpPeer, error) {
 	}
 	p := &tcpPeer{}
 	for prio := range p.queues {
-		p.queues[prio] = newOutq(e.net.tune, &p.stats, newTCPFlusher(e, to, addr))
+		p.queues[prio] = newOutq(e.net.tune, &p.stats, newTCPFlusher(e, to, addr, &p.stats))
 	}
 	e.peers[to] = p
 	return p, nil
@@ -318,14 +318,19 @@ func (e *tcpEndpoint) peer(to wire.NodeID) (*tcpPeer, error) {
 
 // newTCPFlusher returns the flush function of one outbound stream: it dials
 // lazily, encodes the batch into a pooled buffer (single envelopes skip the
-// batch framing), and performs one length-prefixed write per flush.
-func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string) func([]wire.Envelope) {
+// batch framing), and performs one length-prefixed write per flush. Link
+// transitions are counted on the peer's stats so the post-restart healing
+// transient is observable: a dial that replaces a discarded connection is a
+// Redial, and the first successful flush on it is a HealedWrite.
+func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string, stats *metrics.Transport) func([]wire.Envelope) {
 	var c net.Conn
 	var w *bufio.Writer
+	var healing bool // a previous connection was discarded; next dial is a redial
 	return func(batch []wire.Envelope) {
 		if c == nil {
 			conn, err := net.Dial("tcp", addr)
 			if err != nil {
+				stats.LostBatches.Add(1)
 				if debugTCP {
 					log.Printf("tcpdebug: node %d dial %d (%s) failed: %v (batch of %d dropped)", e.id, to, addr, err, len(batch))
 				}
@@ -334,6 +339,10 @@ func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string) func([]wire.Enve
 			c = conn
 			w = bufio.NewWriterSize(c, 64<<10)
 			e.track(c)
+			stats.Dials.Add(1)
+			if healing {
+				stats.Redials.Add(1)
+			}
 			if debugTCP {
 				log.Printf("tcpdebug: node %d dialed %d (%s)", e.id, to, addr)
 			}
@@ -363,11 +372,19 @@ func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string) func([]wire.Enve
 			}
 		}
 		if err != nil {
+			stats.DiscardedConns.Add(1)
+			stats.LostBatches.Add(1)
+			healing = true
 			if debugTCP {
 				log.Printf("tcpdebug: node %d write to %d failed: %v (batch of %d lost)", e.id, to, err, len(batch))
 			}
 			_ = c.Close()
 			c, w = nil, nil
+			return
+		}
+		if healing {
+			healing = false
+			stats.HealedWrites.Add(1)
 		}
 	}
 }

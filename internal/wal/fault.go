@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Fault modes an Injector can impose on the log's write path. They model
+// the three disk misbehaviors the chaos harness injects: an fsync that
+// takes forever, a full disk, and a write torn mid-frame by a crash-shaped
+// failure.
+const (
+	// FaultSlowFsync adds Delay to every Sync while armed. Nothing fails;
+	// the group-commit path must absorb the latency.
+	FaultSlowFsync = "slow-fsync"
+	// FaultDiskFull fails writes with ENOSPC once After armed writes have
+	// passed. The first failure poisons the log by design (see the package
+	// comment); the node must stop accepting durable work.
+	FaultDiskFull = "disk-full"
+	// FaultTornWrite writes only half of the After-th armed write's buffer
+	// and then fails: a torn frame lands mid-segment, exactly the shape
+	// open-time tail truncation exists to repair after a restart.
+	FaultTornWrite = "torn-write"
+)
+
+// Injector is a fault-injecting implementation of the Options.OpenFile
+// seam: files opened through it behave normally until the fault arms, then
+// misbehave per Mode. Arming is dynamic — the fault is live while
+// TriggerPath exists (checked per operation) — so an external harness can
+// hand a *running* process a lying disk by touching one file in its data
+// directory, and heal it by removing the file. An empty TriggerPath means
+// always armed.
+//
+// One Injector is shared by every file the log opens through it, and the
+// After countdown counts armed writes across all of them.
+type Injector struct {
+	// Mode is one of FaultSlowFsync, FaultDiskFull, FaultTornWrite.
+	Mode string
+	// Delay is the per-Sync latency of FaultSlowFsync (default 50ms).
+	Delay time.Duration
+	// After is how many armed writes succeed before FaultDiskFull /
+	// FaultTornWrite fire (0 = the first armed write fails).
+	After int
+	// TriggerPath arms the fault while the file exists; empty = always on.
+	TriggerPath string
+
+	armedWrites atomic.Int64
+}
+
+// ParseFault parses a fault spec of the form
+//
+//	mode[:key=value]...
+//
+// e.g. "slow-fsync:delay=25ms", "disk-full", "torn-write:after=3" — the
+// format of the SSS_WAL_FAULT environment variable sss-server accepts.
+// trigger becomes the injector's TriggerPath.
+func ParseFault(spec, trigger string) (*Injector, error) {
+	parts := strings.Split(spec, ":")
+	inj := &Injector{Mode: parts[0], TriggerPath: trigger}
+	switch inj.Mode {
+	case FaultSlowFsync:
+		inj.Delay = 50 * time.Millisecond
+	case FaultDiskFull, FaultTornWrite:
+	default:
+		return nil, fmt.Errorf("wal: unknown fault mode %q", parts[0])
+	}
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("wal: fault option %q is not key=value", kv)
+		}
+		switch k {
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("wal: fault delay: %w", err)
+			}
+			inj.Delay = d
+		case "after":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("wal: fault after=%q must be a non-negative integer", v)
+			}
+			inj.After = n
+		default:
+			return nil, fmt.Errorf("wal: unknown fault option %q", k)
+		}
+	}
+	return inj, nil
+}
+
+// OpenFile implements the Options.OpenFile seam.
+func (inj *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inj: inj}, nil
+}
+
+// armed reports whether the fault is currently live.
+func (inj *Injector) armed() bool {
+	if inj.TriggerPath == "" {
+		return true
+	}
+	_, err := os.Stat(inj.TriggerPath)
+	return err == nil
+}
+
+// fire counts one armed write and reports whether the fault fires on it.
+// Once the countdown is exhausted every later armed write fires too.
+func (inj *Injector) fire() bool {
+	return inj.armedWrites.Add(1) > int64(inj.After)
+}
+
+// faultFile wraps a real *os.File with the injector's misbehavior.
+type faultFile struct {
+	f   *os.File
+	inj *Injector
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if !ff.inj.armed() {
+		return ff.f.Write(p)
+	}
+	switch ff.inj.Mode {
+	case FaultDiskFull:
+		if ff.inj.fire() {
+			return 0, fmt.Errorf("wal: injected disk full: %w", syscall.ENOSPC)
+		}
+	case FaultTornWrite:
+		if ff.inj.fire() {
+			n := len(p) / 2
+			if n > 0 {
+				// Deliberately ignore the underlying result: the injected
+				// verdict is "torn", whatever the disk managed.
+				_, _ = ff.f.Write(p[:n])
+			}
+			return n, fmt.Errorf("wal: injected torn write (%d of %d bytes)", n, len(p))
+		}
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.inj.Mode == FaultSlowFsync && ff.inj.armed() {
+		time.Sleep(ff.inj.Delay)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error                                 { return ff.f.Close() }
+func (ff *faultFile) Truncate(size int64) error                    { return ff.f.Truncate(size) }
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) { return ff.f.Seek(offset, whence) }
+func (ff *faultFile) Stat() (os.FileInfo, error)                   { return ff.f.Stat() }

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/sss-paper/sss/internal/wire"
+)
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(*Injector) bool
+	}{
+		{spec: "slow-fsync", check: func(i *Injector) bool {
+			return i.Mode == FaultSlowFsync && i.Delay == 50*time.Millisecond
+		}},
+		{spec: "slow-fsync:delay=5ms", check: func(i *Injector) bool {
+			return i.Delay == 5*time.Millisecond
+		}},
+		{spec: "disk-full", check: func(i *Injector) bool {
+			return i.Mode == FaultDiskFull && i.After == 0
+		}},
+		{spec: "disk-full:after=3", check: func(i *Injector) bool { return i.After == 3 }},
+		{spec: "torn-write:after=1", check: func(i *Injector) bool {
+			return i.Mode == FaultTornWrite && i.After == 1
+		}},
+		{spec: "melt-cpu", wantErr: true},
+		{spec: "disk-full:after=-1", wantErr: true},
+		{spec: "disk-full:after", wantErr: true},
+		{spec: "slow-fsync:delay=soon", wantErr: true},
+		{spec: "slow-fsync:color=red", wantErr: true},
+	}
+	for _, tc := range cases {
+		inj, err := ParseFault(tc.spec, "/tmp/trigger")
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseFault(%q): want error, got %+v", tc.spec, inj)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", tc.spec, err)
+			continue
+		}
+		if inj.TriggerPath != "/tmp/trigger" {
+			t.Errorf("ParseFault(%q): trigger not carried through", tc.spec)
+		}
+		if !tc.check(inj) {
+			t.Errorf("ParseFault(%q): wrong fields: %+v", tc.spec, inj)
+		}
+	}
+}
+
+// openFaultLog opens a log in a fresh dir whose files all route through an
+// injector armed by dir/FAULT.
+func openFaultLog(t *testing.T, spec string) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	trigger := filepath.Join(dir, "FAULT")
+	inj, err := ParseFault(spec, trigger)
+	if err != nil {
+		t.Fatalf("ParseFault: %v", err)
+	}
+	l, err := Open(dir, Options{OpenFile: inj.OpenFile})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, trigger
+}
+
+func arm(t *testing.T, trigger string) {
+	t.Helper()
+	if err := os.WriteFile(trigger, nil, 0o644); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+}
+
+func appendRec(l *Log, seq uint64) {
+	l.Append(&Record{Type: RecPrepare, Txn: wire.TxnID{Node: 1, Seq: seq}, Key: "k",
+		Writes: []wire.KV{{Key: "k", Val: []byte("v")}}})
+}
+
+// TestFaultTriggerArming is the error-sequencing core: writes succeed while
+// the trigger file is absent, fail once it appears, and the failure latches
+// (the log stays poisoned even after the trigger is removed — a disarm
+// never un-poisons; only a restart does).
+func TestFaultTriggerArming(t *testing.T) {
+	l, trigger := openFaultLog(t, "disk-full")
+	appendRec(l, 1)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("unarmed sync failed: %v", err)
+	}
+
+	arm(t, trigger)
+	appendRec(l, 2)
+	err := l.Sync()
+	if err == nil {
+		t.Fatal("armed disk-full sync succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC in chain, got %v", err)
+	}
+
+	if rmErr := os.Remove(trigger); rmErr != nil {
+		t.Fatalf("disarm: %v", rmErr)
+	}
+	appendRec(l, 3)
+	if err2 := l.Sync(); !errors.Is(err2, syscall.ENOSPC) {
+		t.Fatalf("poison did not latch across disarm: %v", err2)
+	}
+	_ = l.Close()
+}
+
+func TestFaultDiskFullAfterCountdown(t *testing.T) {
+	l, trigger := openFaultLog(t, "disk-full:after=2")
+	arm(t, trigger)
+	// Two armed writes pass, the third fails.
+	for seq := uint64(1); seq <= 2; seq++ {
+		appendRec(l, seq)
+		if err := l.Sync(); err != nil {
+			t.Fatalf("write %d within countdown failed: %v", seq, err)
+		}
+	}
+	appendRec(l, 3)
+	if err := l.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("third armed write: want ENOSPC, got %v", err)
+	}
+	_ = l.Close()
+}
+
+// TestFaultTornWriteTruncatedOnReopen drives the full disk-fault story: a
+// torn write poisons the running log, and a reopen (the restart) truncates
+// the half frame so replay sees exactly the records that were durable.
+func TestFaultTornWriteTruncatedOnReopen(t *testing.T) {
+	l, trigger := openFaultLog(t, "torn-write")
+	dir := l.Dir()
+	appendRec(l, 1)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("unarmed sync failed: %v", err)
+	}
+
+	arm(t, trigger)
+	appendRec(l, 2)
+	err := l.Sync()
+	if err == nil || !strings.Contains(err.Error(), "torn write") {
+		t.Fatalf("armed torn-write sync: want torn write error, got %v", err)
+	}
+	_ = l.Close() // returns the latched error; releases the dir lock
+
+	// The torn half-frame must be on disk — otherwise the test is vacuous.
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	valid, err := validPrefix(segs[len(segs)-1])
+	if err != nil {
+		t.Fatalf("validPrefix: %v", err)
+	}
+	if fi, err := os.Stat(segs[len(segs)-1]); err != nil || fi.Size() <= valid {
+		t.Fatalf("expected torn bytes past valid prefix %d (size %v, err %v)", valid, fi, err)
+	}
+
+	if err := os.Remove(trigger); err != nil {
+		t.Fatalf("disarm: %v", err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	var seqs []uint64
+	if err := l2.Replay(func(r *Record) error {
+		seqs = append(seqs, r.Txn.Seq)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after torn tail: %v", err)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("replay: want exactly the durable record [1], got %v", seqs)
+	}
+}
+
+func TestFaultSlowFsync(t *testing.T) {
+	l, trigger := openFaultLog(t, "slow-fsync:delay=80ms")
+	defer l.Close()
+
+	appendRec(l, 1)
+	start := time.Now()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("unarmed sync: %v", err)
+	}
+	if d := time.Since(start); d > 60*time.Millisecond {
+		t.Fatalf("unarmed sync took %v; delay applied while disarmed", d)
+	}
+
+	arm(t, trigger)
+	appendRec(l, 2)
+	start = time.Now()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("armed slow sync: %v", err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("armed sync took %v; want >= 80ms injected fsync latency", d)
+	}
+
+	if err := os.Remove(trigger); err != nil {
+		t.Fatalf("disarm: %v", err)
+	}
+	appendRec(l, 3)
+	start = time.Now()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("disarmed sync: %v", err)
+	}
+	if d := time.Since(start); d > 60*time.Millisecond {
+		t.Fatalf("disarmed sync took %v; slow-fsync did not heal", d)
+	}
+}

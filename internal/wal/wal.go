@@ -65,6 +65,19 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrLocked reports that another live process holds the data directory.
 var ErrLocked = errors.New("wal: data directory locked by another process")
 
+// File is the write-side surface the log needs from a segment or checkpoint
+// file. *os.File satisfies it; a fault-injecting implementation (see
+// fault.go) satisfies it with a lying disk, which is how the chaos harness
+// exercises the poison/recovery paths against real processes.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+}
+
 // Options tunes a Log.
 type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
@@ -75,6 +88,19 @@ type Options struct {
 	NoSync bool
 	// Stats receives durability counters; nil means a private sink.
 	Stats *metrics.Durability
+	// OpenFile, when non-nil, opens every segment and checkpoint file the
+	// log writes through (reads go straight to the OS — faults are a
+	// write-side concern). nil means os.OpenFile. The seam exists for
+	// fault injection: see Injector.
+	OpenFile func(name string, flag int, perm os.FileMode) (File, error)
+}
+
+// openFile applies the Options.OpenFile seam with the os.OpenFile default.
+func (o Options) openFile(name string, flag int, perm os.FileMode) (File, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(name, flag, perm)
+	}
+	return os.OpenFile(name, flag, perm)
 }
 
 // Log is a per-node write-ahead log rooted at one data directory. All
@@ -87,15 +113,15 @@ type Log struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	f         *os.File // active segment
-	segSeq    uint64   // active segment's sequence number
-	size      int64    // active segment's size on disk
-	buf       []byte   // encoded frames not yet written
-	bufRecs   uint64   // records in buf
-	appendSeq uint64   // records appended ever
-	syncedSeq uint64   // records made durable
-	syncing   bool     // a Sync owner is mid write+fsync
-	failed    error    // sticky first write/fsync/rotate error; poisons the log
+	f         File   // active segment
+	segSeq    uint64 // active segment's sequence number
+	size      int64  // active segment's size on disk
+	buf       []byte // encoded frames not yet written
+	bufRecs   uint64 // records in buf
+	appendSeq uint64 // records appended ever
+	syncedSeq uint64 // records made durable
+	syncing   bool   // a Sync owner is mid write+fsync
+	failed    error  // sticky first write/fsync/rotate error; poisons the log
 	closed    bool
 }
 
@@ -156,7 +182,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.release()
 		return nil, err
 	}
-	f, err := os.OpenFile(l.segPath(last), os.O_RDWR, 0o644)
+	f, err := opts.openFile(l.segPath(last), os.O_RDWR, 0o644)
 	if err != nil {
 		l.release()
 		return nil, err
@@ -217,7 +243,7 @@ func (l *Log) listSegments() ([]uint64, error) {
 }
 
 func (l *Log) openSegment(seq uint64) error {
-	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.opts.openFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -481,7 +507,7 @@ func (l *Log) WriteCheckpoint(fill func(emit func(*Record) error) error) error {
 	l.mu.Unlock()
 
 	tmp := filepath.Join(l.dir, checkpointName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := l.opts.openFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}

@@ -173,6 +173,10 @@ func appendBody(buf []byte, msg Msg) ([]byte, error) {
 		buf = appendBool(buf, m.Commit)
 		buf = m.VC.AppendBinary(buf)
 		buf = m.FreezeVC.AppendBinary(buf)
+	case *ClockSync:
+		// No body.
+	case *ClockSyncReply:
+		buf = m.Ext.AppendBinary(buf)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message type %T", msg)
 	}
@@ -343,6 +347,10 @@ func decodeBody(c *cursor, t MsgType) (Msg, error) {
 	case MsgTxnStatusReply:
 		return &TxnStatusReply{Txn: c.txnID(), Known: c.bool(), Commit: c.bool(),
 			VC: c.vc(), FreezeVC: c.vc()}, c.err
+	case MsgClockSync:
+		return &ClockSync{}, c.err
+	case MsgClockSyncReply:
+		return &ClockSyncReply{Ext: c.vc()}, c.err
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -64,6 +64,12 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		}},
 		{From: 0, RID: 10, Msg: &RococoCommit{Txn: TxnID{0, 2}, Seq: 11}},
 		{From: 1, RID: 10, Resp: true, Msg: &RococoCommitReply{Txn: TxnID{0, 2}, Vals: [][]byte{[]byte("z")}}},
+		{From: 2, RID: 15, Msg: &TxnStatus{Txn: TxnID{1, 6}}},
+		{From: 1, RID: 15, Resp: true, Msg: &TxnStatusReply{
+			Txn: TxnID{1, 6}, Known: true, Commit: true, VC: vc, FreezeVC: vclock.VC{4, 8, 2},
+		}},
+		{From: 2, RID: 16, Msg: &ClockSync{}},
+		{From: 0, RID: 16, Resp: true, Msg: &ClockSyncReply{Ext: vc}},
 	}
 	for _, env := range envs {
 		got := roundTrip(t, env)

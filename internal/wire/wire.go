@@ -88,6 +88,8 @@ const (
 	MsgExtBatchAck
 	MsgTxnStatus
 	MsgTxnStatusReply
+	MsgClockSync
+	MsgClockSyncReply
 )
 
 // Priority is the transport service class of a message, lower is served
@@ -120,6 +122,7 @@ func PriorityOf(t MsgType) Priority {
 	case MsgPrepare, MsgVote, MsgDecide, MsgDecideAck,
 		MsgWaitExternal, MsgWaitExternalAck,
 		MsgTxnStatus, MsgTxnStatusReply,
+		MsgClockSync, MsgClockSyncReply,
 		MsgRococoCommit, MsgRococoCommitReply, MsgWalterPropagate:
 		return PrioCommit
 	default:
@@ -435,6 +438,20 @@ type TxnStatusReply struct {
 	FreezeVC vclock.VC
 }
 
+// ClockSync asks a peer for its externally-committed knowledge clock. A
+// recovering node sends it to every peer as the last recovery phase: clock
+// knowledge acquired through reads and votes is volatile, so a restarted
+// node's durable state alone can under-approximate what it already served
+// to clients before the crash. Folding every live peer's knowledge closes
+// that gap — it is equivalent to performing one read from each peer before
+// accepting traffic.
+type ClockSync struct{}
+
+// ClockSyncReply answers ClockSync with the peer's external-knowledge clock.
+type ClockSyncReply struct {
+	Ext vclock.VC
+}
+
 // Compile-time interface checks.
 var (
 	_ Msg = (*ReadRequest)(nil)
@@ -455,6 +472,8 @@ var (
 	_ Msg = (*RococoCommitReply)(nil)
 	_ Msg = (*ExtBatch)(nil)
 	_ Msg = (*ExtBatchAck)(nil)
+	_ Msg = (*ClockSync)(nil)
+	_ Msg = (*ClockSyncReply)(nil)
 	_ Msg = (*TxnStatus)(nil)
 	_ Msg = (*TxnStatusReply)(nil)
 )
@@ -518,3 +537,9 @@ func (*TxnStatus) Type() MsgType { return MsgTxnStatus }
 
 // Type implements Msg.
 func (*TxnStatusReply) Type() MsgType { return MsgTxnStatusReply }
+
+// Type implements Msg.
+func (*ClockSync) Type() MsgType { return MsgClockSync }
+
+// Type implements Msg.
+func (*ClockSyncReply) Type() MsgType { return MsgClockSyncReply }
