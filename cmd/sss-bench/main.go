@@ -178,8 +178,12 @@ type benchPoint struct {
 	Transport         metrics.TransportSnapshot    `json:"transport"`
 	Contention        metrics.ContentionSnapshot   `json:"contention"`
 	CommitRounds      metrics.CommitRoundsSnapshot `json:"commit_rounds"`
-	ClientNet         *metrics.ClientNetSnapshot   `json:"client_net,omitempty"`
-	Durability        []string                     `json:"durability,omitempty"`
+	// EngineCounters is the aggregated scalar engine-counter dump; nil in
+	// tcp mode, where the counters live in the server processes and surface
+	// through their SIGTERM "engine:" log line instead.
+	EngineCounters *metrics.EngineCountersSnapshot `json:"engine_counters,omitempty"`
+	ClientNet      *metrics.ClientNetSnapshot      `json:"client_net,omitempty"`
+	Durability     []string                        `json:"durability,omitempty"`
 }
 
 // benchReport is the BENCH_<name>.json document: one figure's points plus
@@ -280,6 +284,7 @@ func point(rep *reporter, series string, eng sss.Engine, nodes, degree int, w yc
 			Transport:         net,
 			Contention:        res.Contention,
 			CommitRounds:      res.CommitRounds,
+			EngineCounters:    &res.EngineCounters,
 		})
 	}
 	return res

@@ -54,8 +54,10 @@ var (
 	dataDir  = flag.String("data-dir", "", "WAL/checkpoint directory; enables durability and crash recovery (must exist)")
 	ckptIntv = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval bounding WAL replay (0 disables; needs -data-dir)")
 
-	voteTimeout  = flag.Duration("vote-timeout", 0, "2PC vote collection timeout (0 = engine default)")
-	drainTimeout = flag.Duration("drain-timeout", 0, "pre-commit snapshot-queue drain timeout (0 = engine default)")
+	voteTimeout     = flag.Duration("vote-timeout", 0, "2PC vote collection timeout (0 = engine default)")
+	drainTimeout    = flag.Duration("drain-timeout", 0, "pre-commit snapshot-queue drain timeout (0 = engine default)")
+	freezeAckBudget = flag.Duration("freeze-ack-budget", 0, "how long the client ack is withheld while a freeze redelivers (0 = engine default 2×vote-timeout, negative disables)")
+	readerPark      = flag.Duration("reader-park", 0, "bound for read-only reads parking on decided-but-unstamped writers (0 = off)")
 
 	cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file on SIGINT/SIGTERM")
 	mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on SIGINT/SIGTERM")
@@ -92,7 +94,12 @@ func main() {
 		Workers:     *workers,
 	})
 	lookup := cluster.NewLookup(len(addrs), *degree)
-	cfg := engine.Config{VoteTimeout: *voteTimeout, DrainTimeout: *drainTimeout}
+	cfg := engine.Config{
+		VoteTimeout:     *voteTimeout,
+		DrainTimeout:    *drainTimeout,
+		FreezeAckBudget: *freezeAckBudget,
+		ReaderPark:      *readerPark,
+	}
 	var wlog *wal.Log
 	if *dataDir != "" {
 		walOpts := wal.Options{}
@@ -167,6 +174,8 @@ func main() {
 		<-sigs
 		log.Printf("shutting down: %s", srv.Metrics().Snapshot())
 		log.Printf("transport: %s", net_.Metrics().Snapshot())
+		log.Printf("engine: %s", node.Stats().CountersSnapshot())
+		log.Printf("contention: %s", node.Stats().Contention.Snapshot())
 		if wlog != nil {
 			log.Printf("durability: %s", node.Durability().Snapshot())
 		}

@@ -76,6 +76,11 @@ type Result struct {
 	// piggybacked vs standalone drain stages and the freeze/purge
 	// group-commit batching factors.
 	CommitRounds metrics.CommitRoundsSnapshot
+	// EngineCounters is the nodes' aggregated scalar counter dump — the
+	// same view the sss-server SIGTERM line prints. Carries the freeze-ack
+	// discipline counters (withheld/budget-expired) so bench snapshots
+	// record how often the ack-vs-stamp window was exercised.
+	EngineCounters metrics.EngineCountersSnapshot
 }
 
 // Run executes the workload against the given nodes and aggregates results.
@@ -169,6 +174,7 @@ func Run(nodes []Node, opts Options) Result {
 	res.DrainTimeouts = agg.DrainTimeouts.Load()
 	res.Contention = agg.Contention.Snapshot()
 	res.CommitRounds = agg.CommitRounds.Snapshot()
+	res.EngineCounters = agg.CountersSnapshot()
 	return res
 }
 
@@ -246,8 +252,14 @@ func aggregate(nodes []Node) *metrics.Engine {
 	out := &metrics.Engine{}
 	for _, nd := range nodes {
 		s := nd.Stats()
+		out.Commits.Add(s.Commits.Load())
+		out.Aborts.Add(s.Aborts.Load())
+		out.ReadOnlyRuns.Add(s.ReadOnlyRuns.Load())
 		out.ExternalWaits.Add(s.ExternalWaits.Load())
 		out.DrainTimeouts.Add(s.DrainTimeouts.Load())
+		out.FreezeRetries.Add(s.FreezeRetries.Load())
+		out.FreezeAckWithheld.Add(s.FreezeAckWithheld.Load())
+		out.FreezeAckBudgetExpired.Add(s.FreezeAckBudgetExpired.Load())
 		out.CommitLatency.Merge(&s.CommitLatency)
 		out.ReadOnlyLatency.Merge(&s.ReadOnlyLatency)
 		out.InternalLatency.Merge(&s.InternalLatency)

@@ -32,10 +32,14 @@ const maxExtBatch = 128
 
 // extItem is one queued external-commit order: a freeze (vc non-nil, done
 // signalled once the replica acked) or a purge (vc nil, done nil).
+// deadline, when non-zero, is the freeze-ack budget: until it passes, a
+// failed delivery requeues the item together with its waiter (the client
+// ack stays withheld); past it the waiter is released liveness-first.
 type extItem struct {
-	txn  wire.TxnID
-	vc   vclock.VC
-	done chan struct{}
+	txn      wire.TxnID
+	vc       vclock.VC
+	done     chan struct{}
+	deadline time.Time
 }
 
 // extQueue is the per-peer commit queue. Senders never block on the
@@ -77,6 +81,15 @@ func (q *extQueue) requeueFront(items []extItem) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
+		// Shutdown raced the redelivery: the queue will never drain again,
+		// so any waiter still riding the requeue (its ack withheld under
+		// the freeze-ack budget) must release here — same policy as the
+		// closing sender, which never drops a waiter.
+		for i := range items {
+			if items[i].done != nil {
+				close(items[i].done)
+			}
+		}
 		return
 	}
 	q.items = append(items, q.items...)
@@ -156,24 +169,44 @@ func (nd *Node) extSender(peer wire.NodeID, q *extQueue) {
 			cancel()
 			if err != nil {
 				nd.stats.DrainTimeouts.Add(1)
-				// The waiters below release regardless (the liveness
-				// tradeoff: a dead replica must not wedge the committer),
-				// but the freezes themselves are NOT abandonable: an
-				// unstamped version at one replica while another replica
-				// carries the stamp means replica-dependent read-only
-				// verdicts — a consistency hole, not a performance loss.
-				// Requeue them (waiter-less) at the queue front and back
-				// off; duplicates after an acked-but-timed-out delivery
-				// are absorbed by applyFreezeBatch's dedupe. Purges are
-				// advisory and can drop. A down replica generates no new
-				// freezes (its prepares fail), so the requeue set is
-				// bounded by the in-flight window at failure time.
+				// The freezes are NOT abandonable: an unstamped version at
+				// one replica while another replica carries the stamp means
+				// replica-dependent read-only verdicts — a consistency
+				// hole, not a performance loss. Requeue them at the queue
+				// front and back off; duplicates after an acked-but-timed-
+				// out delivery are absorbed by applyFreezeBatch's dedupe.
+				// Purges are advisory and can drop. A down replica
+				// generates no new freezes (its prepares fail), so the
+				// requeue set is bounded by the in-flight window at
+				// failure time.
+				//
+				// Waiter policy is the freeze-ack discipline: within the
+				// item's FreezeAckBudget deadline the waiter rides the
+				// requeue — the committer's client ack stays withheld, so
+				// the ack cannot outrun this replica's stamp across an
+				// outage shorter than the budget. Past the deadline (or
+				// with the budget disabled) the waiter releases
+				// liveness-first: a dead replica must not wedge the
+				// committer forever, and the expiry is counted.
 				nd.stats.FreezeRetries.Add(1)
+				now := time.Now()
 				retry := make([]extItem, 0, len(batch))
-				for _, it := range batch {
-					if it.vc != nil {
-						retry = append(retry, extItem{txn: it.txn, vc: it.vc})
+				for i := range batch {
+					it := &batch[i]
+					if it.vc == nil {
+						continue
 					}
+					keep := extItem{txn: it.txn, vc: it.vc}
+					if it.done != nil && !it.deadline.IsZero() {
+						if now.Before(it.deadline) {
+							keep.done, keep.deadline = it.done, it.deadline
+							it.done = nil // withheld: not released below
+							nd.stats.FreezeAckWithheld.Add(1)
+						} else {
+							nd.stats.FreezeAckBudgetExpired.Add(1)
+						}
+					}
+					retry = append(retry, keep)
 				}
 				q.requeueFront(retry)
 				msg = &wire.ExtBatch{} // in flight somewhere; abandon
@@ -203,9 +236,13 @@ func (nd *Node) extSender(peer wire.NodeID, q *extQueue) {
 // returns one completion channel per replica, in writeNodes order. dst is
 // reused caller scratch.
 func (nd *Node) enqueueFreezes(txn wire.TxnID, writeNodes []wire.NodeID, freezeVC vclock.VC, dst []chan struct{}) []chan struct{} {
+	var deadline time.Time
+	if nd.cfg.FreezeAckBudget > 0 {
+		deadline = time.Now().Add(nd.cfg.FreezeAckBudget)
+	}
 	for _, w := range writeNodes {
 		done := make(chan struct{})
-		if !nd.extq[w].enqueue(extItem{txn: txn, vc: freezeVC, done: done}) {
+		if !nd.extq[w].enqueue(extItem{txn: txn, vc: freezeVC, done: done, deadline: deadline}) {
 			close(done) // shutting down; don't park the committer
 		}
 		dst = append(dst, done)

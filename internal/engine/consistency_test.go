@@ -10,6 +10,7 @@ import (
 
 	"github.com/sss-paper/sss/internal/checker"
 	"github.com/sss-paper/sss/internal/cluster"
+	"github.com/sss-paper/sss/internal/transport"
 	"github.com/sss-paper/sss/kv"
 )
 
@@ -18,8 +19,17 @@ import (
 // DSG (wr/ww/rw + real-time edges) is acyclic — the paper's §IV criterion.
 func runCheckedWorkload(t *testing.T, nNodes, degree, nKeys, clients, txnsPerClient int, readPct int, seed int64) {
 	t.Helper()
+	runCheckedWorkloadNet(t, nNodes, degree, nKeys, clients, txnsPerClient, readPct, seed,
+		transport.InProcConfig{DisableLatency: true})
+}
+
+// runCheckedWorkloadNet is runCheckedWorkload over an explicit network
+// configuration — the hook for transport-seam suites (the
+// duplicate-delivery amplifier proving per-message-kind idempotency).
+func runCheckedWorkloadNet(t *testing.T, nNodes, degree, nKeys, clients, txnsPerClient int, readPct int, seed int64, netCfg transport.InProcConfig) {
+	t.Helper()
 	// Large version chains so the checker sees the full ww order.
-	nodes := newCluster(t, nNodes, degree, Config{MaxVersions: 1 << 20})
+	nodes := newClusterNet(t, nNodes, degree, Config{MaxVersions: 1 << 20}, netCfg)
 	keys := make([]string, nKeys)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key%d", i)

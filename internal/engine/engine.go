@@ -106,6 +106,30 @@ type Config struct {
 	// uncontended decide round; genuinely contended commits are caught by
 	// the replica-side reader signals regardless of elapsed time.
 	PiggybackSkewBudget time.Duration
+	// FreezeAckBudget, when positive, applies the freeze-ack discipline:
+	// after a freeze delivery fails, the coordinator keeps withholding the
+	// committer's client ack — requeueing the freeze together with its
+	// waiter — until the budget elapses, and only then degrades to the
+	// liveness-first release (waiter closed, waiter-less redelivery,
+	// FreezeAckBudgetExpired counted). A replica outage shorter than the
+	// budget can no longer let a client ack outrun that replica's stamp.
+	// Negative disables (always release on first failure, the pre-budget
+	// behavior); 0 selects the default of 2×VoteTimeout — one full retry
+	// cycle beyond the failed call.
+	FreezeAckBudget time.Duration
+	// ReaderPark, when positive, is the mvstore-side alternative to the
+	// freeze-ack budget: a read-only read whose verdict would
+	// blanket-exclude a decided-but-unstamped writer parks (bounded by
+	// this wait) for the writer's stamp instead of deciding blind.
+	// Differs from AnnounceWait in scope: it applies to any W entry the
+	// reader would exclude with no stamp recorded — drained or not — so it
+	// also covers the freeze-redelivery window where the drain completed
+	// elsewhere but this replica's stamp is still in a retry queue. Off
+	// (0) by default: measured in the disk-full A/B it converts the
+	// ack-outrun anomaly into reader-side latency on every contended read
+	// rather than a coordinator-side wait on the rare failed freeze — see
+	// docs/CONSISTENCY.md for the numbers.
+	ReaderPark time.Duration
 	// NLogCapacity bounds the applied-commit log (0 = default).
 	NLogCapacity int
 	// MaxVersions bounds per-key version chains (0 = default).
@@ -145,6 +169,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PiggybackSkewBudget <= 0 {
 		c.PiggybackSkewBudget = 4 * time.Millisecond
+	}
+	if c.FreezeAckBudget == 0 {
+		c.FreezeAckBudget = 2 * c.VoteTimeout
 	}
 	return c
 }

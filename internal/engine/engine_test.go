@@ -17,7 +17,15 @@ import (
 // newCluster assembles n SSS nodes over a zero-latency simulated network.
 func newCluster(t *testing.T, n, degree int, cfg Config) []*Node {
 	t.Helper()
-	net := transport.NewInProc(transport.InProcConfig{DisableLatency: true})
+	return newClusterNet(t, n, degree, cfg, transport.InProcConfig{DisableLatency: true})
+}
+
+// newClusterNet is newCluster with an explicit network configuration, for
+// suites that run under a transport seam (duplicate-delivery amplifier,
+// lossy-link filters).
+func newClusterNet(t *testing.T, n, degree int, cfg Config, netCfg transport.InProcConfig) []*Node {
+	t.Helper()
+	net := transport.NewInProc(netCfg)
 	lookup := cluster.NewLookup(n, degree)
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {

@@ -161,7 +161,7 @@ func (nd *Node) handleRead(from wire.NodeID, rid uint64, m *wire.ReadRequest) {
 	// The first-contact probe is done with sc.excluded; hand it to ReadRO
 	// (cleared) as the scratch for the authoritative queue-exclusion set.
 	clear(sc.excluded)
-	ro := nd.store.ReadRO(m.Txn, m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC, sc.excluded, roWait)
+	ro := nd.store.ReadRO(m.Txn, m.Key, nd.idx, nd.n, stampBound, m.HasRead, maxVC, seen, beforeIDs, m.ObsVC, sc.excluded, roWait, nd.cfg.ReaderPark)
 	res := ro.Res
 	before := sid
 	lower(ro.Skipped)
@@ -293,10 +293,33 @@ func (nd *Node) roAdmission(key string) {
 	}
 }
 
+// prepareInFlight is a sentinel parked in stripe.pending between a Prepare
+// handler's duplicate check and its real registration. A Decide that
+// consumes it treats the transaction as never-prepared (vote-timeout
+// aborts race the prepare this way), and the prepare handler walks away
+// when its claim is gone.
+var prepareInFlight = &participantTxn{}
+
 // handlePrepare implements the participant side of 2PC prepare
 // (Algorithm 2 lines 1–15): lock, validate, propose a commit vector clock,
 // and enqueue the transaction as pending in the CommitQ.
 func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
+	// At-least-once dedup: the transport may redeliver a Prepare after a
+	// link transition. Re-running one would re-lock the write set and
+	// register a second CommitQ entry that no Decide will ever resolve —
+	// wedging the commit log and every read behind its frontier. Claim the
+	// transaction's pending slot atomically; a copy that finds it claimed,
+	// or finds the decide-side tombstone, drops silently (the surviving
+	// copy's Vote reply carries this rid, and the RPC layer dedups replies).
+	st := nd.stripeOf(m.Txn)
+	st.mu.Lock()
+	if _, dup := st.pending[m.Txn]; dup || st.tombstonedLocked(m.Txn) {
+		st.mu.Unlock()
+		return
+	}
+	st.pending[m.Txn] = prepareInFlight
+	st.mu.Unlock()
+
 	var localReads []string
 	var localFrom []wire.TxnID
 	for i, k := range m.ReadKeys {
@@ -318,6 +341,11 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 		ok = false
 	}
 	if !ok {
+		st.mu.Lock()
+		if st.pending[m.Txn] == prepareInFlight {
+			delete(st.pending, m.Txn)
+		}
+		st.mu.Unlock()
 		_ = nd.rpc.Reply(from, rid, &wire.Vote{Txn: m.Txn, VC: m.VC, OK: false})
 		return
 	}
@@ -330,8 +358,16 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 		applied:   make(chan struct{}),
 	}
 	writeReplica := len(localWrites) > 0
-	st := nd.stripeOf(m.Txn)
 	st.mu.Lock()
+	if st.pending[m.Txn] != prepareInFlight {
+		// A Decide consumed the in-flight claim while this handler held the
+		// locks (a vote-timeout abort outran the prepare): the transaction
+		// is already decided here, and registering it in the CommitQ now
+		// would wedge the log behind an entry no Decide will resolve.
+		st.mu.Unlock()
+		nd.locks.ReleaseAll(m.Txn, localWrites, localReads)
+		return
+	}
 	st.pending[m.Txn] = pt
 	if nd.wal != nil && writeReplica {
 		st.walTxns[m.Txn] = &walTxn{writes: m.Writes, deps: m.Deps}
@@ -417,13 +453,31 @@ func (nd *Node) localKeys(keys []string) []string {
 func (nd *Node) handleDecide(from wire.NodeID, rid uint64, m *wire.Decide) {
 	st := nd.stripeOf(m.Txn)
 	st.mu.Lock()
+	if st.tombstonedLocked(m.Txn) {
+		// A redelivered Decide: the first copy consumed the pending entry and
+		// left the tombstone. Drop with NO reply — the copies share a request
+		// id, and a degenerate ack from this path could win the RPC layer's
+		// reply dedup against the real copy's drain-carrying ack, making the
+		// coordinator freeze against parked state the real copy has not
+		// registered yet (the freeze would no-op and strand the W entry
+		// drained-but-never-flagged, wedging every later drain behind it).
+		st.mu.Unlock()
+		return
+	}
 	pt := st.pending[m.Txn]
 	delete(st.pending, m.Txn)
+	// Tombstone the transaction in the same critical section that consumes
+	// its pending entry: a Prepare or Decide redelivered after this point
+	// (the transport's at-least-once resend, or a slow copy of the original)
+	// finds the tombstone and drops instead of re-running a decided
+	// transaction's protocol.
+	st.tombstoneLocked(m.Txn, time.Now())
 	st.mu.Unlock()
 
-	if pt == nil {
-		// Either a duplicate decide or a prepare that failed locally (the
-		// coordinator aborts on any failed vote, so only aborts land here).
+	if pt == nil || pt == prepareInFlight {
+		// A prepare that failed locally (the coordinator aborts on any failed
+		// vote, so only aborts land here), or a vote-timeout abort that
+		// outran its still-in-flight prepare.
 		_ = nd.rpc.Reply(from, rid, &wire.DecideAck{Txn: m.Txn})
 		return
 	}

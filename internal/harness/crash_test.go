@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,7 +29,12 @@ func TestCrashRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Start(Config{Nodes: 3, Replication: 2, BinPath: bin, Durable: true})
+	// Short vote budget against a long drain budget: the post-restart
+	// latency gate below distinguishes a read leg healed by the link's
+	// retained-frame resend (VoteTimeout-scale) from one burning its whole
+	// read budget on a stale conn (DrainTimeout-scale).
+	c, err := Start(Config{Nodes: 3, Replication: 2, BinPath: bin, Durable: true,
+		ExtraArgs: []string{"-vote-timeout", "250ms", "-drain-timeout", "10s"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,12 +63,13 @@ func TestCrashRestartRecovery(t *testing.T) {
 		}
 	}
 	for k := 0; k < 8; k++ {
-		key := fmt.Sprintf("crash%d", k)
-		if _, _, err := init.Read(key); err != nil {
-			t.Fatal(err)
-		}
-		if err := init.Write(key, []byte(fmt.Sprintf("v%d", k))); err != nil {
-			t.Fatal(err)
+		for _, key := range []string{fmt.Sprintf("crash%d", k), fmt.Sprintf("stale%d", k)} {
+			if _, _, err := init.Read(key); err != nil {
+				t.Fatal(err)
+			}
+			if err := init.Write(key, []byte(fmt.Sprintf("v%d", k))); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := init.Commit(); err != nil {
@@ -169,6 +176,34 @@ func TestCrashRestartRecovery(t *testing.T) {
 		t.Fatalf("restarted node logged no recovery:\n%s", c.LogTail(0, 2048))
 	}
 
+	// Stale-link latency gate: the survivors' conns to the victim went
+	// stale at the kill, and before link liveness a request written into
+	// one was silently lost — the leg burned its whole read budget
+	// (DrainTimeout-scale) before falling back. With pings and
+	// retained-frame resend the lost frame is rewritten on the healed
+	// conn, so no single post-restart transaction leg may sleep past
+	// VoteTimeout scale. 2.5s = 10 vote timeouts, a quarter of the drain
+	// budget: generous for a loaded CI runner, impossible for a burn.
+	staleDeadline := time.Now().Add(3 * time.Second)
+	var worst time.Duration
+	for k := 0; time.Now().Before(staleDeadline); k++ {
+		key := fmt.Sprintf("stale%d", k%8) // spread: some legs certainly hit the victim
+		t0 := time.Now()
+		tx := cl2.Begin(false)
+		if _, _, err := tx.Read(key); err == nil && tx.Write(key, []byte("stale-probe")) == nil {
+			_ = tx.Commit() // aborts are fine; a stall is not
+		} else {
+			_ = tx.Abort()
+		}
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2500*time.Millisecond {
+		t.Fatalf("post-restart update leg took %v — DrainTimeout-scale burn on a stale link (want VoteTimeout scale)", worst)
+	}
+	t.Logf("post-restart worst update leg: %v", worst)
+
 	// The rejoined node serves coherent snapshots itself...
 	cl0 := dial(0)
 	defer func() { _ = cl0.Close() }()
@@ -236,6 +271,33 @@ func TestCrashRestartRecovery(t *testing.T) {
 			t.Fatalf("node %d dead at end of test:\n%s", i, c.LogTail(i, 2048))
 		}
 	}
+
+	// SIGTERM the cluster (logs stay readable; the deferred Stop still
+	// cleans up) and harvest the transport dumps: the kill must have cost
+	// the survivors in-flight batches on their stale conns to the victim,
+	// and the retained-frame resend path must have rewritten them — a zero
+	// here means the one-lost-batch window was never closed, only missed.
+	if err := c.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resendRe := regexp.MustCompile(`batchResends=(\d+)`)
+	var resends uint64
+	for i := 0; i < 3; i++ {
+		tail := c.LogTail(i, 1<<16)
+		m := resendRe.FindStringSubmatch(tail)
+		if m == nil {
+			t.Fatalf("node %d dumped no transport counters:\n%s", i, c.LogTail(i, 2048))
+		}
+		n, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("node %d transport dump: %v", i, err)
+		}
+		resends += n
+	}
+	if resends == 0 {
+		t.Fatal("kill-and-restart exercised no batch resends: the lost in-flight frames were dropped, not redelivered")
+	}
+	t.Logf("restart smoke: batchResends=%d across the cluster", resends)
 }
 
 // TestCrashRestartNemesis runs the scheduled crash-restart fault driver

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -57,16 +58,24 @@ func runFaultLane(t *testing.T, lane faultLane) {
 		t.Setenv("SSS_WAL_FAULT", lane.walFault)
 		lane.durable = true
 	}
+	// Short 2PC budgets keep fault-window stalls inside the lane's
+	// runtime; the read-budget split (engine/txn.go) is what lets
+	// reads fall back to live replicas within one vote slice.
+	// SSS_LANE_EXTRA_ARGS appends extra sss-server flags for config A/B
+	// experiments (e.g. "-freeze-ack-budget -1ns -reader-park 500ms" to
+	// swap the freeze-ack discipline for reader parking) without editing
+	// the committed lane defaults.
+	extraArgs := []string{"-vote-timeout", "250ms", "-drain-timeout", "3s"}
+	if extra := os.Getenv("SSS_LANE_EXTRA_ARGS"); extra != "" {
+		extraArgs = append(extraArgs, strings.Fields(extra)...)
+	}
 	c, err := Start(Config{
 		Nodes:           3,
 		Replication:     2,
 		BinPath:         bin,
 		Durable:         lane.durable,
 		PeerLinkControl: lane.linkControl,
-		// Short 2PC budgets keep fault-window stalls inside the lane's
-		// runtime; the read-budget split (engine/txn.go) is what lets
-		// reads fall back to live replicas within one vote slice.
-		ExtraArgs: []string{"-vote-timeout", "250ms", "-drain-timeout", "3s"},
+		ExtraArgs:       extraArgs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -234,6 +243,26 @@ func TestFaultLaneDiskFull(t *testing.T) {
 		rounds:       3,
 		hold:         1500 * time.Millisecond,
 		walFault:     "disk-full",
+		minCommitted: 20,
+	})
+}
+
+// TestFaultLaneRestartStorm is the restart-storm lane: SIGKILL-and-restart
+// every durable node round-robin under the client-history workload. Each
+// kill strands the victim's in-flight peer batches (the one-lost-batch
+// window per stale TCP conn) and may leave client-acked freezes queued for
+// redelivery; the checker demands the history stays externally consistent
+// anyway — the retained-frame resend and the freeze-ack discipline are what
+// close those windows, and this lane holds them to zero tolerated cycles.
+func TestFaultLaneRestartStorm(t *testing.T) {
+	stressLane(t)
+	runFaultLane(t, faultLane{
+		fault:        &KillRestart{},
+		rounds:       3,
+		hold:         time.Second,
+		gap:          2 * time.Second,
+		durable:      true,
+		shape:        ShapeZipfHot(),
 		minCommitted: 20,
 	})
 }

@@ -177,6 +177,17 @@ type Transport struct {
 	// HealedWrites counts the first successful flush on a redialed
 	// connection — the moment a (peer, priority) link measurably healed.
 	HealedWrites atomic.Uint64
+	// BatchResends counts retained batch frames rewritten on a fresh
+	// connection after a write error — the at-least-once path that closes
+	// the one-lost-batch window. Each resend is one frame that would have
+	// been silently swallowed by a dying connection.
+	BatchResends atomic.Uint64
+	// PingsSent counts application-level liveness probes written on idle
+	// connections; PeerUnresponsive counts probes whose write failed —
+	// each one is a stale conn detected by the pinger (and discarded)
+	// before a real batch paid for the discovery.
+	PingsSent        atomic.Uint64
+	PeerUnresponsive atomic.Uint64
 	// FlushLatency observes enqueue→flush time per envelope batch: the
 	// price of coalescing.
 	FlushLatency Histogram
@@ -201,6 +212,9 @@ func (t *Transport) Merge(other *Transport) {
 	t.DiscardedConns.Add(other.DiscardedConns.Load())
 	t.LostBatches.Add(other.LostBatches.Load())
 	t.HealedWrites.Add(other.HealedWrites.Load())
+	t.BatchResends.Add(other.BatchResends.Load())
+	t.PingsSent.Add(other.PingsSent.Load())
+	t.PeerUnresponsive.Add(other.PeerUnresponsive.Load())
 	t.FlushLatency.Merge(&other.FlushLatency)
 }
 
@@ -215,6 +229,9 @@ type TransportSnapshot struct {
 	DiscardedConns    uint64            `json:"discarded_conns"`
 	LostBatches       uint64            `json:"lost_batches"`
 	HealedWrites      uint64            `json:"healed_writes"`
+	BatchResends      uint64            `json:"batch_resends"`
+	PingsSent         uint64            `json:"pings_sent"`
+	PeerUnresponsive  uint64            `json:"peer_unresponsive"`
 	FlushLatency      HistogramSnapshot `json:"flush_latency"`
 }
 
@@ -230,15 +247,19 @@ func (t *Transport) Snapshot() TransportSnapshot {
 		DiscardedConns:    t.DiscardedConns.Load(),
 		LostBatches:       t.LostBatches.Load(),
 		HealedWrites:      t.HealedWrites.Load(),
+		BatchResends:      t.BatchResends.Load(),
+		PingsSent:         t.PingsSent.Load(),
+		PeerUnresponsive:  t.PeerUnresponsive.Load(),
 		FlushLatency:      t.FlushLatency.Snapshot(),
 	}
 }
 
 // String renders the snapshot compactly.
 func (s TransportSnapshot) String() string {
-	return fmt.Sprintf("flushes=%d envelopes=%d (%.2f/flush) spills=%d dials=%d (redials %d) discardedConns=%d lostBatches=%d healedWrites=%d flushLat{%v}",
+	return fmt.Sprintf("flushes=%d envelopes=%d (%.2f/flush) spills=%d dials=%d (redials %d) discardedConns=%d lostBatches=%d healedWrites=%d batchResends=%d pingsSent=%d peerUnresponsive=%d flushLat{%v}",
 		s.Flushes, s.Envelopes, s.EnvelopesPerFlush, s.Spills, s.Dials, s.Redials,
-		s.DiscardedConns, s.LostBatches, s.HealedWrites, s.FlushLatency)
+		s.DiscardedConns, s.LostBatches, s.HealedWrites, s.BatchResends, s.PingsSent,
+		s.PeerUnresponsive, s.FlushLatency)
 }
 
 // Contention aggregates lock- and wait-contention counters on the node hot
@@ -267,6 +288,12 @@ type Contention struct {
 	// blanket exclusion.
 	AnnounceWaits        atomic.Uint64
 	AnnounceWaitTimeouts atomic.Uint64
+	// ReaderParks counts read-only reads that parked (Config.ReaderPark)
+	// on a decided-but-unstamped writer — any unstamped W entry, drained
+	// or not — instead of blanket-excluding it blind;
+	// ReaderParkTimeouts counts parks that expired without the stamp.
+	ReaderParks        atomic.Uint64
+	ReaderParkTimeouts atomic.Uint64
 }
 
 // Merge folds other's counters into c.
@@ -278,6 +305,8 @@ func (c *Contention) Merge(other *Contention) {
 	c.SQWaitTimeouts.Add(other.SQWaitTimeouts.Load())
 	c.AnnounceWaits.Add(other.AnnounceWaits.Load())
 	c.AnnounceWaitTimeouts.Add(other.AnnounceWaitTimeouts.Load())
+	c.ReaderParks.Add(other.ReaderParks.Load())
+	c.ReaderParkTimeouts.Add(other.ReaderParkTimeouts.Load())
 }
 
 // ContentionSnapshot is a point-in-time copy of the contention counters.
@@ -289,6 +318,8 @@ type ContentionSnapshot struct {
 	SQWaitTimeouts       uint64 `json:"sq_wait_timeouts"`
 	AnnounceWaits        uint64 `json:"announce_waits"`
 	AnnounceWaitTimeouts uint64 `json:"announce_wait_timeouts"`
+	ReaderParks          uint64 `json:"reader_parks"`
+	ReaderParkTimeouts   uint64 `json:"reader_park_timeouts"`
 }
 
 // Snapshot copies the counters into a plain struct.
@@ -301,14 +332,16 @@ func (c *Contention) Snapshot() ContentionSnapshot {
 		SQWaitTimeouts:       c.SQWaitTimeouts.Load(),
 		AnnounceWaits:        c.AnnounceWaits.Load(),
 		AnnounceWaitTimeouts: c.AnnounceWaitTimeouts.Load(),
+		ReaderParks:          c.ReaderParks.Load(),
+		ReaderParkTimeouts:   c.ReaderParkTimeouts.Load(),
 	}
 }
 
 // String renders the snapshot compactly.
 func (s ContentionSnapshot) String() string {
-	return fmt.Sprintf("logWaits=%d wakeups=%d timeouts=%d sqWaits=%d sqTimeouts=%d announceWaits=%d announceTimeouts=%d",
+	return fmt.Sprintf("logWaits=%d wakeups=%d timeouts=%d sqWaits=%d sqTimeouts=%d announceWaits=%d announceTimeouts=%d readerParks=%d readerParkTimeouts=%d",
 		s.LogWaits, s.LogWakeups, s.LogWaitTimeouts, s.SQWaits, s.SQWaitTimeouts,
-		s.AnnounceWaits, s.AnnounceWaitTimeouts)
+		s.AnnounceWaits, s.AnnounceWaitTimeouts, s.ReaderParks, s.ReaderParkTimeouts)
 }
 
 // Engine aggregates the per-engine counters the evaluation reports.
@@ -322,6 +355,15 @@ type Engine struct {
 	DrainTimeouts atomic.Uint64 // pre-commit waits that hit the safety cap
 	ExternalWaits atomic.Uint64 // completions delayed behind a parked writer
 	FreezeRetries atomic.Uint64 // freeze batches requeued after a failed delivery
+
+	// FreezeAckWithheld counts freeze waiters carried — client ack still
+	// withheld — across a failed delivery into a redelivery attempt (the
+	// FreezeAckBudget discipline); FreezeAckBudgetExpired counts waiters
+	// finally released liveness-first because the budget ran out with the
+	// replica still unreachable (each one reopens the ack-vs-stamp window
+	// the budget normally closes).
+	FreezeAckWithheld      atomic.Uint64
+	FreezeAckBudgetExpired atomic.Uint64
 
 	// CommitRounds breaks down the update-commit round structure: how many
 	// drain stages rode a decide ack vs paid a standalone round trip, and
@@ -395,6 +437,39 @@ func (c *CommitRounds) Snapshot() CommitRoundsSnapshot {
 func (s CommitRoundsSnapshot) String() string {
 	return fmt.Sprintf("drainsPiggy=%d drainRounds=%d freezeBatches=%d (%.2f txn/batch) purges=%d",
 		s.DrainsPiggybacked, s.DrainRounds, s.FreezeBatches, s.FreezesPerBatch, s.PurgeBatchTxns)
+}
+
+// EngineCountersSnapshot is the compact counter view for operational dumps
+// (the sss-server SIGTERM line) and bench-point harvesting: the scalar
+// engine counters without the latency histograms.
+type EngineCountersSnapshot struct {
+	Commits                uint64 `json:"commits"`
+	Aborts                 uint64 `json:"aborts"`
+	ReadOnlyRuns           uint64 `json:"read_only_runs"`
+	DrainTimeouts          uint64 `json:"drain_timeouts"`
+	FreezeRetries          uint64 `json:"freeze_retries"`
+	FreezeAckWithheld      uint64 `json:"freeze_ack_withheld"`
+	FreezeAckBudgetExpired uint64 `json:"freeze_ack_budget_expired"`
+}
+
+// CountersSnapshot copies the scalar counters into a plain struct.
+func (e *Engine) CountersSnapshot() EngineCountersSnapshot {
+	return EngineCountersSnapshot{
+		Commits:                e.Commits.Load(),
+		Aborts:                 e.Aborts.Load(),
+		ReadOnlyRuns:           e.ReadOnlyRuns.Load(),
+		DrainTimeouts:          e.DrainTimeouts.Load(),
+		FreezeRetries:          e.FreezeRetries.Load(),
+		FreezeAckWithheld:      e.FreezeAckWithheld.Load(),
+		FreezeAckBudgetExpired: e.FreezeAckBudgetExpired.Load(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s EngineCountersSnapshot) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d readOnly=%d drainTimeouts=%d freezeRetries=%d freezeAckWithheld=%d freezeAckBudgetExpired=%d",
+		s.Commits, s.Aborts, s.ReadOnlyRuns, s.DrainTimeouts, s.FreezeRetries,
+		s.FreezeAckWithheld, s.FreezeAckBudgetExpired)
 }
 
 // AbortRate returns aborts / (commits + aborts) for update transactions.

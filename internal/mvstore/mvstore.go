@@ -481,11 +481,19 @@ type RORead struct {
 // announceWait bounds the drained-writer announcement wait performed
 // atomically before the verdicts (see SQAwaitAnnounce): a verdict is never
 // made blind on a writer inside its drain-barrier → freeze-arrival gap.
-func (s *Store) ReadRO(reader wire.TxnID, key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC, scratchEx map[wire.TxnID]struct{}, announceWait time.Duration) RORead {
+//
+// parkWait, when positive, is the broader reader-park prototype
+// (Config.ReaderPark): the verdict additionally waits — bounded — on ANY
+// decided-but-unstamped writer, covering the freeze-redelivery window the
+// announce wait cannot see (drain not yet marked here, or stamp stuck in a
+// coordinator retry queue).
+func (s *Store) ReadRO(reader wire.TxnID, key string, self, n int, stampBound uint64, hasRead []bool, maxVC vclock.VC, seen, beforeIDs map[wire.TxnID]struct{}, obsVC vclock.VC, scratchEx map[wire.TxnID]struct{}, announceWait, parkWait time.Duration) RORead {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if announceWait > 0 {
+	if parkWait > 0 {
+		s.awaitStampLocked(sh, key, seen, beforeIDs, parkWait, true)
+	} else if announceWait > 0 {
 		s.awaitAnnounceLocked(sh, key, seen, beforeIDs, announceWait)
 	}
 	ks := sh.keys[key]
@@ -757,6 +765,19 @@ func (s *Store) SQAwaitAnnounce(key string, seen, before map[wire.TxnID]struct{}
 // the shard lock (ReadRO runs it immediately before building the exclusion
 // set, so no verdict is ever made blind on a drained writer).
 func (s *Store) awaitAnnounceLocked(sh *shard, key string, seen, before map[wire.TxnID]struct{}, timeout time.Duration) bool {
+	return s.awaitStampLocked(sh, key, seen, before, timeout, false)
+}
+
+// awaitStampLocked blocks while key's queue holds an unstamped W entry the
+// verdict would otherwise blanket-exclude blind. With anyUnstamped false it
+// is the announce wait: only writers past their drain barrier (freeze
+// broadcast one round trip away) gate. With anyUnstamped true it is the
+// reader-park prototype (Config.ReaderPark): every decided-but-unstamped
+// writer gates — including one whose freeze is sitting in a coordinator's
+// redelivery queue after a failed delivery, the window where a client ack
+// could otherwise outrun this replica's stamp. Bounded by timeout; on
+// expiry the caller proceeds with blanket exclusion, counted.
+func (s *Store) awaitStampLocked(sh *shard, key string, seen, before map[wire.TxnID]struct{}, timeout time.Duration, anyUnstamped bool) bool {
 	var deadline time.Time
 	waited := false
 	for {
@@ -764,7 +785,7 @@ func (s *Store) awaitAnnounceLocked(sh *shard, key string, seen, before map[wire
 		if ks := sh.keys[key]; ks != nil {
 			for i := range ks.sqW {
 				e := &ks.sqW[i]
-				if !e.drained || e.stamp != 0 {
+				if (!e.drained && !anyUnstamped) || e.stamp != 0 {
 					continue
 				}
 				if _, ok := seen[e.Txn]; ok {
@@ -790,13 +811,21 @@ func (s *Store) awaitAnnounceLocked(sh *shard, key string, seen, before map[wire
 			waited = true
 			deadline = time.Now().Add(timeout)
 			if s.cstats != nil {
-				s.cstats.AnnounceWaits.Add(1)
+				if anyUnstamped {
+					s.cstats.ReaderParks.Add(1)
+				} else {
+					s.cstats.AnnounceWaits.Add(1)
+				}
 			}
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			if s.cstats != nil {
-				s.cstats.AnnounceWaitTimeouts.Add(1)
+				if anyUnstamped {
+					s.cstats.ReaderParkTimeouts.Add(1)
+				} else {
+					s.cstats.AnnounceWaitTimeouts.Add(1)
+				}
 			}
 			return false
 		}

@@ -330,7 +330,7 @@ func TestSQStampVerdictIgnoresFlag(t *testing.T) {
 			s.SQFlagWrite("k", w, 7)
 		}
 		// Cut covers the stamp: include (and report the writer pending).
-		got := s.ReadRO(reader, "k", 0, 1, 7, nil, vclock.VC{9}, nil, nil, nil, nil, 0)
+		got := s.ReadRO(reader, "k", 0, 1, 7, nil, vclock.VC{9}, nil, nil, nil, nil, 0, 0)
 		if !got.Res.Exists || got.Res.Writer != w {
 			t.Fatalf("flagged=%v: stamped writer beneath the cut must be included, got %+v", flagged, got.Res)
 		}
@@ -338,7 +338,7 @@ func TestSQStampVerdictIgnoresFlag(t *testing.T) {
 			t.Fatalf("flagged=%v: included freezing writer must be pending", flagged)
 		}
 		// Cut beneath the stamp: exclude, stickily.
-		got = s.ReadRO(reader, "k", 0, 1, 6, nil, vclock.VC{9}, nil, nil, nil, nil, 0)
+		got = s.ReadRO(reader, "k", 0, 1, 6, nil, vclock.VC{9}, nil, nil, nil, nil, 0, 0)
 		if got.Res.Exists && got.Res.Writer == w {
 			t.Fatalf("flagged=%v: stamped writer above the cut must be excluded", flagged)
 		}

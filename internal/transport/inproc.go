@@ -29,6 +29,19 @@ type InProcConfig struct {
 	// Tuning configures the batching runtime (flush window, batch size,
 	// inbound worker pool).
 	Tuning Tuning
+	// DuplicateDeliveries, when true, delivers every remote message twice
+	// — the resend-amplifier seam: engine suites run under it to prove
+	// every peer wire message kind tolerates the at-least-once delivery
+	// the TCP transport's resend path introduces (docs/ARCHITECTURE.md,
+	// idempotency table).
+	DuplicateDeliveries bool
+	// Filter, when non-nil, is consulted for every remote message before
+	// scheduling: returning false drops it silently, the deterministic
+	// lossy-link seam for puppet fault tests (e.g. starving one replica
+	// of its freeze batch). Tests carry their own state in the closure;
+	// it is called without transport locks held beyond the send path's
+	// read lock.
+	Filter func(from, to wire.NodeID, env wire.Envelope) bool
 }
 
 // DefaultLatency mirrors the ~20µs message delivery of the paper's
@@ -180,17 +193,27 @@ func (n *InProc) send(from, to wire.NodeID, env wire.Envelope) error {
 		n.deliver(dst, env)
 		return nil
 	}
+	if n.cfg.Filter != nil && !n.cfg.Filter(from, to, env) {
+		n.mu.RUnlock()
+		return nil // dropped by the test seam, as a lossy link would
+	}
+	copies := 1
+	if n.cfg.DuplicateDeliveries {
+		copies = 2
+	}
 	key := [2]wire.NodeID{from, to}
 	pipe := n.pipes[key]
 	// The wg.Add must happen while the read lock still excludes Close():
 	// Close sets closed under the write lock before it calls wg.Wait, so an
 	// Add here can never race a Wait that already saw a zero counter.
-	n.wg.Add(1)
+	n.wg.Add(copies)
 	n.mu.RUnlock()
 	if pipe == nil {
 		pipe = n.makePipe(key, dst)
 		if pipe == nil {
-			n.wg.Done()
+			for i := 0; i < copies; i++ {
+				n.wg.Done()
+			}
 			return ErrClosed
 		}
 	}
@@ -204,11 +227,42 @@ func (n *InProc) send(from, to wire.NodeID, env wire.Envelope) error {
 			n.jitterMu.Unlock()
 		}
 	}
-	if !pipe.enqueue(env, delay) {
-		n.wg.Done()
-		return ErrClosed
+	for i := 0; i < copies; i++ {
+		send := env
+		if copies > 1 {
+			// Neither copy may alias the caller's message: senders
+			// legitimately reuse message objects once the first delivery's
+			// reply returns (e.g. the engine's ExtBatch), and whichever copy
+			// replies first releases the sender while the other copy's
+			// handler may still be reading. A TCP resend delivers a fresh
+			// decode of the retained frame, not the original pointer; model
+			// that with a codec round trip per copy.
+			clone, err := cloneEnvelope(env)
+			if err != nil {
+				n.wg.Done()
+				continue
+			}
+			send = clone
+		}
+		if !pipe.enqueue(send, delay) {
+			for ; i < copies; i++ {
+				n.wg.Done()
+			}
+			return ErrClosed
+		}
 	}
 	return nil
+}
+
+// cloneEnvelope round-trips env through the wire codec, yielding a copy
+// sharing no memory with the original — the same object identity a resent
+// TCP frame produces at the receiver.
+func cloneEnvelope(env wire.Envelope) (wire.Envelope, error) {
+	buf, err := wire.EncodeEnvelope(nil, env)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	return wire.DecodeEnvelope(buf)
 }
 
 func (n *InProc) makePipe(key [2]wire.NodeID, dst *inprocNode) *inprocPipe {

@@ -42,6 +42,16 @@ type Tuning struct {
 	// handlers, not for CPU parallelism. Messages beyond it spill to
 	// dedicated goroutines, preserving the handler-may-block contract.
 	Workers int
+	// PingInterval bounds how long an idle sender leaves its connection
+	// unprobed: back ends with liveness support (TCP) write a lightweight
+	// zero-length frame after this much idle time, so a dead connection
+	// is detected and discarded within ~2 intervals instead of costing
+	// the next real batch (default 250ms — VoteTimeout scale, so a read
+	// leg never burns its budget on a stale link; negative disables).
+	PingInterval time.Duration
+	// tickFn is the idle-timer source, overridable by same-package tests
+	// to drive the pinger with a fake clock. nil selects time.After.
+	tickFn func(time.Duration) <-chan time.Time
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -56,6 +66,12 @@ func (t Tuning) withDefaults() Tuning {
 		if t.Workers > 256 {
 			t.Workers = 256
 		}
+	}
+	if t.PingInterval == 0 {
+		t.PingInterval = 250 * time.Millisecond
+	}
+	if t.tickFn == nil {
+		t.tickFn = time.After
 	}
 	return t
 }
@@ -127,7 +143,9 @@ func (d *dispatcher) stop() {
 
 // outq is a per-peer outbound queue drained by one sender goroutine that
 // coalesces queued envelopes into batches handed to flush. flush owns the
-// batch slice only for the duration of the call.
+// batch slice only for the duration of the call. ping, when non-nil, is
+// invoked on the sender goroutine after PingInterval of idle — the
+// liveness hook for back ends with real connections.
 type outq struct {
 	mu      sync.Mutex
 	buf     []queued
@@ -135,6 +153,7 @@ type outq struct {
 	wake    chan struct{}
 	tune    Tuning
 	flush   func(batch []wire.Envelope)
+	ping    func()
 	stats   *metrics.Transport
 	drained sync.WaitGroup // the sender goroutine
 }
@@ -144,12 +163,14 @@ type queued struct {
 	at  time.Time
 }
 
-// newOutq starts the sender goroutine.
-func newOutq(tune Tuning, stats *metrics.Transport, flush func([]wire.Envelope)) *outq {
+// newOutq starts the sender goroutine. ping may be nil (no liveness
+// probing; in-proc back ends have no connections to probe).
+func newOutq(tune Tuning, stats *metrics.Transport, flush func([]wire.Envelope), ping func()) *outq {
 	q := &outq{
 		wake:  make(chan struct{}, 1),
 		tune:  tune,
 		flush: flush,
+		ping:  ping,
 		stats: stats,
 	}
 	q.drained.Add(1)
@@ -185,7 +206,15 @@ func (q *outq) sender() {
 				return
 			}
 			q.mu.Unlock()
-			<-q.wake
+			if q.ping != nil && q.tune.PingInterval > 0 {
+				select {
+				case <-q.wake:
+				case <-q.tune.tickFn(q.tune.PingInterval):
+					q.ping()
+				}
+			} else {
+				<-q.wake
+			}
 			q.mu.Lock()
 		}
 		full := len(q.buf) >= q.tune.MaxBatch

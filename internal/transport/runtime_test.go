@@ -192,7 +192,7 @@ func TestOutqDrainsOnClose(t *testing.T) {
 		mu.Lock()
 		flushed = append(flushed, batch...)
 		mu.Unlock()
-	})
+	}, nil)
 	for i := 0; i < 10; i++ {
 		if !q.enqueue(wire.Envelope{Msg: &wire.Remove{Txn: wire.TxnID{Seq: uint64(i)}}}) {
 			t.Fatalf("enqueue %d refused", i)

@@ -220,6 +220,9 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		if err != nil {
 			return
 		}
+		if size == 0 {
+			continue // liveness ping: no payload, nothing to dispatch
+		}
 		if size > maxFrame {
 			return
 		}
@@ -310,82 +313,241 @@ func (e *tcpEndpoint) peer(to wire.NodeID) (*tcpPeer, error) {
 	}
 	p := &tcpPeer{}
 	for prio := range p.queues {
-		p.queues[prio] = newOutq(e.net.tune, &p.stats, newTCPFlusher(e, to, addr, &p.stats))
+		st := newTCPStream(e, to, addr, &p.stats)
+		p.queues[prio] = newOutq(e.net.tune, &p.stats, st.flush, st.ping)
 	}
 	e.peers[to] = p
 	return p, nil
 }
 
-// newTCPFlusher returns the flush function of one outbound stream: it dials
-// lazily, encodes the batch into a pooled buffer (single envelopes skip the
-// batch framing), and performs one length-prefixed write per flush. Link
-// transitions are counted on the peer's stats so the post-restart healing
-// transient is observable: a dial that replaces a discarded connection is a
-// Redial, and the first successful flush on it is a HealedWrite.
-func newTCPFlusher(e *tcpEndpoint, to wire.NodeID, addr string, stats *metrics.Transport) func([]wire.Envelope) {
-	var c net.Conn
-	var w *bufio.Writer
-	var healing bool // a previous connection was discarded; next dial is a redial
-	return func(batch []wire.Envelope) {
-		if c == nil {
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				stats.LostBatches.Add(1)
-				if debugTCP {
-					log.Printf("tcpdebug: node %d dial %d (%s) failed: %v (batch of %d dropped)", e.id, to, addr, err, len(batch))
-				}
-				return // dropped; peers retry via RPC timeouts
+// retainTail bounds the encoded frames a stream keeps *after* writing them:
+// on a loopback peer death the write that actually loses data is the one
+// that "succeeds" into the dead connection's kernel buffer — only the next
+// write errors — so closing the one-lost-batch window requires rewriting
+// not just the errored frame but the frames written immediately before it.
+const retainTail = 2
+
+// retainPending bounds the frames a stream holds for resend while its peer
+// is unreachable; beyond it the oldest frames are dropped and counted as
+// LostBatches (their envelopes surface as RPC timeouts, as before).
+const retainPending = 8
+
+// maxDialsPerSend bounds redials inside one send attempt so a peer that
+// accepts connections but resets every write cannot spin the sender.
+const maxDialsPerSend = 2
+
+// pingFrame is the liveness probe: a zero-length frame (uvarint size 0,
+// no payload). readLoop skips it; its only job is to force the kernel to
+// surface a dead connection as a write error on an otherwise idle link,
+// so the stale conn is discarded before a real batch pays for the
+// discovery.
+var pingFrame = []byte{0}
+
+// tcpFrame is one encoded, retained batch frame. bp is the pooled encode
+// buffer (*bp is the frame); it returns to the pool only when the frame
+// rotates out of the tail or is dropped from pending.
+type tcpFrame struct {
+	bp     *[]byte
+	resend bool // written before, on a connection that later died
+}
+
+// tcpStream is one outbound (peer, priority) stream: a lazily-dialed
+// connection plus the retained-frame state of the at-least-once resend
+// path. All methods run on the stream's single sender goroutine, so no
+// locking is needed. Resends rewrite the retained encoded bytes — never
+// re-encode from Msg pointers, which senders may mutate or reuse after
+// the original Send returned.
+type tcpStream struct {
+	e     *tcpEndpoint
+	to    wire.NodeID
+	addr  string
+	stats *metrics.Transport
+
+	c       net.Conn
+	w       *bufio.Writer
+	healing bool // a previous connection was discarded; next dial is a redial
+
+	// pending holds encoded frames not yet written on a live connection
+	// (new traffic, plus tail frames re-queued after a write error),
+	// oldest first. tail holds the last retainTail frames written on the
+	// current connection — the ones a dying kernel buffer may still
+	// swallow.
+	pending []tcpFrame
+	tail    []tcpFrame
+}
+
+func newTCPStream(e *tcpEndpoint, to wire.NodeID, addr string, stats *metrics.Transport) *tcpStream {
+	return &tcpStream{e: e, to: to, addr: addr, stats: stats}
+}
+
+// flush encodes batch into a retained pooled buffer (single envelopes skip
+// the batch framing) and drives the send loop. Link transitions are counted
+// on the peer's stats so the post-restart healing transient is observable:
+// a dial that replaces a discarded connection is a Redial, the first
+// successful write on it is a HealedWrite, and every retained frame
+// rewritten after a write error is a BatchResend.
+func (s *tcpStream) flush(batch []wire.Envelope) {
+	bp := wire.GetBuf()
+	var err error
+	frame := *bp
+	if len(batch) == 1 {
+		frame, err = wire.EncodeEnvelope(frame, batch[0])
+	} else {
+		frame, err = wire.EncodeBatch(frame, batch)
+	}
+	*bp = frame
+	if err != nil {
+		wire.PutBuf(bp)
+		return
+	}
+	s.pending = append(s.pending, tcpFrame{bp: bp})
+	s.sendPending()
+}
+
+// sendPending writes queued frames in order, redialing and rewriting
+// retained frames after write errors. On dial failure the frames stay
+// pending (bounded by retainPending) and are retried by the next flush or
+// ping — which is what makes a batch queued across a peer's death arrive
+// after its restart instead of vanishing.
+func (s *tcpStream) sendPending() {
+	dials := 0
+	for len(s.pending) > 0 {
+		if s.c == nil {
+			if dials >= maxDialsPerSend || !s.dial() {
+				s.dropOverflow()
+				return
 			}
-			c = conn
-			w = bufio.NewWriterSize(c, 64<<10)
-			e.track(c)
-			stats.Dials.Add(1)
-			if healing {
-				stats.Redials.Add(1)
-			}
+			dials++
+		}
+		f := s.pending[0]
+		if err := s.writeFrame(*f.bp); err != nil {
 			if debugTCP {
-				log.Printf("tcpdebug: node %d dialed %d (%s)", e.id, to, addr)
+				log.Printf("tcpdebug: node %d write to %d failed: %v (frame retained for resend)", s.e.id, s.to, err)
 			}
+			s.discardConn()
+			continue
 		}
-		bp := wire.GetBuf()
-		defer wire.PutBuf(bp)
-		var err error
-		frame := *bp
-		if len(batch) == 1 {
-			frame, err = wire.EncodeEnvelope(frame, batch[0])
-		} else {
-			frame, err = wire.EncodeBatch(frame, batch)
+		s.pending = s.pending[1:]
+		if f.resend {
+			f.resend = false
+			s.stats.BatchResends.Add(1)
 		}
-		*bp = frame
-		if err != nil {
-			return
+		if s.healing {
+			s.healing = false
+			s.stats.HealedWrites.Add(1)
 		}
-		var hdr [binary.MaxVarintLen64]byte
-		n := binary.PutUvarint(hdr[:], uint64(len(frame)))
-		// Assign, don't declare: a `:=` here would shadow err and swallow
-		// write failures, leaving the sender wedged on a dead connection
-		// forever instead of redialing (a restarted peer would never be
-		// reached again).
-		if _, err = w.Write(hdr[:n]); err == nil {
-			if _, err = w.Write(frame); err == nil {
-				err = w.Flush()
-			}
+		s.pushTail(f)
+	}
+}
+
+// ping probes an idle connection with a zero-length frame, discarding it on
+// write failure so the next batch dials fresh instead of dying in a dead
+// kernel buffer. Called by the sender goroutine after PingInterval of idle.
+func (s *tcpStream) ping() {
+	if len(s.pending) > 0 {
+		// A backlog is a better probe than a ping: try to move it.
+		s.sendPending()
+		return
+	}
+	if s.c == nil {
+		return // nothing to keep alive; the next batch dials fresh
+	}
+	s.stats.PingsSent.Add(1)
+	var err error
+	if _, err = s.w.Write(pingFrame); err == nil {
+		err = s.w.Flush()
+	}
+	if err != nil {
+		s.stats.PeerUnresponsive.Add(1)
+		if debugTCP {
+			log.Printf("tcpdebug: node %d ping to %d failed: %v (conn discarded)", s.e.id, s.to, err)
 		}
-		if err != nil {
-			stats.DiscardedConns.Add(1)
-			stats.LostBatches.Add(1)
-			healing = true
-			if debugTCP {
-				log.Printf("tcpdebug: node %d write to %d failed: %v (batch of %d lost)", e.id, to, err, len(batch))
-			}
-			_ = c.Close()
-			c, w = nil, nil
-			return
+		s.discardConn()
+		s.sendPending() // rewrite the re-queued tail on a fresh conn now
+	}
+}
+
+func (s *tcpStream) dial() bool {
+	conn, err := net.Dial("tcp", s.addr)
+	if err != nil {
+		if debugTCP {
+			log.Printf("tcpdebug: node %d dial %d (%s) failed: %v (%d frames pending)", s.e.id, s.to, s.addr, err, len(s.pending))
 		}
-		if healing {
-			healing = false
-			stats.HealedWrites.Add(1)
+		return false
+	}
+	s.c = conn
+	s.w = bufio.NewWriterSize(conn, 64<<10)
+	s.e.track(conn)
+	s.stats.Dials.Add(1)
+	if s.healing {
+		s.stats.Redials.Add(1)
+	}
+	if debugTCP {
+		log.Printf("tcpdebug: node %d dialed %d (%s)", s.e.id, s.to, s.addr)
+	}
+	return true
+}
+
+func (s *tcpStream) writeFrame(frame []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+	// Assign, don't declare: a `:=` here would shadow err and swallow
+	// write failures, leaving the sender wedged on a dead connection
+	// forever instead of redialing (a restarted peer would never be
+	// reached again).
+	var err error
+	if _, err = s.w.Write(hdr[:n]); err == nil {
+		if _, err = s.w.Write(frame); err == nil {
+			err = s.w.Flush()
 		}
+	}
+	return err
+}
+
+// discardConn drops the connection after a failed write and re-queues the
+// tail in front of the failed frame: everything recently written may have
+// died unread in the old connection's kernel buffer, so all of it is
+// rewritten — duplicates are safe, receivers dedupe per message kind (see
+// docs/ARCHITECTURE.md, "Peer-link liveness & at-least-once delivery").
+func (s *tcpStream) discardConn() {
+	s.stats.DiscardedConns.Add(1)
+	s.healing = true
+	_ = s.c.Close()
+	s.c, s.w = nil, nil
+	if len(s.pending) > 0 {
+		s.pending[0].resend = true
+	}
+	if len(s.tail) > 0 {
+		for i := range s.tail {
+			s.tail[i].resend = true
+		}
+		requeued := make([]tcpFrame, 0, len(s.tail)+len(s.pending))
+		requeued = append(requeued, s.tail...)
+		s.pending = append(requeued, s.pending...)
+		s.tail = s.tail[:0]
+	}
+}
+
+// pushTail retains f as recently-written, recycling the frame that rotates
+// out.
+func (s *tcpStream) pushTail(f tcpFrame) {
+	if len(s.tail) == retainTail {
+		wire.PutBuf(s.tail[0].bp)
+		copy(s.tail, s.tail[1:])
+		s.tail[len(s.tail)-1] = f
+		return
+	}
+	s.tail = append(s.tail, f)
+}
+
+// dropOverflow bounds the pending queue while the peer is unreachable,
+// dropping oldest-first (their senders have long since timed out and
+// retried at the RPC layer).
+func (s *tcpStream) dropOverflow() {
+	for len(s.pending) > retainPending {
+		wire.PutBuf(s.pending[0].bp)
+		s.pending = s.pending[1:]
+		s.stats.LostBatches.Add(1)
 	}
 }
 

@@ -28,7 +28,15 @@ go build -o "$bin_dir/sss-server" ./cmd/sss-server
 go build -o "$bin_dir/sss-bench" ./cmd/sss-bench
 
 echo "== multi-process e2e suite (3-node TCP cluster) =="
-SSS_E2E_BIN="$bin_dir/sss-server" go test -count=1 -v ./internal/harness
+SSS_E2E_BIN="$bin_dir/sss-server" go test -count=1 -v ./internal/harness | tee "$out_dir/harness.log"
+# The restart smoke must prove the at-least-once link path ran: survivors
+# rewrite the batches their stale conns to the killed node swallowed, and
+# the test logs the SIGTERM-dump total (it also fails itself on zero —
+# this guards against the log line silently disappearing).
+grep -Eq 'restart smoke: batchResends=[1-9][0-9]*' "$out_dir/harness.log" || {
+  echo "e2e_smoke: restart smoke logged no batch resends" >&2
+  exit 1
+}
 
 echo "== figure-3 TCP bench smoke point =="
 (
