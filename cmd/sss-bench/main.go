@@ -184,6 +184,12 @@ type benchPoint struct {
 	EngineCounters *metrics.EngineCountersSnapshot `json:"engine_counters,omitempty"`
 	ClientNet      *metrics.ClientNetSnapshot      `json:"client_net,omitempty"`
 	Durability     []string                        `json:"durability,omitempty"`
+	// Stages is the per-stage commit decomposition (vote, decide/drain,
+	// freeze, purge, WAL sync, client ack). In-proc it comes from the
+	// engines directly; in tcp mode it is harvested by scraping the nodes'
+	// /metrics endpoints before shutdown. Nil for engines that don't
+	// instrument stages.
+	Stages *metrics.StagesSnapshot `json:"stages,omitempty"`
 }
 
 // benchReport is the BENCH_<name>.json document: one figure's points plus
@@ -285,9 +291,20 @@ func point(rep *reporter, series string, eng sss.Engine, nodes, degree int, w yc
 			Contention:        res.Contention,
 			CommitRounds:      res.CommitRounds,
 			EngineCounters:    &res.EngineCounters,
+			Stages:            stagesOrNil(res.Stages),
 		})
 	}
 	return res
+}
+
+// stagesOrNil drops an all-zero stage snapshot from the JSON (engines that
+// don't instrument stages, or pure-RO points with no update commits).
+func stagesOrNil(s metrics.StagesSnapshot) *metrics.StagesSnapshot {
+	if s.Vote.Count == 0 && s.Decide.Count == 0 && s.Freeze.Count == 0 &&
+		s.Purge.Count == 0 && s.WalSync.Count == 0 && s.ClientAck.Count == 0 {
+		return nil
+	}
+	return &s
 }
 
 func header(title string) {

@@ -14,6 +14,7 @@ import (
 	"github.com/sss-paper/sss/internal/cluster"
 	"github.com/sss-paper/sss/internal/harness"
 	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/obs"
 	"github.com/sss-paper/sss/internal/ycsb"
 	"github.com/sss-paper/sss/kv"
 )
@@ -169,6 +170,13 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 	if *netStats {
 		fmt.Printf("    [client-net n=%d delay=%v] %s\n", nodes, delay, clientNet)
 	}
+	// Engine-side per-stage decomposition: the counters live in the server
+	// processes, so scrape every node's /metrics endpoint (load is quiesced,
+	// so stage counts have settled) and merge the pages cluster-wide.
+	stages := scrapeStages(hc)
+	if stages != nil && *netStats {
+		fmt.Printf("    [stages n=%d] %s\n", nodes, *stages)
+	}
 	// In durable mode the WAL counters live in the server processes and are
 	// only dumped on SIGTERM, so shut the cluster down (keeping its logs
 	// readable — the deferred Stop still cleans up) and harvest the last
@@ -208,14 +216,35 @@ func tcpPoint(rep *reporter, series, bin string, nodes, degree int, w ycsb.Confi
 			ReadOnlyLatency:   res.ReadOnlyLatency,
 			ClientNet:         &clientNet,
 			Durability:        durabilityLines,
+			Stages:            stages,
 		})
 	}
 	return res
 }
 
+// scrapeStages pulls the per-stage commit histograms off every node's live
+// /metrics endpoint and merges them into one cluster-wide snapshot. Returns
+// nil when scraping fails or no stage was ever observed (e.g. a pure-RO
+// point) — the bench point then simply omits the breakdown.
+func scrapeStages(hc *harness.Cluster) *metrics.StagesSnapshot {
+	var pages []*obs.Page
+	for i, addr := range hc.MetricsAddrs() {
+		page, err := obs.Fetch(nil, addr)
+		if err != nil {
+			log.Printf("tcp bench: scrape node %d metrics: %v (stage breakdown omitted)", i, err)
+			return nil
+		}
+		pages = append(pages, page)
+	}
+	merged := obs.MergePages(pages).Stages()
+	return stagesOrNil(merged)
+}
+
 // lastDurabilityLine extracts the payload of the final "durability: " log
 // line from a node's log tail (the server dumps its WAL/checkpoint counters
-// once, on SIGTERM).
+// once, on SIGTERM). The server logs structured key=value records, so the
+// payload sits inside msg="durability: ..." — the closing quote (or the end
+// of line, for unquoted legacy logs) terminates it.
 func lastDurabilityLine(tail string) string {
 	const marker = "durability: "
 	idx := strings.LastIndex(tail, marker)
@@ -225,6 +254,9 @@ func lastDurabilityLine(tail string) string {
 	line := tail[idx+len(marker):]
 	if nl := strings.IndexByte(line, '\n'); nl >= 0 {
 		line = line[:nl]
+	}
+	if q := strings.IndexByte(line, '"'); q >= 0 {
+		line = line[:q]
 	}
 	return strings.TrimSpace(line)
 }

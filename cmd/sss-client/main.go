@@ -5,14 +5,28 @@
 //	sss-client -addr 127.0.0.1:8000 get greeting
 //	sss-client -addr 127.0.0.1:8000 snapshot k1 k2 k3   # one read-only txn
 //	sss-client -addr 127.0.0.1:8000 ping
+//
+// The top subcommand is a live cluster view over the servers' /metrics
+// endpoints (started with -metrics-addr): cluster throughput, abort rate,
+// the per-stage commit-path breakdown and peer-link health, refreshed every
+// interval. It talks HTTP only — no client-protocol connection — so it can
+// watch a cluster it has no write access to.
+//
+//	sss-client top 127.0.0.1:9000 127.0.0.1:9001 127.0.0.1:9002
+//	sss-client top -interval 5s -count 3 127.0.0.1:9000
+//	sss-client top -once 127.0.0.1:9000    # one frame of cumulative totals
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"time"
 
 	"github.com/sss-paper/sss/client"
+	"github.com/sss-paper/sss/internal/obs"
 )
 
 var addr = flag.String("addr", "127.0.0.1:8000", "sss-server client address")
@@ -21,7 +35,11 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: sss-client [-addr host:port] get <key> | set <key> <value> | snapshot <key>... | ping")
+		log.Fatal("usage: sss-client [-addr host:port] get <key> | set <key> <value> | snapshot <key>... | ping | top <metrics-addr>...")
+	}
+	if args[0] == "top" {
+		runTop(args[1:])
+		return
 	}
 	c, err := client.Dial(*addr, client.Options{Conns: 1})
 	if err != nil {
@@ -86,4 +104,181 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
+}
+
+// requiredSeries is the minimum exposition contract top (and the e2e smoke
+// lane via `top -once`) holds every node to: the commit counter, the full
+// stage taxonomy and the WAL health counter. A node missing any of these is
+// reported and makes top exit nonzero in -once mode.
+var requiredSeries = []string{
+	"sss_commits_total",
+	"sss_stage_vote_seconds",
+	"sss_stage_decide_seconds",
+	"sss_stage_freeze_seconds",
+	"sss_stage_purge_seconds",
+	"sss_stage_wal_sync_seconds",
+	"sss_stage_client_ack_seconds",
+	"sss_wal_sync_failures_total",
+}
+
+// runTop implements the live-cluster view. Plain frames are printed (one
+// per interval), not a cursor-addressed TUI, so the output pipes cleanly
+// into files and CI logs.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval between frames")
+	count := fs.Int("count", 0, "number of frames to print before exiting (0 = until interrupted)")
+	once := fs.Bool("once", false, "scrape once, print cumulative totals, and exit; nonzero if any node is unreachable or missing a required series")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sss-client top [-interval d] [-count n] [-once] <metrics-addr>...")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	addrs := fs.Args()
+	if len(addrs) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	httpc := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		pages, ok := scrapeAll(httpc, addrs)
+		printFrame(addrs, pages, nil, 0)
+		if !ok || !checkRequired(addrs, pages) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var prev []*obs.Page
+	last := time.Now()
+	for frame := 0; *count == 0 || frame < *count; frame++ {
+		if frame > 0 {
+			time.Sleep(*interval)
+		}
+		now := time.Now()
+		pages, _ := scrapeAll(httpc, addrs)
+		printFrame(addrs, pages, prev, now.Sub(last))
+		prev, last = pages, now
+	}
+}
+
+// scrapeAll fetches every node's page; unreachable nodes get a nil entry
+// and ok=false so a frame can still render a partial cluster.
+func scrapeAll(httpc *http.Client, addrs []string) ([]*obs.Page, bool) {
+	pages := make([]*obs.Page, len(addrs))
+	ok := true
+	for i, a := range addrs {
+		p, err := obs.Fetch(httpc, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "top: node %d (%s): %v\n", i, a, err)
+			ok = false
+			continue
+		}
+		pages[i] = p
+	}
+	return pages, ok
+}
+
+// checkRequired verifies each reachable node serves every required series.
+func checkRequired(addrs []string, pages []*obs.Page) bool {
+	ok := true
+	for i, p := range pages {
+		if p == nil {
+			ok = false
+			continue
+		}
+		for _, name := range requiredSeries {
+			if !p.Has(name) {
+				fmt.Fprintf(os.Stderr, "top: node %d (%s): missing required series %s\n", i, addrs[i], name)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// printFrame renders one frame. With a previous scrape the cluster line and
+// stage table show interval rates/quantiles (the live view); without one
+// (first frame, -once) they show cumulative totals.
+func printFrame(addrs []string, pages, prev []*obs.Page, elapsed time.Duration) {
+	merged := obs.MergePages(pages)
+	up := 0
+	for _, p := range pages {
+		if p != nil {
+			up++
+		}
+	}
+	fmt.Printf("sss top  %s  nodes %d/%d up\n",
+		time.Now().Format("15:04:05"), up, len(addrs))
+
+	commits := merged.Counter("sss_commits_total")
+	aborts := merged.Counter("sss_aborts_total")
+	ro := merged.Counter("sss_read_only_runs_total")
+	if prev != nil && elapsed > 0 {
+		pm := obs.MergePages(prev)
+		dc := commits - pm.Counter("sss_commits_total")
+		da := aborts - pm.Counter("sss_aborts_total")
+		dro := ro - pm.Counter("sss_read_only_runs_total")
+		secs := elapsed.Seconds()
+		fmt.Printf("cluster  %.0f txn/s (update %.0f/s, read-only %.0f/s)  abort %s  interval %v\n",
+			(dc+dro)/secs, dc/secs, dro/secs, pct(da, dc+dro+da), elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("cluster  commits=%.0f read-only=%.0f aborts=%.0f  abort %s  (cumulative)\n",
+			commits, ro, aborts, pct(aborts, commits+ro+aborts))
+	}
+
+	// Stage table: interval quantiles when a previous scrape exists,
+	// cumulative otherwise.
+	fmt.Printf("%-12s %10s %10s %10s\n", "stage", "count", "p50", "p99")
+	for _, st := range []struct{ label, series string }{
+		{"vote", "sss_stage_vote_seconds"},
+		{"decide", "sss_stage_decide_seconds"},
+		{"freeze", "sss_stage_freeze_seconds"},
+		{"purge", "sss_stage_purge_seconds"},
+		{"wal-sync", "sss_stage_wal_sync_seconds"},
+		{"client-ack", "sss_stage_client_ack_seconds"},
+	} {
+		h := merged.Hists[st.series]
+		if h == nil {
+			fmt.Printf("%-12s %10s %10s %10s\n", st.label, "-", "-", "-")
+			continue
+		}
+		if prev != nil {
+			h = h.Delta(obs.MergePages(prev).Hists[st.series])
+		}
+		s := h.Snapshot()
+		fmt.Printf("%-12s %10d %10v %10v\n", st.label, s.Count, s.P50, s.P99)
+	}
+
+	// Peer-link health: cumulative counters — resends and unresponsive-peer
+	// flags stay zero on a healthy cluster, so any growth is signal.
+	fmt.Printf("links    resends=%.0f unresponsive=%.0f redials=%.0f discarded=%.0f  wal-sync-failures=%.0f\n",
+		merged.Counter("sss_transport_batch_resends_total"),
+		merged.Counter("sss_transport_peer_unresponsive_total"),
+		merged.Counter("sss_transport_redials_total"),
+		merged.Counter("sss_transport_discarded_conns_total"),
+		merged.Counter("sss_wal_sync_failures_total"))
+
+	// Per-node rows: commit counter and link health at a glance.
+	for i, p := range pages {
+		if p == nil {
+			fmt.Printf("node %-3d %s DOWN\n", i, addrs[i])
+			continue
+		}
+		fmt.Printf("node %-3d %s commits=%.0f aborts=%.0f resends=%.0f\n",
+			i, addrs[i],
+			p.Counter("sss_commits_total"),
+			p.Counter("sss_aborts_total"),
+			p.Counter("sss_transport_batch_resends_total"))
+	}
+	fmt.Println()
+}
+
+// pct formats num/den as a percentage ("0.0%" when the denominator is 0).
+func pct(num, den float64) string {
+	if den <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
 }

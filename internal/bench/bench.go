@@ -81,6 +81,11 @@ type Result struct {
 	// discipline counters (withheld/budget-expired) so bench snapshots
 	// record how often the ack-vs-stamp window was exercised.
 	EngineCounters metrics.EngineCountersSnapshot
+	// Stages is the per-stage commit-path decomposition (vote, decide/drain,
+	// freeze, purge, WAL sync, client ack), aggregated across nodes — the
+	// live-exposition taxonomy mirrored into bench snapshots so the figure-3
+	// trajectory carries a stage breakdown.
+	Stages metrics.StagesSnapshot
 }
 
 // Run executes the workload against the given nodes and aggregates results.
@@ -175,6 +180,7 @@ func Run(nodes []Node, opts Options) Result {
 	res.Contention = agg.Contention.Snapshot()
 	res.CommitRounds = agg.CommitRounds.Snapshot()
 	res.EngineCounters = agg.CountersSnapshot()
+	res.Stages = agg.Stage.Snapshot()
 	return res
 }
 
@@ -266,6 +272,7 @@ func aggregate(nodes []Node) *metrics.Engine {
 		out.PreCommitWait.Merge(&s.PreCommitWait)
 		out.Contention.Merge(&s.Contention)
 		out.CommitRounds.Merge(&s.CommitRounds)
+		out.Stage.Merge(&s.Stage)
 	}
 	return out
 }

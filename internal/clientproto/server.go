@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sss-paper/sss/internal/metrics"
 	"github.com/sss-paper/sss/kv"
@@ -27,6 +28,11 @@ type ServerOptions struct {
 	// teardown errors). Protocol-level errors are answered in-band, not
 	// logged.
 	Logf func(format string, args ...any)
+	// CommitAck, when non-nil, observes the commit service time of every
+	// successful client commit: request dispatched → reply written. The
+	// caller typically wires it to the engine's Stage.ClientAck histogram so
+	// the client-ack leg rides the same exposition as the protocol stages.
+	CommitAck *metrics.Histogram
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -303,7 +309,11 @@ func (ss *session) handleTxnOp(req Request, tx kv.Txn) {
 		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID})
 	case OpCommit, OpAbort:
 		var err error
+		var commitStart time.Time
 		if req.Op == OpCommit {
+			if ss.srv.opts.CommitAck != nil {
+				commitStart = time.Now()
+			}
 			err = tx.Commit()
 		} else {
 			err = tx.Abort()
@@ -313,6 +323,9 @@ func (ss *session) handleTxnOp(req Request, tx kv.Txn) {
 			return
 		}
 		ss.reply(&Reply{Kind: ReplyOK, ReqID: req.ReqID})
+		if !commitStart.IsZero() {
+			ss.srv.opts.CommitAck.Observe(time.Since(commitStart))
+		}
 	}
 }
 

@@ -40,6 +40,9 @@ type extItem struct {
 	vc       vclock.VC
 	done     chan struct{}
 	deadline time.Time
+	// enq is the enqueue instant of purge items, feeding the Purge stage
+	// histogram (enqueue → batch flushed); zero for freezes.
+	enq time.Time
 }
 
 // extQueue is the per-peer commit queue. Senders never block on the
@@ -227,6 +230,9 @@ func (nd *Node) extSender(peer wire.NodeID, q *extQueue) {
 			if batch[i].done != nil {
 				close(batch[i].done)
 			}
+			if !closed && batch[i].vc == nil && !batch[i].enq.IsZero() {
+				nd.stats.Stage.Purge.Observe(time.Since(batch[i].enq))
+			}
 			batch[i] = extItem{}
 		}
 	}
@@ -263,7 +269,7 @@ func (nd *Node) awaitFreezes(waiters []chan struct{}) {
 // enqueuePurges queues t's purge notification for every write replica.
 func (nd *Node) enqueuePurges(txn wire.TxnID, writeNodes []wire.NodeID) {
 	for _, w := range writeNodes {
-		if !nd.extq[w].enqueue(extItem{txn: txn}) {
+		if !nd.extq[w].enqueue(extItem{txn: txn, enq: time.Now()}) {
 			// Shutting down: purge locally when possible so tests tearing
 			// down observe empty queues; remote peers are gone anyway.
 			if w == nd.id {
@@ -395,7 +401,9 @@ func (nd *Node) applyFreezeBatch(freezes []wire.ExtFreeze) error {
 			nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: f.Txn, Stamp: stamps[i],
 				Keys: parked[i].keys, VC: parked[i].vc})
 		}
+		syncStart := time.Now()
 		walErr = nd.wal.Sync()
+		nd.stats.Stage.WalSync.Observe(time.Since(syncStart))
 	}
 	for {
 		cur := nd.extFrontier.Load()

@@ -383,7 +383,10 @@ func (nd *Node) handlePrepare(from wire.NodeID, rid uint64, m *wire.Prepare) {
 		// no: promising a recoverable yes without the record would be the
 		// exact lie the WAL exists to prevent.
 		nd.wal.Append(&wal.Record{Type: wal.RecPrepare, Txn: m.Txn, Writes: m.Writes, Deps: m.Deps})
-		if err := nd.wal.Sync(); err != nil {
+		syncStart := time.Now()
+		err := nd.wal.Sync()
+		nd.stats.Stage.WalSync.Observe(time.Since(syncStart))
+		if err != nil {
 			st.mu.Lock()
 			delete(st.pending, m.Txn)
 			delete(st.walTxns, m.Txn)
@@ -687,7 +690,9 @@ func (nd *Node) handleExtCommit(from wire.NodeID, rid uint64, m *wire.ExtCommit)
 			// like a crashed one: a timeout, never a durable-sounding ack.
 			nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: m.Txn, Stamp: stamp,
 				Keys: ps.keys, VC: ps.vc})
+			syncStart := time.Now()
 			walErr = nd.wal.Sync()
+			nd.stats.Stage.WalSync.Observe(time.Since(syncStart))
 		}
 		for _, k := range ps.keys {
 			nd.store.SQStampWrite(k, m.Txn, stamp)

@@ -632,9 +632,11 @@ func (t *Txn) commitUpdate() error {
 	}
 
 	// --- prepare phase ---
+	voteStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), nd.cfg.VoteTimeout)
 	votes := t.broadcast(ctx, participants, prep, sc)
 	cancel()
+	voteDur := time.Since(voteStart)
 
 	commitVC := t.vc.Clone()
 	outcome := true
@@ -670,7 +672,10 @@ func (t *Txn) commitUpdate() error {
 		// survivors acted on. A failed sync downgrades to abort — nothing
 		// irreversible has been sent yet.
 		nd.wal.Append(&wal.Record{Type: wal.RecCoordCommit, Txn: t.id, Commit: true, VC: commitVC})
-		if err := nd.wal.Sync(); err != nil {
+		syncStart := time.Now()
+		err := nd.wal.Sync()
+		nd.stats.Stage.WalSync.Observe(time.Since(syncStart))
+		if err != nil {
 			t.finishAbort(participants, sc)
 			return kv.ErrAborted
 		}
@@ -743,6 +748,11 @@ func (t *Txn) commitUpdate() error {
 			freezeVC[w] = ack.Ext
 		}
 	}
+	// Decide/drain leg so far: broadcast + piggybacked drain acks. A
+	// standalone fallback round below adds its own elapsed time; the
+	// pending-writer wait in between is deliberately excluded (it is
+	// snapshot queuing, already visible as PreCommitWait).
+	decideDur := time.Since(decided)
 
 	// Our completion must follow that of any parked writer we read from.
 	t.waitPendingWriters()
@@ -761,6 +771,7 @@ func (t *Txn) commitUpdate() error {
 	// commit.
 	stale := sc.firstAck.IsZero() || time.Since(sc.firstAck) > nd.cfg.PiggybackSkewBudget
 	if retighten || stale {
+		drainStart := time.Now()
 		dctx2, dcancel2 := context.WithTimeout(context.Background(), nd.cfg.DrainTimeout+time.Second)
 		drainAcks := t.broadcast(dctx2, writeNodes, &wire.ExtCommit{Txn: t.id, Drain: true}, sc)
 		dcancel2()
@@ -769,6 +780,7 @@ func (t *Txn) commitUpdate() error {
 				freezeVC[writeNodes[i]] = ack.Ext
 			}
 		}
+		decideDur += time.Since(drainStart)
 	}
 
 	// Freeze the parked W entries everywhere (acked, pre-client-reply) so
@@ -776,8 +788,10 @@ func (t *Txn) commitUpdate() error {
 	// rides the per-peer commit queue: freezes of concurrent commits to the
 	// same replica coalesce into one batched envelope the replica applies
 	// with a single striped pass and clock republish (group commit).
+	freezeStart := time.Now()
 	waiters := nd.enqueueFreezes(t.id, writeNodes, freezeVC, sc.waiters[:0])
 	nd.awaitFreezes(waiters)
+	freezeDur := time.Since(freezeStart)
 	sc.waiters = waiters
 	var freezeSyncErr error
 	if nd.wal != nil {
@@ -791,7 +805,9 @@ func (t *Txn) commitUpdate() error {
 		// record it could not persist. The in-memory bookkeeping still runs:
 		// the vector is the true one and live peers may depend on it.
 		nd.wal.Append(&wal.Record{Type: wal.RecFreeze, Txn: t.id, VC: freezeVC})
+		syncStart := time.Now()
 		freezeSyncErr = nd.wal.Sync()
+		nd.stats.Stage.WalSync.Observe(time.Since(syncStart))
 		nd.recordCoordFreeze(t.id, freezeVC)
 	}
 	// The external-commit point: transactions beginning on this node after
@@ -821,6 +837,11 @@ func (t *Txn) commitUpdate() error {
 
 	now := time.Now()
 	nd.stats.Commits.Add(1)
+	// Stage legs are observed here, at the same instant as Commits, so their
+	// counts reconcile with the commit counter (asserted by the e2e scrape).
+	nd.stats.Stage.Vote.Observe(voteDur)
+	nd.stats.Stage.Decide.Observe(decideDur)
+	nd.stats.Stage.Freeze.Observe(freezeDur)
 	nd.stats.CommitLatency.Observe(now.Sub(t.begin))
 	nd.stats.InternalLatency.Observe(decided.Sub(t.begin))
 	wait := now.Sub(decided)

@@ -74,15 +74,16 @@ func (c Config) withDefaults() Config {
 
 // Cluster is a running multi-process deployment.
 type Cluster struct {
-	cfg         Config
-	dir         string
-	removeDir   bool
-	peerAddrs   []string
-	clientAddrs []string
-	procs       []*proc
-	relays      []*delayRelay  // client-path delay shims, nil entries impossible
-	links       [][]*linkRelay // [from][to] peer-link relays; nil without PeerLinkControl
-	netemUndo   func()         // removes the loopback netem qdisc, if installed
+	cfg          Config
+	dir          string
+	removeDir    bool
+	peerAddrs    []string
+	clientAddrs  []string
+	metricsAddrs []string
+	procs        []*proc
+	relays       []*delayRelay  // client-path delay shims, nil entries impossible
+	links        [][]*linkRelay // [from][to] peer-link relays; nil without PeerLinkControl
+	netemUndo    func()         // removes the loopback netem qdisc, if installed
 }
 
 // proc is one monitored server process.
@@ -126,15 +127,16 @@ func Start(cfg Config) (*Cluster, error) {
 		c.removeDir = true
 	}
 
-	// One allocation for both address sets: all 2N listeners are held
+	// One allocation for all three address sets: all 3N listeners are held
 	// simultaneously, so the kernel cannot hand a just-freed peer port
-	// back out as a client port (or vice versa).
-	addrs, err := freeAddrs(2 * cfg.Nodes)
+	// back out as a client or metrics port (or vice versa).
+	addrs, err := freeAddrs(3 * cfg.Nodes)
 	if err != nil {
 		c.cleanupDir()
 		return nil, err
 	}
-	c.peerAddrs, c.clientAddrs = addrs[:cfg.Nodes], addrs[cfg.Nodes:]
+	c.peerAddrs, c.clientAddrs, c.metricsAddrs =
+		addrs[:cfg.Nodes], addrs[cfg.Nodes:2*cfg.Nodes], addrs[2*cfg.Nodes:]
 
 	if cfg.PeerLinkControl {
 		c.links = make([][]*linkRelay, cfg.Nodes)
@@ -227,6 +229,7 @@ func (c *Cluster) spawn(i int) error {
 		"-id", fmt.Sprint(i),
 		"-peers", strings.Join(peers, ","),
 		"-client-addr", c.clientAddrs[i],
+		"-metrics-addr", c.metricsAddrs[i],
 		"-replication", fmt.Sprint(c.cfg.Replication),
 	}
 	if c.cfg.Durable {
@@ -440,6 +443,10 @@ func (c *Cluster) ClientAddrs() []string { return append([]string(nil), c.client
 
 // PeerAddrs returns the inter-node transport address book.
 func (c *Cluster) PeerAddrs() []string { return append([]string(nil), c.peerAddrs...) }
+
+// MetricsAddrs returns the per-node Prometheus /metrics endpoint addresses
+// (every harness node is started with -metrics-addr).
+func (c *Cluster) MetricsAddrs() []string { return append([]string(nil), c.metricsAddrs...) }
 
 // Dir returns the directory holding the per-node logs.
 func (c *Cluster) Dir() string { return c.dir }

@@ -150,6 +150,39 @@ func (s HistogramSnapshot) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
 }
 
+// NumBuckets is the number of log2 buckets every Histogram carries,
+// exported for exposition layers that render the raw bucket counts.
+const NumBuckets = numBuckets
+
+// BucketUpperBound returns the inclusive upper bound of bucket i in
+// nanoseconds. Bucket i holds observations in [2^(i-1), 2^i - 1] (bucket 0
+// holds only 0ns, the last bucket absorbs everything larger), so the bound
+// is exact: every observation in buckets 0..i is <= BucketUpperBound(i).
+func BucketUpperBound(i int) uint64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= numBuckets-1 {
+		return math.MaxUint64
+	}
+	return (uint64(1) << uint(i)) - 1
+}
+
+// Buckets copies the per-bucket observation counts (not cumulative) into
+// dst, which must have length NumBuckets. It returns the number of buckets
+// written. The copy is not atomic with respect to concurrent Observe calls;
+// each bucket is individually consistent.
+func (h *Histogram) Buckets(dst []uint64) int {
+	n := len(dst)
+	if n > numBuckets {
+		n = numBuckets
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = h.buckets[i].Load()
+	}
+	return n
+}
+
 // Transport aggregates the batching/pooling counters of one messaging path
 // (one peer of one endpoint, or a whole network when merged).
 type Transport struct {
@@ -380,9 +413,79 @@ type Engine struct {
 	// Read-only transaction latency.
 	ReadOnlyLatency Histogram
 
+	// Stage decomposes the update-commit path into its protocol legs; see
+	// the Stages doc comment for the taxonomy.
+	Stage Stages
+
 	// Contention holds the node's lock/wait contention counters, shared
 	// with the commitlog waiter registry and the mvstore drain path.
 	Contention Contention
+}
+
+// Stages is the per-stage latency decomposition of the update-commit path.
+// Vote, Decide, and Freeze are observed exactly once per external commit,
+// at the same instant Commits is incremented, so their counts reconcile
+// with Engine.Commits by construction. WalSync observes every commit-path
+// fsync leg (coordinator decide record, coordinator freeze record, replica
+// freeze batches), Purge observes enqueue→flush of replica purge
+// notifications, and ClientAck observes the client-protocol commit service
+// time (engine commit + reply write) on successful commits only.
+type Stages struct {
+	// Vote: prepare broadcast → all votes collected (the 2PC first round).
+	Vote Histogram
+	// Decide: internal commit → drain barrier established, including the
+	// piggybacked drain acks and any standalone fallback drain round.
+	Decide Histogram
+	// Freeze: freeze-stamp enqueue → all replica freeze acks (the
+	// group-commit freeze leg that makes the commit externally visible).
+	Freeze Histogram
+	// Purge: purge-notification enqueue → batch flushed to the peer link.
+	Purge Histogram
+	// WalSync: duration of each commit-path WAL fsync.
+	WalSync Histogram
+	// ClientAck: client commit request accepted → reply written.
+	ClientAck Histogram
+}
+
+// Merge folds other's observations into s.
+func (s *Stages) Merge(other *Stages) {
+	s.Vote.Merge(&other.Vote)
+	s.Decide.Merge(&other.Decide)
+	s.Freeze.Merge(&other.Freeze)
+	s.Purge.Merge(&other.Purge)
+	s.WalSync.Merge(&other.WalSync)
+	s.ClientAck.Merge(&other.ClientAck)
+}
+
+// StagesSnapshot is a point-in-time copy of the per-stage histograms.
+type StagesSnapshot struct {
+	Vote      HistogramSnapshot `json:"vote"`
+	Decide    HistogramSnapshot `json:"decide"`
+	Freeze    HistogramSnapshot `json:"freeze"`
+	Purge     HistogramSnapshot `json:"purge"`
+	WalSync   HistogramSnapshot `json:"wal_sync"`
+	ClientAck HistogramSnapshot `json:"client_ack"`
+}
+
+// Snapshot copies the stage histograms into a plain struct.
+func (s *Stages) Snapshot() StagesSnapshot {
+	return StagesSnapshot{
+		Vote:      s.Vote.Snapshot(),
+		Decide:    s.Decide.Snapshot(),
+		Freeze:    s.Freeze.Snapshot(),
+		Purge:     s.Purge.Snapshot(),
+		WalSync:   s.WalSync.Snapshot(),
+		ClientAck: s.ClientAck.Snapshot(),
+	}
+}
+
+// String renders the snapshot compactly (count + p50/p99 per stage).
+func (s StagesSnapshot) String() string {
+	f := func(h HistogramSnapshot) string {
+		return fmt.Sprintf("n=%d p50=%v p99=%v", h.Count, h.P50, h.P99)
+	}
+	return fmt.Sprintf("vote{%s} decide{%s} freeze{%s} purge{%s} walSync{%s} clientAck{%s}",
+		f(s.Vote), f(s.Decide), f(s.Freeze), f(s.Purge), f(s.WalSync), f(s.ClientAck))
 }
 
 // CommitRounds counts the acked round structure of the update-commit path.

@@ -6,12 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"sync"
 
 	"github.com/sss-paper/sss/internal/metrics"
+	"github.com/sss-paper/sss/internal/obs/slogx"
 	"github.com/sss-paper/sss/internal/wire"
 )
 
@@ -422,7 +422,8 @@ func (s *tcpStream) sendPending() {
 		f := s.pending[0]
 		if err := s.writeFrame(*f.bp); err != nil {
 			if debugTCP {
-				log.Printf("tcpdebug: node %d write to %d failed: %v (frame retained for resend)", s.e.id, s.to, err)
+				debugLog.Info("tcpdebug: peer write failed, frame retained for resend",
+					"node", int(s.e.id), "peer", int(s.to), "err", err)
 			}
 			s.discardConn()
 			continue
@@ -460,7 +461,8 @@ func (s *tcpStream) ping() {
 	if err != nil {
 		s.stats.PeerUnresponsive.Add(1)
 		if debugTCP {
-			log.Printf("tcpdebug: node %d ping to %d failed: %v (conn discarded)", s.e.id, s.to, err)
+			debugLog.Info("tcpdebug: ping failed, conn discarded",
+				"node", int(s.e.id), "peer", int(s.to), "err", err)
 		}
 		s.discardConn()
 		s.sendPending() // rewrite the re-queued tail on a fresh conn now
@@ -471,7 +473,8 @@ func (s *tcpStream) dial() bool {
 	conn, err := net.Dial("tcp", s.addr)
 	if err != nil {
 		if debugTCP {
-			log.Printf("tcpdebug: node %d dial %d (%s) failed: %v (%d frames pending)", s.e.id, s.to, s.addr, err, len(s.pending))
+			debugLog.Info("tcpdebug: dial failed",
+				"node", int(s.e.id), "peer", int(s.to), "addr", s.addr, "err", err, "pending", len(s.pending))
 		}
 		return false
 	}
@@ -483,7 +486,8 @@ func (s *tcpStream) dial() bool {
 		s.stats.Redials.Add(1)
 	}
 	if debugTCP {
-		log.Printf("tcpdebug: node %d dialed %d (%s)", s.e.id, s.to, s.addr)
+		debugLog.Info("tcpdebug: dialed peer",
+			"node", int(s.e.id), "peer", int(s.to), "addr", s.addr)
 	}
 	return true
 }
@@ -552,6 +556,10 @@ func (s *tcpStream) dropOverflow() {
 }
 
 var debugTCP = os.Getenv("SSS_TCP_DEBUG") != ""
+
+// debugLog emits the SSS_TCP_DEBUG link diagnostics as structured records
+// on the same stderr stream as the server's logger.
+var debugLog = slogx.New(os.Stderr)
 
 // track registers an outbound connection for teardown at Close.
 func (e *tcpEndpoint) track(c net.Conn) {

@@ -2,15 +2,20 @@
 # e2e_smoke.sh — the end-to-end deployment gate, shared verbatim by the CI
 # `e2e` job and local development.
 #
-# 1. Builds the sss-server and sss-bench binaries.
-# 2. Runs the multi-process e2e suite (internal/harness): boots a real
+# 1. Builds the sss-server, sss-bench and sss-client binaries.
+# 2. Boots a 3-node cluster with -metrics-addr, drives commits through it,
+#    and scrapes every node's /metrics: `sss-client top -once` gates the
+#    required-series contract, then a python check asserts the values
+#    reconcile (nonzero sss_commits_total, stage histogram counts equal to
+#    it, zero WAL sync failures).
+# 3. Runs the multi-process e2e suite (internal/harness): boots a real
 #    3-node TCP cluster, checks cross-node write visibility, read-only
 #    snapshot coherence under concurrent transfers, that abrupt client
 #    disconnects abort their transactions instead of wedging writers, and
 #    kill-and-restart recovery (TestCrashRestartRecovery: SIGKILL a durable
 #    node mid-load, restart it, assert it rejoins with the bank invariant
 #    and snapshot monotonicity intact).
-# 3. Runs one short figure-3 point of `sss-bench -transport tcp` against a
+# 4. Runs one short figure-3 point of `sss-bench -transport tcp` against a
 #    3-node cluster and checks the JSON snapshot materializes — once
 #    in-memory, once with `-durability wal` (real per-node WALs, durability
 #    counters harvested into the point).
@@ -21,11 +26,73 @@ cd "$(dirname "$0")/.."
 
 bin_dir="$(mktemp -d)"
 out_dir="$(mktemp -d)"
-trap 'rm -rf "$bin_dir" "$out_dir"' EXIT
+server_pids=""
+cleanup() {
+  # shellcheck disable=SC2086 # pid list is intentionally word-split
+  [ -n "$server_pids" ] && kill $server_pids 2>/dev/null || true
+  rm -rf "$bin_dir" "$out_dir"
+}
+trap cleanup EXIT
 
 echo "== building binaries =="
 go build -o "$bin_dir/sss-server" ./cmd/sss-server
 go build -o "$bin_dir/sss-bench" ./cmd/sss-bench
+go build -o "$bin_dir/sss-client" ./cmd/sss-client
+
+echo "== live /metrics scrape gate (3-node cluster) =="
+# CI tests the surface it just shipped: boot a real cluster with the
+# metrics endpoint on, drive commits through it, and assert the exposition
+# page carries the load-bearing series with reconciling values — nonzero
+# commit counter, stage histogram counts equal to it, a clean WAL.
+peers="127.0.0.1:7460,127.0.0.1:7461,127.0.0.1:7462"
+for i in 0 1 2; do
+  "$bin_dir/sss-server" -id "$i" -peers "$peers" \
+    -client-addr "127.0.0.1:846$i" -metrics-addr "127.0.0.1:946$i" \
+    > "$out_dir/metrics-node$i.log" 2>&1 &
+  server_pids="$server_pids $!"
+done
+for i in 0 1 2; do
+  for _ in $(seq 1 50); do
+    "$bin_dir/sss-client" -addr "127.0.0.1:846$i" ping >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  "$bin_dir/sss-client" -addr "127.0.0.1:846$i" ping >/dev/null
+done
+for i in 0 1 2; do
+  for k in $(seq 1 8); do
+    "$bin_dir/sss-client" -addr "127.0.0.1:846$i" set "smoke$i-$k" "v$k" >/dev/null
+  done
+done
+# The top subcommand's -once mode is the series-presence gate: it exits
+# nonzero if any node is down or missing a required series.
+"$bin_dir/sss-client" top -once 127.0.0.1:9460 127.0.0.1:9461 127.0.0.1:9462
+python3 - <<'EOF'
+import urllib.request
+
+total_commits = 0
+for i in range(3):
+    page = urllib.request.urlopen(f"http://127.0.0.1:946{i}/metrics", timeout=5).read().decode()
+    samples = {}
+    for line in page.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        key, _, val = line.rpartition(" ")
+        samples[key] = float(val)
+    commits = samples["sss_commits_total"]
+    for stage in ("vote", "decide", "freeze"):
+        count = samples[f"sss_stage_{stage}_seconds_count"]
+        assert count == commits, \
+            f"node {i}: sss_stage_{stage}_seconds_count {count} != sss_commits_total {commits}"
+    assert samples["sss_wal_sync_failures_total"] == 0, \
+        f"node {i}: WAL sync failures on a healthy cluster"
+    total_commits += commits
+assert total_commits >= 24, f"cluster committed {total_commits} < 24 issued updates"
+print(f"metrics gate: {total_commits:.0f} commits, stage counts reconcile on all 3 nodes")
+EOF
+# shellcheck disable=SC2086
+kill $server_pids 2>/dev/null || true
+wait 2>/dev/null || true
+server_pids=""
 
 echo "== multi-process e2e suite (3-node TCP cluster) =="
 SSS_E2E_BIN="$bin_dir/sss-server" go test -count=1 -v ./internal/harness | tee "$out_dir/harness.log"
